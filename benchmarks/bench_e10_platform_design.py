@@ -1,0 +1,54 @@
+"""E10 -- platform-parameter optimization (the paper's future work, Sec. 5).
+
+"The search for the optimal platform parameters would allow a better
+utilization of the resources."  This bench runs that search on the paper's
+example: bandwidth-minimal rates at the given delays, plus the rate/delay
+frontier of the integrator platform, and reports the achieved savings.
+"""
+
+import math
+
+from repro.analysis import analyze
+from repro.opt import minimize_bandwidth, rate_delay_frontier
+from repro.paper import sensor_fusion_system
+from repro.viz import format_table, write_csv
+
+
+def test_platform_design(benchmark, output_dir, write_artifact):
+    system = sensor_fusion_system()
+
+    design = benchmark(lambda: minimize_bandwidth(system, rate_tol=5e-3))
+
+    assert design.feasible
+    assert design.savings > 0.10
+    assert analyze(design.designed_system(system)).schedulable
+
+    rows = [
+        [f"Pi{k + 1}", f"{old.rate:.3f}", f"{new.rate:.3f}",
+         f"{(1 - new.rate / old.rate):.1%}"]
+        for k, (old, new) in enumerate(zip(system.platforms, design.platforms))
+    ]
+    rows.append(["total", f"{design.initial_bandwidth:.3f}",
+                 f"{design.total_bandwidth:.3f}", f"{design.savings:.1%}"])
+    table = format_table(
+        ["platform", "rate (paper)", "rate (designed)", "saved"],
+        rows,
+        title="E10: bandwidth-minimal platform design",
+    )
+
+    delays = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+    frontier = rate_delay_frontier(system, 2, delays, rate_tol=5e-3)
+    finite = [(d, a) for d, a in frontier if not math.isinf(a)]
+    assert len(finite) == len(frontier), "all tested delays must be feasible"
+    rates = [a for _, a in finite]
+    assert rates == sorted(rates) or all(
+        b >= a - 5e-3 for a, b in zip(rates, rates[1:])
+    ), "required rate must not decrease with delay"
+
+    frontier_table = format_table(
+        ["delay", "min rate"],
+        [[f"{d:g}", f"{a:.3f}"] for d, a in finite],
+        title="E10b: rate/delay frontier of Pi3",
+    )
+    write_artifact("e10_design.txt", table + "\n\n" + frontier_table + "\n")
+    write_csv(output_dir / "e10_frontier.csv", ["delay", "min_rate"], finite)

@@ -1,0 +1,108 @@
+"""E11 -- messages as network tasks (Sec. 2.4, the part the example skips).
+
+The paper: "messages can simply be modeled by considering additional tasks
+that have to be executed on an abstract computing platform that models the
+network".  This bench builds the distributed variant of the sensor-fusion
+example -- the integrator reads both sensors over a shared bus -- and shows
+(a) the transform inserts request/reply message tasks in chain order,
+(b) the system analyzes end to end, and (c) removing the bus reservation
+(shrinking its share) breaks schedulability: the network is a first-class
+platform.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.components import (
+    CallStep,
+    Component,
+    EventThread,
+    PeriodicThread,
+    ProvidedMethod,
+    RequiredMethod,
+    SystemAssembly,
+    TaskStep,
+)
+from repro.platforms import LinearSupplyPlatform, Message, NetworkLinkPlatform
+from repro.viz import format_table
+
+
+def build(share: float) -> SystemAssembly:
+    sensor = Component(
+        name="SensorReading",
+        provided=[ProvidedMethod("read", mit=50.0)],
+        threads=[
+            PeriodicThread(name="poll", period=15.0, priority=2,
+                           body=[TaskStep("acquire", wcet=1.0, bcet=0.25)]),
+            EventThread(name="serve", realizes="read", priority=1,
+                        body=[TaskStep("serve_read", wcet=1.0, bcet=0.8)]),
+        ],
+    )
+    integrator = Component(
+        name="SensorIntegration",
+        required=[RequiredMethod("readSensor1", mit=50.0),
+                  RequiredMethod("readSensor2", mit=50.0)],
+        threads=[
+            PeriodicThread(
+                name="fuse", period=50.0, priority=2,
+                body=[TaskStep("init", wcet=1.0, bcet=0.8),
+                      CallStep("readSensor1"), CallStep("readSensor2"),
+                      TaskStep("compute", wcet=1.0, bcet=0.8, priority=3)],
+            )
+        ],
+    )
+    asm = SystemAssembly(name="distributed-sensor-fusion")
+    asm.add_instance("Sensor1", sensor)
+    asm.add_instance("Sensor2", sensor)
+    asm.add_instance("Integrator", integrator)
+    asm.add_platform("Pi1", LinearSupplyPlatform(0.4, 1.0, 1.0, name="Pi1"))
+    asm.add_platform("Pi2", LinearSupplyPlatform(0.4, 1.0, 1.0, name="Pi2"))
+    asm.add_platform("Pi3", LinearSupplyPlatform(0.2, 2.0, 1.0, name="Pi3"))
+    asm.add_platform("bus", NetworkLinkPlatform(
+        bandwidth=4.0, share=share, arbitration_delay=1.0,
+        frame_overhead=2.0, name="bus",
+    ))
+    asm.place("Sensor1", platform="Pi1")
+    asm.place("Sensor2", platform="Pi2")
+    asm.place("Integrator", platform="Pi3")
+    for k in (1, 2):
+        asm.bind(
+            "Integrator", f"readSensor{k}", f"Sensor{k}", "read",
+            request=Message(payload=2.0, priority=2, name=f"req{k}"),
+            reply=Message(payload=6.0, priority=2, name=f"rep{k}"),
+            network="bus",
+        )
+    return asm
+
+
+def test_network_as_platform(benchmark, write_artifact):
+    system = build(share=0.8).derive_transactions()
+
+    result = benchmark(lambda: analyze(system, trace=True))
+
+    fuse = next(tr for tr in system if "Integrator" in tr.name)
+    kinds = [t.meta.get("kind") for t in fuse.tasks]
+    assert kinds == ["code", "message", "code", "message",
+                     "message", "code", "message", "code"]
+    assert result.schedulable
+
+    rows = [
+        [t.name, "bus" if t.meta.get("kind") == "message" else f"Pi{t.platform+1}",
+         f"{t.wcet:g}", f"{result.tasks[(system.transactions.index(fuse), j)].wcrt:.2f}"]
+        for j, t in enumerate(fuse.tasks)
+    ]
+    table = format_table(
+        ["task", "platform", "cycles/bytes", "wcrt"],
+        rows,
+        title="E11: distributed sensor fusion with bus messages",
+    )
+    write_artifact("e11_network.txt", table + "\n")
+
+    # Crossover claim: starving the bus reservation breaks the deadline.
+    starving = build(share=0.07).derive_transactions()
+    starved = analyze(starving)
+    assert not starved.schedulable
+    # End-to-end response grows monotonically as the share shrinks.
+    mid = analyze(build(share=0.3).derive_transactions())
+    fuse_idx = next(i for i, tr in enumerate(system) if "Integrator" in tr.name)
+    assert mid.transaction_wcrt[fuse_idx] >= result.transaction_wcrt[fuse_idx] - 1e-9

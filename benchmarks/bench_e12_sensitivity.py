@@ -1,0 +1,44 @@
+"""E12 -- robustness of the example: scaling factors and platform slacks.
+
+Quantifies how far the paper's example is from the schedulability boundary:
+the critical WCET scaling factor, the minimum feasible rate and the maximum
+tolerable delay of each platform.  These are the quantities the Sec. 5
+future-work optimizer consumes.
+"""
+
+import math
+
+from repro.analysis import (
+    critical_scaling_factor,
+    delay_slack,
+    rate_slack,
+)
+from repro.paper import sensor_fusion_system
+from repro.viz import format_table
+
+
+def test_sensitivity(benchmark, write_artifact):
+    system = sensor_fusion_system()
+
+    factor = benchmark(lambda: critical_scaling_factor(system, tol=1e-3))
+    assert 1.0 < factor < 16.0
+
+    rows = []
+    for m, platform in enumerate(system.platforms):
+        need_rate = rate_slack(system, m, tol=1e-3)
+        max_delay = delay_slack(system, m, tol=1e-2)
+        assert need_rate <= platform.rate + 1e-6
+        assert max_delay >= platform.delay - 1e-6
+        rows.append([
+            getattr(platform, "name", f"Pi{m + 1}"),
+            f"{platform.rate:g}", f"{need_rate:.3f}",
+            f"{platform.delay:g}",
+            f"{max_delay:.2f}" if not math.isinf(max_delay) else "inf",
+        ])
+
+    table = format_table(
+        ["platform", "rate", "min rate", "delay", "max delay"],
+        rows,
+        title=f"E12: sensitivity (critical WCET scaling factor {factor:.3f})",
+    )
+    write_artifact("e12_sensitivity.txt", table + "\n")

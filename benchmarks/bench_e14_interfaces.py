@@ -1,0 +1,106 @@
+"""E14 (methodology) -- component interface generation and composition.
+
+The design flow of the cited methodology (Lipari & Bini [7]): each
+component is abstracted by its feasible (rate, delay) curve; an integrator
+composes curves on a shared processor without seeing task internals.  This
+bench generates the interfaces of the paper's two component classes and
+composes them, confirming
+
+* the curves are non-decreasing in delay and lower-bounded by utilization;
+* EDF interfaces never demand more bandwidth than FP ones;
+* the three example components fit on ONE physical processor (total
+  bandwidth < 1) -- i.e. the paper's three platform reservations are
+  realizable on a uniprocessor, which is exactly the deployment its global
+  scheduler implements.
+"""
+
+import pytest
+
+from repro.analysis.compositional import LocalTask
+from repro.opt import component_interface, compose_interfaces
+from repro.viz import format_table, write_csv
+
+DELAYS = [0.5, 1.0, 2.0, 4.0]
+
+
+def local_task_sets():
+    """Platform-local task sets of the paper example (periods as MITs)."""
+    sensor = [
+        LocalTask(wcet=1.0, period=15.0, priority=2, name="poll"),
+        LocalTask(wcet=1.0, period=50.0, priority=1, name="serve_read"),
+    ]
+    integrator = [
+        LocalTask(wcet=1.0, period=50.0, priority=2, name="init"),
+        LocalTask(wcet=1.0, period=50.0, priority=3, name="compute"),
+        LocalTask(wcet=7.0, period=70.0, priority=1, name="background"),
+    ]
+    return {"Sensor1": sensor, "Sensor2": sensor, "Integrator": integrator}
+
+
+def test_interface_generation(benchmark, output_dir, write_artifact):
+    sets = local_task_sets()
+
+    interfaces = {
+        name: component_interface(tasks, DELAYS, name=name, rate_tol=2e-3)
+        for name, tasks in sets.items()
+    }
+
+    rows = []
+    csv_rows = []
+    for name, iface in interfaces.items():
+        for p in iface.points:
+            rows.append([name, f"{p.delay:g}", f"{p.rate:.3f}"])
+            csv_rows.append([name, p.delay, p.rate])
+        rates = [p.rate for p in iface.points]
+        assert all(b >= a - 2e-3 for a, b in zip(rates, rates[1:]))
+        assert all(r >= iface.utilization - 1e-6 for r in rates)
+
+    # EDF never demands more bandwidth.
+    for name, tasks in sets.items():
+        edf = component_interface(tasks, DELAYS, scheduler="edf", rate_tol=2e-3)
+        for pe, pf in zip(edf.points, interfaces[name].points):
+            assert pe.rate <= pf.rate + 2e-3
+
+    comp = compose_interfaces(list(interfaces.values()))
+    assert comp.feasible, "the example's components must fit one processor"
+    assert comp.total_bandwidth < 1.0
+
+    table = format_table(
+        ["component", "delay", "min rate"],
+        rows,
+        title=(
+            "E14: component interfaces (FP); composition total bandwidth "
+            f"{comp.total_bandwidth:.3f} < 1"
+        ),
+    )
+    write_artifact("e14_interfaces.txt", table + "\n")
+    write_csv(output_dir / "e14_interfaces.csv",
+              ["component", "delay", "min_rate"], csv_rows)
+
+    benchmark(
+        lambda: component_interface(
+            sets["Integrator"], DELAYS, name="Integrator", rate_tol=5e-3
+        )
+    )
+
+
+def test_composition_matches_paper_provisioning(benchmark):
+    """The paper's Table 2 rates dominate the generated minimum rates."""
+    sets = local_task_sets()
+    paper_rates = {"Sensor1": 0.4, "Sensor2": 0.4, "Integrator": 0.2}
+    paper_delays = {"Sensor1": 1.0, "Sensor2": 1.0, "Integrator": 2.0}
+
+    def needed_rates():
+        return {
+            name: component_interface(
+                tasks, [paper_delays[name]], rate_tol=2e-3
+            ).points[0].rate
+            for name, tasks in sets.items()
+        }
+
+    needed = benchmark(needed_rates)
+    for name, rate in needed.items():
+        assert rate <= paper_rates[name] + 2e-3, (
+            f"{name}: paper provisions {paper_rates[name]}, interface needs "
+            f"{rate:.3f}"
+        )

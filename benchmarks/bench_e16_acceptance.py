@@ -1,0 +1,84 @@
+"""E16 (study) -- acceptance ratio vs utilization.
+
+The canonical schedulability-paper figure the 2006 paper did not have room
+for: the fraction of random systems deemed schedulable as per-platform
+utilization grows, for (a) the reduced analysis on shared platforms,
+(b) the exact analysis, and (c) the dedicated-processor upper baseline.
+
+Shape claims checked: all curves decrease with load; exact accepts at least
+as much as reduced; dedicated accepts at least as much as both.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze, analyze_dedicated
+from repro.gen import RandomSystemSpec, random_system
+from repro.viz import format_table, write_csv
+
+LEVELS = (0.3, 0.5, 0.7, 0.85, 0.95)
+SEEDS = tuple(range(12))
+
+
+def _spec(util: float) -> RandomSystemSpec:
+    return RandomSystemSpec(
+        n_platforms=2,
+        n_transactions=3,
+        tasks_per_transaction=(1, 3),
+        utilization=util,
+        delay_range=(0.0, 1.5),
+        deadline_factor=1.5,
+    )
+
+
+def test_acceptance_ratio(benchmark, output_dir, write_artifact):
+    rows = []
+    csv_rows = []
+    prev = (1.1, 1.1, 1.1)
+    for util in LEVELS:
+        accepted = {"reduced": 0, "exact": 0, "dedicated": 0}
+        for seed in SEEDS:
+            system = random_system(_spec(util), seed=seed)
+            red = analyze(system)
+            if red.schedulable:
+                accepted["reduced"] += 1
+            exa = analyze(system, config=AnalysisConfig(method="exact"))
+            if exa.schedulable:
+                accepted["exact"] += 1
+            if red.schedulable:
+                assert exa.schedulable, "exact must accept whatever reduced accepts"
+            ded = analyze_dedicated(system)
+            if ded.schedulable:
+                accepted["dedicated"] += 1
+            if exa.schedulable:
+                assert ded.schedulable, "dedicated platforms dominate shared ones"
+        n = len(SEEDS)
+        ratios = (
+            accepted["reduced"] / n,
+            accepted["exact"] / n,
+            accepted["dedicated"] / n,
+        )
+        assert ratios[0] <= ratios[1] <= ratios[2] + 1e-9
+        rows.append([f"{util:.2f}"] + [f"{r:.2f}" for r in ratios])
+        csv_rows.append([util, *ratios])
+        prev = ratios
+
+    table = format_table(
+        ["utilization", "reduced", "exact", "dedicated"],
+        rows,
+        title=f"E16: acceptance ratio over {len(SEEDS)} random systems per level",
+    )
+    write_artifact("e16_acceptance.txt", table + "\n")
+    write_csv(
+        output_dir / "e16_acceptance.csv",
+        ["utilization", "reduced", "exact", "dedicated"],
+        csv_rows,
+    )
+
+    # Monotone-ish decline: the highest load level accepts no more than the
+    # lowest for every method.
+    first = [float(x) for x in rows[0][1:]]
+    last = [float(x) for x in rows[-1][1:]]
+    for a, b in zip(last, first):
+        assert a <= b + 1e-9
+
+    benchmark(lambda: analyze(random_system(_spec(0.7), seed=0)))

@@ -1,0 +1,41 @@
+"""E1 -- Table 1: task parameters of the example with derived offsets.
+
+Regenerates the paper's Table 1 (including the phi_min column, which is the
+best-case response time of each task's predecessor) and times the full
+holistic analysis that produces it.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.paper import paper_table1_rows, render_table1, sensor_fusion_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return sensor_fusion_system()
+
+
+def test_table1_regeneration(benchmark, system, write_artifact):
+    result = benchmark(lambda: analyze(system, trace=True))
+
+    table = render_table1(system, result)
+    write_artifact("table1.txt", table + "\n")
+
+    # Every row of the published table must be reproduced.
+    rows = paper_table1_rows()
+    flat = [
+        (i, j)
+        for i, tr in enumerate(system.transactions)
+        for j in range(len(tr.tasks))
+    ]
+    assert len(flat) == len(rows)
+    for (i, j), row in zip(flat, rows):
+        task = system.transactions[i].tasks[j]
+        assert task.wcet == row["wcet"]
+        assert task.bcet == row["bcet"]
+        assert task.priority == row["priority"]
+        assert system.transactions[i].period == row["period"]
+        assert result.tasks[(i, j)].offset == pytest.approx(row["phi_min"]), (
+            f"phi_min of {row['task']}"
+        )

@@ -1,0 +1,38 @@
+"""E2 -- Table 2: platform parameters (alpha, Delta, beta).
+
+Regenerates the platform table and times the numeric triple extraction from
+an exact supply curve (the operation a designer runs when characterizing a
+concrete server as an abstract platform).
+"""
+
+import pytest
+
+from repro.opt import server_for_triple
+from repro.paper import paper_table2_rows, render_table2, sensor_fusion_system
+from repro.platforms.algebra import extract_linear_bounds, verify_linear_bounds
+
+
+def test_table2_regeneration(benchmark, write_artifact):
+    system = sensor_fusion_system()
+
+    table = render_table2(system)
+    write_artifact("table2.txt", table + "\n")
+
+    for platform, row in zip(system.platforms, paper_table2_rows()):
+        assert platform.rate == row["alpha"]
+        assert platform.delay == row["delta"]
+        assert platform.burstiness == row["beta"]
+
+    # Time the characterization pipeline: synthesize the concrete periodic
+    # server realizing Pi3's (rate, delay) and re-extract its triple
+    # numerically from the exact supply functions.
+    server = server_for_triple(0.2, 2.0)
+
+    def characterize():
+        return extract_linear_bounds(
+            server, horizon=20 * server.period, rate=server.rate
+        )
+
+    est = benchmark(characterize)
+    assert est.delay == pytest.approx(server.delay, abs=0.05)
+    assert verify_linear_bounds(server, horizon=20 * server.period)

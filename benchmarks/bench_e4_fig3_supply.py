@@ -1,0 +1,57 @@
+"""E4 -- Figure 3: min/max supply functions of a periodic server.
+
+Regenerates the figure's four curves -- Zmin, Zmax and their linear bounds
+alpha*(t - Delta) and beta + alpha*t -- as CSV + ASCII art, and checks the
+figure's visual claims: the staircase curves are sandwiched by the lines,
+touching them at the corner points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platforms.periodic_server import PeriodicServer
+from repro.viz import ascii_plot, write_csv
+
+
+def test_fig3_supply_functions(benchmark, output_dir, write_artifact):
+    # The figure is drawn for a generic (Q, P); use Q=2, P=5 so the corner
+    # structure (blackout 6, double hit 4) is clearly visible.
+    server = PeriodicServer(2.0, 5.0)
+    ts = np.linspace(0.0, 3 * server.period + server.delay, 600)
+
+    def sample():
+        return (
+            server.sample_zmin(ts),
+            server.sample_zmax(ts),
+            np.maximum(0.0, server.rate * (ts - server.delay)),
+            server.burstiness + server.rate * ts,
+        )
+
+    zmin, zmax, lower, upper = benchmark(sample)
+
+    write_csv(
+        output_dir / "fig3_supply.csv",
+        ["t", "zmin", "zmax", "alpha(t-delta)", "beta+alpha*t"],
+        np.column_stack([ts, zmin, zmax, lower, upper]).tolist(),
+    )
+    art = ascii_plot(
+        [
+            ("Zmin", ts, zmin),
+            ("Zmax", ts, zmax),
+            ("alpha(t-Delta)", ts, lower),
+            ("beta+alpha t", ts, upper),
+        ],
+        width=70,
+        height=22,
+        title=f"Figure 3: periodic server Q={server.budget:g}, P={server.period:g}",
+    )
+    write_artifact("fig3_supply.txt", art + "\n")
+
+    # Figure claims: sandwich + tight corners.
+    assert np.all(zmin <= zmax + 1e-12)
+    assert np.all(zmin >= lower - 1e-9)
+    assert np.all(zmax <= upper + 1e-9)
+    assert server.zmin(server.delay) == 0.0  # end of the blackout
+    assert server.zmax(2 * server.budget) == pytest.approx(
+        server.burstiness + server.rate * 2 * server.budget
+    )

@@ -1,0 +1,47 @@
+"""E5 -- Figure 5: the derived transaction set and task-to-platform mapping.
+
+Regenerates the figure's content -- four transactions, their task chains and
+the platform assignment -- from the component specification, and checks it
+against the mapping drawn in the paper (Pi1 = {tau_1_2, tau_2_1},
+Pi2 = {tau_1_3, tau_3_1}, Pi3 = {tau_1_1, tau_1_4, tau_4_1}).
+"""
+
+from repro.paper import sensor_fusion_system
+from repro.viz import format_table
+
+EXPECTED_MAPPING = {
+    0: {(0, 1), (1, 0)},          # Pi1
+    1: {(0, 2), (2, 0)},          # Pi2
+    2: {(0, 0), (0, 3), (3, 0)},  # Pi3
+}
+EXPECTED_PERIODS = [50.0, 15.0, 15.0, 70.0]
+
+
+def test_fig5_mapping(benchmark, write_artifact):
+    system = benchmark(sensor_fusion_system)
+
+    rows = []
+    for m in range(len(system.platforms)):
+        members = system.tasks_on(m)
+        rows.append([
+            getattr(system.platforms[m], "name", f"Pi{m+1}"),
+            f"({system.platforms[m].rate:g}, {system.platforms[m].delay:g}, "
+            f"{system.platforms[m].burstiness:g})",
+            ", ".join(f"tau_{i+1}_{j+1}" for i, j, _ in members),
+        ])
+    txn_rows = [
+        [tr.name, f"{tr.period:g}", " -> ".join(t.name.split(":")[0] for t in tr.tasks)]
+        for tr in system.transactions
+    ]
+    art = (
+        format_table(["Platform", "(a,D,b)", "Tasks"], rows,
+                     title="Figure 5: task-to-platform mapping")
+        + "\n\n"
+        + format_table(["Transaction", "T", "Chain"], txn_rows)
+    )
+    write_artifact("fig5_mapping.txt", art + "\n")
+
+    for m, expected in EXPECTED_MAPPING.items():
+        got = {(i, j) for i, j, _ in system.tasks_on(m)}
+        assert got == expected, f"platform {m} mapping"
+    assert [tr.period for tr in system.transactions] == EXPECTED_PERIODS

@@ -1,0 +1,97 @@
+"""E7 -- Eq. 12: scenario explosion, exact vs reduced analysis.
+
+The paper motivates the reduced analysis by the scenario count of the exact
+one (Eq. 12).  This bench regenerates that comparison quantitatively:
+scenario counts and wall-clock time of both methods on systems of growing
+size, confirming the exponential/linear split and that the reduced bound
+stays above the exact one.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import (
+    count_scenarios_exact,
+    count_scenarios_reduced,
+    response_time_exact,
+    response_time_reduced,
+)
+from repro.analysis.interfaces import AnalysisConfig
+from repro.gen import RandomSystemSpec, random_system
+from repro.viz import format_table, write_csv
+
+
+def jittered_system(n_transactions, seed=1):
+    spec = RandomSystemSpec(
+        n_platforms=1,               # everything interferes -> worst case
+        n_transactions=n_transactions,
+        tasks_per_transaction=(2, 2),
+        utilization=0.4,
+        delay_range=(0.0, 1.0),
+    )
+    system = random_system(spec, seed=seed)
+    for tr in system.transactions:
+        for k, t in enumerate(tr.tasks):
+            t.jitter = 1.5 * k
+            t.offset = 0.5 * k
+    # Make the analyzed task (last task of the last transaction) the lowest
+    # priority in the system so *every* other task interferes: the scenario
+    # product of Eq. 12 is then 2^(n-1) times the own-transaction candidates.
+    system.transactions[-1].tasks[-1].priority = 0
+    return system
+
+
+def test_scenario_explosion(benchmark, output_dir, write_artifact):
+    sizes = [2, 3, 4, 5, 6]
+    rows = []
+    csv_rows = []
+    for n in sizes:
+        system = jittered_system(n)
+        a, b = n - 1, 1  # analyze the last task of the last transaction
+        n_exact = count_scenarios_exact(system, a, b)
+        n_reduced = count_scenarios_reduced(system, a, b)
+
+        t0 = time.perf_counter()
+        r_exact = response_time_exact(
+            system, a, b, config=AnalysisConfig(max_exact_scenarios=10**7)
+        ).wcrt
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        r_reduced = response_time_reduced(system, a, b).wcrt
+        t_reduced = time.perf_counter() - t0
+
+        assert r_reduced >= r_exact - 1e-9
+        rows.append([
+            str(n), str(n_exact), str(n_reduced),
+            f"{t_exact * 1e3:.2f}", f"{t_reduced * 1e3:.2f}",
+            f"{r_exact:.2f}", f"{r_reduced:.2f}",
+        ])
+        csv_rows.append([n, n_exact, n_reduced, t_exact, t_reduced,
+                         r_exact, r_reduced])
+
+    table = format_table(
+        ["txns", "scen(exact)", "scen(reduced)", "ms(exact)", "ms(reduced)",
+         "R(exact)", "R(reduced)"],
+        rows,
+        title="E7: scenario counts and runtimes (Eq. 12)",
+    )
+    write_artifact("e7_scenarios.txt", table + "\n")
+    write_csv(
+        output_dir / "e7_scenarios.csv",
+        ["transactions", "scenarios_exact", "scenarios_reduced",
+         "time_exact_s", "time_reduced_s", "wcrt_exact", "wcrt_reduced"],
+        csv_rows,
+    )
+
+    # Shape claims: exact scenario count grows (geometrically in the number
+    # of interfering transactions); reduced count stays flat and small.
+    exact_counts = [int(r[1]) for r in rows]
+    reduced_counts = [int(r[2]) for r in rows]
+    assert exact_counts == sorted(exact_counts)
+    assert exact_counts[-1] > 8 * reduced_counts[-1]
+    assert max(reduced_counts) <= 3
+
+    # Time the reduced analysis on the largest instance.
+    largest = jittered_system(sizes[-1])
+    benchmark(lambda: response_time_reduced(largest, sizes[-1] - 1, 1))

@@ -1,0 +1,73 @@
+"""E8 -- soundness and tightness: analysis vs discrete-event simulation.
+
+For the paper example and a batch of random systems, every observed response
+time must stay below the analytic bound (soundness); the tightness ratios
+quantify the pessimism of the linear supply abstraction the paper warns
+about at the end of Sec. 2.3.
+"""
+
+import numpy as np
+
+from repro.gen import RandomSystemSpec, random_system
+from repro.paper import sensor_fusion_system
+from repro.sim import SimulationConfig, simulate, validate_against_analysis
+from repro.viz import format_table, write_csv
+
+
+def test_sim_vs_analysis(benchmark, output_dir, write_artifact):
+    rows = []
+    csv_rows = []
+
+    def record(label, system, report):
+        ratios = [
+            report.tightness(*key)
+            for key in report.bound
+            if report.bound[key] not in (0.0, float("inf"))
+        ]
+        rows.append([
+            label, str(system.total_tasks()), str(report.runs),
+            str(report.sound),
+            f"{float(np.median(ratios)):.2f}", f"{max(ratios):.2f}",
+        ])
+        csv_rows.append([
+            label, system.total_tasks(), report.runs, int(report.sound),
+            float(np.median(ratios)), float(max(ratios)),
+        ])
+        assert report.sound, f"{label}: {report.violations}"
+
+    paper = sensor_fusion_system()
+    record(
+        "paper-example", paper,
+        validate_against_analysis(paper, horizon=3000.0, seeds=(0, 1)),
+    )
+    for seed in range(3):
+        spec = RandomSystemSpec(
+            n_platforms=2, n_transactions=3, tasks_per_transaction=(1, 3),
+            utilization=0.45, delay_range=(0.0, 2.0),
+        )
+        system = random_system(spec, seed=seed)
+        record(
+            f"random-{seed}", system,
+            validate_against_analysis(
+                system, seeds=(seed,), placements=("late", "random"),
+                release_modes=("synchronous",),
+                horizon=50.0 * max(tr.period for tr in system.transactions),
+            ),
+        )
+
+    table = format_table(
+        ["workload", "tasks", "runs", "sound", "tightness p50", "tightness max"],
+        rows,
+        title="E8: analysis bounds vs observed responses",
+    )
+    write_artifact("e8_sim_vs_analysis.txt", table + "\n")
+    write_csv(
+        output_dir / "e8_sim_vs_analysis.csv",
+        ["workload", "tasks", "runs", "sound", "tightness_p50", "tightness_max"],
+        csv_rows,
+    )
+
+    # Benchmark one representative simulation run.
+    benchmark(
+        lambda: simulate(paper, config=SimulationConfig(horizon=1000.0, seed=0))
+    )

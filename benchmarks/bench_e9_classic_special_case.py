@@ -1,0 +1,64 @@
+"""E9 -- the classical special case: (alpha, Delta, beta) = (1, 0, 0).
+
+End of Sec. 2.3: with the identity triple the model degenerates to "a
+processor used at its full capacity".  This bench verifies the degeneration
+quantitatively: on dedicated platforms our generalized analysis coincides
+with textbook fixed-priority RTA, and the shared-platform analysis is
+consistently more pessimistic (never less).
+"""
+
+import pytest
+
+from repro.analysis import analyze, analyze_dedicated, rta_independent
+from repro.analysis.classic import IndependentTask
+from repro.gen import RandomSystemSpec, random_system
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.paper import sensor_fusion_system
+from repro.platforms.linear import DedicatedPlatform
+from repro.viz import format_table
+
+
+def test_classic_special_case(benchmark, write_artifact):
+    # 1) textbook agreement on independent task sets.
+    specs = [(1.0, 5.0, 4), (1.5, 8.0, 3), (2.0, 14.0, 2), (2.5, 33.0, 1)]
+    txns = [
+        Transaction(period=p, tasks=[Task(wcet=c, platform=0, priority=prio)],
+                    name=f"G{k}")
+        for k, (c, p, prio) in enumerate(specs)
+    ]
+    system = TransactionSystem(transactions=txns, platforms=[DedicatedPlatform()])
+    ours = analyze(system).transaction_wcrt
+    textbook = rta_independent([
+        IndependentTask(wcet=c, period=p, deadline=p, priority=prio)
+        for c, p, prio in specs
+    ])
+    assert ours == pytest.approx(textbook)
+
+    # 2) dedicated vs shared on the paper example: dedication dominates.
+    paper = sensor_fusion_system()
+    shared = analyze(paper)
+    dedicated = analyze_dedicated(paper)
+    rows = []
+    for key in sorted(shared.tasks):
+        s, d = shared.tasks[key].wcrt, dedicated.tasks[key].wcrt
+        assert d <= s + 1e-9
+        rows.append([str(key), f"{d:.2f}", f"{s:.2f}", f"{s / d:.2f}"])
+    table = format_table(
+        ["task", "R dedicated", "R shared", "sharing cost"],
+        rows,
+        title="E9: dedicated (1,0,0) vs shared abstract platforms",
+    )
+    write_artifact("e9_classic.txt", table + "\n")
+
+    # 3) random systems: the dedicated analysis is the optimistic baseline.
+    for seed in range(3):
+        rnd = random_system(RandomSystemSpec(utilization=0.4), seed=seed)
+        rs = analyze(rnd)
+        rd = analyze_dedicated(rnd)
+        for key in rs.tasks:
+            if rs.tasks[key].wcrt != float("inf"):
+                assert rd.tasks[key].wcrt <= rs.tasks[key].wcrt + 1e-9
+
+    benchmark(lambda: analyze_dedicated(paper))

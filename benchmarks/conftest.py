@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (see the
+per-experiment index in DESIGN.md) and
+
+* asserts the regenerated content against the expected shape,
+* writes the artifact under ``benchmarks/output/`` (text and/or CSV),
+* times the computation via pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(output_dir):
+    """Write a text artifact and echo its path."""
+
+    def _write(name: str, content: str) -> Path:
+        path = output_dir / name
+        path.write_text(content)
+        return path
+
+    return _write

@@ -1,0 +1,63 @@
+"""A complete component-marketplace workflow on a curated preset.
+
+The scenario the paper's introduction motivates: reusable components are
+shipped as specifications, integrated by a third party, dimensioned, and
+certified -- all without touching component internals.
+
+1. load the automotive-cluster preset (3 ECUs + CAN bus);
+2. persist the assembly to JSON and reload it (the "marketplace" artifact);
+3. validate + derive the transaction system (Sec. 2.4);
+4. produce the certification report (analysis + verdicts);
+5. dimension cheaper ECU reservations while staying schedulable;
+6. render a Gantt chart of the executing system.
+
+Run:  python examples/component_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import text_report
+from repro.gen import automotive_cluster
+from repro.io import load_assembly, save_assembly
+from repro.opt import minimize_bandwidth
+from repro.sim import SimulationConfig, simulate
+from repro.viz import render_gantt
+
+workdir = Path(tempfile.mkdtemp(prefix="repro-workflow-"))
+
+# --- 1-2: the marketplace artifact --------------------------------------------
+assembly = automotive_cluster()
+spec_path = save_assembly(assembly, workdir / "cluster.json")
+print(f"assembly specification written to {spec_path}")
+assembly = load_assembly(spec_path)
+
+problems = assembly.validate()
+print(f"validation: {len(problems)} problem(s)")
+for p in problems:
+    print("  ", p)
+
+# --- 3: derive -----------------------------------------------------------------
+system = assembly.derive_transactions()
+print(f"\nderived: {len(system.transactions)} transactions, "
+      f"{system.total_tasks()} tasks, {len(system.platforms)} platforms")
+
+# --- 4: certification report ------------------------------------------------------
+print()
+print(text_report(system))
+
+# --- 5: dimensioning ---------------------------------------------------------------
+design = minimize_bandwidth(system, rate_tol=5e-3)
+print(f"\ndimensioning: total ECU+bus bandwidth "
+      f"{design.initial_bandwidth:.3f} -> {design.total_bandwidth:.3f} "
+      f"({design.savings:.1%} saved), still schedulable = {design.feasible}")
+
+# --- 6: watch it run ----------------------------------------------------------------
+trace = simulate(
+    system,
+    config=SimulationConfig(horizon=120.0, record_intervals=True, seed=0),
+)
+print()
+print(render_gantt(system, trace, end=120.0, width=80))
+print(f"\nobserved end-to-end maxima: "
+      f"{ {i: round(r, 2) for i, r in trace.observed_end_to_end().items()} }")

@@ -1,0 +1,148 @@
+"""A distributed control pipeline with RPC messages on a shared bus.
+
+Demonstrates the part of Sec. 2.4 the paper's own example skips: when caller
+and callee live on different nodes, each synchronous call contributes a
+request and a reply message scheduled on a network platform ("the network is
+similar to a computational node").
+
+Topology: a Controller node samples a remote IO node every 20 ms over a
+CAN-like bus (125 kbit/s ~ 15.6 bytes/ms) and actuates locally; a Logger
+node shares the same bus with lower-priority telemetry.
+
+Run:  python examples/distributed_pipeline.py
+"""
+
+from repro import SystemAssembly, analyze
+from repro.components import (
+    CallStep,
+    Component,
+    EventThread,
+    PeriodicThread,
+    ProvidedMethod,
+    RequiredMethod,
+    TaskStep,
+)
+from repro.platforms import (
+    LinearSupplyPlatform,
+    Message,
+    NetworkLinkPlatform,
+)
+from repro.sim import validate_against_analysis
+
+# --- components ---------------------------------------------------------------
+# The sampler serves two clients: the 20 ms control loop plus the 100 ms
+# telemetry -- an aggregate rate of 0.06 calls/ms, so the provided MIT must
+# be at most 1/0.06 ~ 16.6 ms (the assembly validator enforces this).
+io_node = Component(
+    name="RemoteIO",
+    provided=[ProvidedMethod("sample", mit=15.0)],
+    threads=[
+        EventThread(
+            name="sampler",
+            realizes="sample",
+            priority=2,
+            body=[TaskStep("adc_read", wcet=1.2, bcet=0.6)],
+        )
+    ],
+)
+
+controller = Component(
+    name="Controller",
+    required=[RequiredMethod("io", mit=20.0)],
+    threads=[
+        PeriodicThread(
+            name="loop",
+            period=20.0,
+            deadline=20.0,
+            priority=3,
+            body=[
+                TaskStep("precompute", wcet=0.8, bcet=0.4),
+                CallStep("io"),
+                TaskStep("control_law", wcet=2.0, bcet=1.0),
+                TaskStep("actuate", wcet=0.5, bcet=0.3),
+            ],
+        )
+    ],
+)
+
+logger = Component(
+    name="Logger",
+    required=[RequiredMethod("io", mit=100.0)],
+    threads=[
+        PeriodicThread(
+            name="telemetry",
+            period=100.0,
+            deadline=100.0,
+            priority=1,
+            body=[CallStep("io"), TaskStep("store", wcet=4.0, bcet=2.0)],
+        )
+    ],
+)
+
+# --- assembly -----------------------------------------------------------------
+asm = SystemAssembly(name="distributed-pipeline")
+asm.add_instance("IO", io_node)
+asm.add_instance("Ctrl", controller)
+asm.add_instance("Log", logger)
+
+# Abstract CPU shares (one per node) and the bus as a platform.  The bus
+# carries 15.6 bytes per ms; the synchronous window gives control traffic
+# 70% of it, with a worst-case arbitration delay of one max frame (~0.9 ms).
+asm.add_platform("cpu.io", LinearSupplyPlatform(0.5, 1.0, 0.0, name="cpu.io"))
+asm.add_platform("cpu.ctrl", LinearSupplyPlatform(0.6, 0.5, 0.0, name="cpu.ctrl"))
+asm.add_platform("cpu.log", LinearSupplyPlatform(0.3, 2.0, 0.0, name="cpu.log"))
+asm.add_platform(
+    "bus",
+    NetworkLinkPlatform(
+        bandwidth=15.6,            # bytes per ms
+        share=0.7,
+        arbitration_delay=0.9,     # one maximal frame
+        frame_overhead=6.0,        # CAN header+CRC bytes
+        name="bus",
+    ),
+)
+asm.place("IO", platform="cpu.io")
+asm.place("Ctrl", platform="cpu.ctrl")
+asm.place("Log", platform="cpu.log")
+
+asm.bind(
+    "Ctrl", "io", "IO", "sample",
+    request=Message(payload=2.0, priority=5, name="ctrl.req"),
+    reply=Message(payload=8.0, priority=5, name="ctrl.rep"),
+    network="bus",
+)
+asm.bind(
+    "Log", "io", "IO", "sample",
+    request=Message(payload=2.0, priority=1, name="log.req"),
+    reply=Message(payload=8.0, priority=1, name="log.rep"),
+    network="bus",
+)
+
+# --- derive, analyze, validate ---------------------------------------------------
+system = asm.derive_transactions()
+print("derived transactions:")
+for tr in system:
+    chain = " -> ".join(
+        f"{t.name}[{'net' if t.meta.get('kind') == 'message' else 'cpu'}]"
+        for t in tr.tasks
+    )
+    print(f"  {tr.name} (T={tr.period:g}): {chain}")
+
+result = analyze(system, trace=True)
+print(f"\nschedulable: {result.schedulable} "
+      f"({result.outer_iterations} outer iterations)")
+for i, tr in enumerate(system):
+    print(f"  {tr.name}: end-to-end R = {result.transaction_wcrt[i]:.2f} ms, "
+          f"D = {tr.deadline:g} ms, slack = {result.slack(i):.2f} ms")
+
+bus_index = 3
+bus_util = system.utilization(bus_index)
+print(f"\nbus utilization (of the reserved window): {bus_util:.1%}")
+
+report = validate_against_analysis(system, horizon=4000.0, seeds=(0,))
+print(f"simulation validation: sound = {report.sound} over {report.runs} runs")
+e2e = report.analysis.transaction_wcrt if report.analysis else []
+for i, tr in enumerate(system):
+    last = len(tr.tasks) - 1
+    print(f"  {tr.name}: observed {report.observed.get((i, last), 0.0):.2f} "
+          f"<= bound {report.bound[(i, last)]:.2f}")

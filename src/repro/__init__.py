@@ -1,0 +1,67 @@
+"""repro -- hierarchical scheduling for component-based real-time systems.
+
+A complete, from-scratch reproduction of
+
+    J.L. Lorente, G. Lipari, E. Bini,
+    "A Hierarchical Scheduling Model for Component-Based Real-Time Systems",
+    IPDPS/WPDRTS 2006.
+
+The library provides the paper's component model, abstract computing
+platforms with supply-function algebra, the component-to-transaction
+transform, the generalized holistic schedulability analysis (exact and
+reduced), a discrete-event simulator for validation, workload generators,
+and the platform-parameter optimization sketched as future work.
+
+Quickstart
+----------
+>>> import repro
+>>> system = repro.paper.sensor_fusion_system()
+>>> result = repro.analyze(system, trace=True)
+>>> result.schedulable
+True
+>>> round(result.wcrt(0, 3), 3)   # end-to-end response of Gamma_1
+31.0
+"""
+
+from repro import analysis, components, gen, io, model, opt, platforms, sim, util, viz
+from repro import paper
+from repro.analysis import AnalysisConfig, SystemAnalysis, analyze, is_schedulable
+from repro.components import Component, SystemAssembly
+from repro.model import Task, Transaction, TransactionSystem
+from repro.platforms import (
+    DedicatedPlatform,
+    LinearSupplyPlatform,
+    PeriodicServer,
+)
+from repro.sim import simulate, validate_against_analysis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "components",
+    "gen",
+    "io",
+    "model",
+    "opt",
+    "platforms",
+    "sim",
+    "util",
+    "viz",
+    "paper",
+    "Component",
+    "SystemAssembly",
+    "simulate",
+    "validate_against_analysis",
+    "AnalysisConfig",
+    "SystemAnalysis",
+    "analyze",
+    "is_schedulable",
+    "Task",
+    "Transaction",
+    "TransactionSystem",
+    "DedicatedPlatform",
+    "LinearSupplyPlatform",
+    "PeriodicServer",
+    "__version__",
+]

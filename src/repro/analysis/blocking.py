@@ -1,0 +1,163 @@
+"""Blocking terms from shared resources (filling the paper's :math:`B_{a,b}`).
+
+Eq. 13 of the paper carries a blocking term :math:`B_{a,b}` without
+computing it.  This module computes it for the two classical protocols on
+*local* (per-platform) resources under fixed priorities:
+
+* **SRP/PCP-style ceiling blocking** (:func:`assign_ceiling_blocking`):
+  a task can be blocked at most once, by the longest critical section of a
+  lower-priority task on the same platform accessing a resource whose
+  ceiling is at least the task's priority;
+* **non-preemptive sections** (:func:`assign_nonpreemptive_blocking`):
+  every task is blocked by the longest lower-priority section on its
+  platform (the degenerate case where every resource's ceiling is the
+  maximum).
+
+Critical-section durations are given in *cycles* and scaled by the platform
+rate like any other demand.  The computed terms are written into each
+task's ``blocking`` field, where the response-time analyses already consume
+them (Eq. 13/16).
+
+Resources are local to a platform by construction -- the paper's components
+do not share memory across platforms (they interact by RPC only), so a
+resource spanning two platforms is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.system import TransactionSystem
+
+__all__ = [
+    "CriticalSection",
+    "ResourceSpec",
+    "assign_ceiling_blocking",
+    "assign_nonpreemptive_blocking",
+    "resource_ceilings",
+]
+
+
+@dataclass(frozen=True)
+class CriticalSection:
+    """One access: task ``(txn, idx)`` holds *resource* for *duration* cycles."""
+
+    txn: int
+    idx: int
+    resource: str
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(
+                f"critical section on {self.resource!r} must have positive "
+                f"duration, got {self.duration!r}"
+            )
+
+
+@dataclass
+class ResourceSpec:
+    """The set of critical sections of a system."""
+
+    sections: list[CriticalSection] = field(default_factory=list)
+
+    def add(self, txn: int, idx: int, resource: str, duration: float) -> "ResourceSpec":
+        """Append one access (chainable)."""
+        self.sections.append(CriticalSection(txn, idx, resource, duration))
+        return self
+
+    def validate(self, system: TransactionSystem) -> None:
+        """Check indices and platform-locality of every resource."""
+        resource_platform: dict[str, int] = {}
+        for cs in self.sections:
+            if cs.txn >= len(system.transactions):
+                raise ValueError(f"critical section references transaction {cs.txn}")
+            txn = system.transactions[cs.txn]
+            if cs.idx >= len(txn.tasks):
+                raise ValueError(
+                    f"critical section references task ({cs.txn},{cs.idx})"
+                )
+            task = txn.tasks[cs.idx]
+            if task.wcet < cs.duration - 1e-12:
+                raise ValueError(
+                    f"critical section on {cs.resource!r} ({cs.duration}) exceeds "
+                    f"the wcet of task ({cs.txn},{cs.idx}) ({task.wcet})"
+                )
+            seen = resource_platform.setdefault(cs.resource, task.platform)
+            if seen != task.platform:
+                raise ValueError(
+                    f"resource {cs.resource!r} is accessed from platforms "
+                    f"{seen} and {task.platform}; cross-platform sharing is "
+                    "not part of the model (components interact by RPC)"
+                )
+
+
+def resource_ceilings(
+    spec: ResourceSpec, system: TransactionSystem
+) -> dict[str, int]:
+    """Priority ceiling of each resource: max priority of any accessor."""
+    ceilings: dict[str, int] = {}
+    for cs in spec.sections:
+        prio = system.transactions[cs.txn].tasks[cs.idx].priority
+        ceilings[cs.resource] = max(ceilings.get(cs.resource, prio), prio)
+    return ceilings
+
+
+def assign_ceiling_blocking(
+    system: TransactionSystem, spec: ResourceSpec
+) -> TransactionSystem:
+    """Set each task's ``blocking`` to its SRP/PCP bound (in place).
+
+    :math:`B_{a,b} = \\max\\{ \\mathrm{duration}(cs)/\\alpha :
+    cs` held by a lower-priority task on the same platform with
+    :math:`\\mathrm{ceiling}(cs.resource) \\ge p_{a,b}\\}` -- the classical
+    "blocked at most once, by one critical section" bound.
+    """
+    spec.validate(system)
+    ceilings = resource_ceilings(spec, system)
+    for i, tr in enumerate(system.transactions):
+        for j, task in enumerate(tr.tasks):
+            alpha = system.platforms[task.platform].rate
+            worst = 0.0
+            for cs in spec.sections:
+                holder = system.transactions[cs.txn].tasks[cs.idx]
+                if holder.platform != task.platform:
+                    continue
+                if (i, j) == (cs.txn, cs.idx):
+                    continue
+                if holder.priority >= task.priority:
+                    continue  # only lower-priority holders block
+                if ceilings[cs.resource] >= task.priority:
+                    worst = max(worst, cs.duration / alpha)
+            task.blocking = worst
+    return system
+
+
+def assign_nonpreemptive_blocking(
+    system: TransactionSystem, durations: dict[tuple[int, int], float]
+) -> TransactionSystem:
+    """Blocking when tasks end with non-preemptable sections (in place).
+
+    ``durations[(i, j)]`` is the longest non-preemptable section of task
+    ``(i, j)`` in cycles.  Every task is blocked by the longest section of
+    any lower-priority task on its platform.
+    """
+    for (i, j), d in durations.items():
+        task = system.transactions[i].tasks[j]
+        if d < 0 or d > task.wcet + 1e-12:
+            raise ValueError(
+                f"non-preemptable section of task ({i},{j}) must lie in "
+                f"[0, wcet], got {d!r}"
+            )
+    for i, tr in enumerate(system.transactions):
+        for j, task in enumerate(tr.tasks):
+            alpha = system.platforms[task.platform].rate
+            worst = 0.0
+            for (bi, bj), d in durations.items():
+                holder = system.transactions[bi].tasks[bj]
+                if holder.platform != task.platform or (bi, bj) == (i, j):
+                    continue
+                if holder.priority < task.priority:
+                    worst = max(worst, d / alpha)
+            task.blocking = worst
+    return system

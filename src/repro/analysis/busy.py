@@ -1,0 +1,203 @@
+"""Interference machinery: phases and W functions (Eqs. 7-11, 15, 17).
+
+Everything here operates on *views*: per analyzed task
+:math:`\\tau_{a,b}`, the system is projected onto the task's platform
+(Eq. 17 -- only tasks with ``priority >= p(a,b)`` *and* the same platform
+interfere) with execution times pre-scaled by the platform rate
+:math:`1/\\alpha` (Sec. 3.1).  The projection is done once per response-time
+query; the inner fixed-point iterations then touch only small flat lists.
+
+Conventions pinned by hand-verification against the paper's Table 3 (see
+DESIGN.md Section 4):
+
+* offsets are reduced modulo the transaction period;
+* phases :math:`\\varphi` live in the half-open set ``(0, T]`` -- an exact
+  multiple maps to ``T``, not ``0``;
+* for ``t >= 0`` the bracket of Eq. 8 is never negative, but it is clamped
+  to zero anyway for numerical robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.system import TransactionSystem
+from repro.util.math import ceil_div, floor_div, fmod_pos, phase_in_period
+
+__all__ = [
+    "HPTask",
+    "TransactionView",
+    "AnalyzedTask",
+    "build_views",
+    "phase",
+    "w_task",
+    "w_transaction_k",
+    "w_transaction_star",
+]
+
+
+@dataclass(frozen=True)
+class HPTask:
+    """A higher-priority task projected onto the analyzed platform.
+
+    ``phi`` is the reduced offset, ``jitter`` the current jitter and
+    ``cost`` the execution time already scaled by the analyzed platform's
+    rate (:math:`C_{i,j}/\\alpha`).
+    """
+
+    phi: float
+    jitter: float
+    cost: float
+    index: int  # task index within its transaction, for reporting
+
+
+@dataclass(frozen=True)
+class TransactionView:
+    """One transaction as seen from the analyzed task (Eq. 17 projection)."""
+
+    period: float
+    tasks: tuple[HPTask, ...]
+    index: int  # transaction index within the system, for reporting
+
+
+@dataclass(frozen=True)
+class AnalyzedTask:
+    """The task under analysis with its platform parameters resolved."""
+
+    txn: int
+    idx: int
+    period: float
+    deadline: float
+    phi: float  # reduced offset
+    jitter: float
+    cost: float  # C / alpha
+    blocking: float
+    delay: float  # platform Delta
+    priority: int
+    platform: int
+
+
+def build_views(
+    system: TransactionSystem, a: int, b: int
+) -> tuple[AnalyzedTask, TransactionView, list[TransactionView]]:
+    """Project *system* onto the platform of task ``(a, b)``.
+
+    Returns ``(analyzed, own, others)`` where ``own`` is the view of the
+    analyzed task's transaction (the set :math:`hp_a(\\tau_{a,b})`,
+    excluding the task itself) and ``others`` the views of every other
+    transaction with a non-empty interfering set.
+    """
+    txn = system.transactions[a]
+    task = txn.tasks[b]
+    platform = system.platforms[task.platform]
+    alpha = platform.rate
+
+    analyzed = AnalyzedTask(
+        txn=a,
+        idx=b,
+        period=txn.period,
+        deadline=float(txn.deadline),
+        phi=fmod_pos(task.offset, txn.period),
+        jitter=task.jitter,
+        cost=task.wcet / alpha,
+        blocking=task.blocking,
+        delay=platform.delay,
+        priority=task.priority,
+        platform=task.platform,
+    )
+
+    def hp_view(i: int) -> TransactionView:
+        tr = system.transactions[i]
+        hp: list[HPTask] = []
+        for j, t in enumerate(tr.tasks):
+            if i == a and j == b:
+                continue  # the analyzed task's own jobs enter via (p - p0 + 1)C
+            if t.platform == task.platform and t.priority >= task.priority:
+                hp.append(
+                    HPTask(
+                        phi=fmod_pos(t.offset, tr.period),
+                        jitter=t.jitter,
+                        cost=t.wcet / alpha,
+                        index=j,
+                    )
+                )
+        return TransactionView(period=tr.period, tasks=tuple(hp), index=i)
+
+    own = hp_view(a)
+    others = [
+        view
+        for i in range(len(system.transactions))
+        if i != a and (view := hp_view(i)).tasks
+    ]
+    return analyzed, own, others
+
+
+def phase(starter_phi: float, starter_jitter: float, phi_j: float, period: float) -> float:
+    """Phase :math:`\\varphi^k_{i,j}` of Eq. 10, in ``(0, T]``.
+
+    *starter* is the task :math:`\\tau_{i,k}` whose maximally-delayed
+    activation coincides with the start of the busy period; the returned
+    phase is the first activation of :math:`\\tau_{i,j}` after that instant.
+    """
+    return phase_in_period(starter_phi + starter_jitter - phi_j, period)
+
+
+def w_task(phi_k_j: float, jitter_j: float, cost_j: float, period: float, t: float) -> float:
+    """Contribution :math:`W_{i,j}` of one interfering task (Eq. 8).
+
+    ``phi_k_j`` is the task's phase for the current scenario; ``cost_j`` is
+    already rate-scaled.  The first term counts jobs whose jittered
+    activation collapses onto the busy-period start; the second counts
+    periodic arrivals inside ``[0, t)``.
+    """
+    jobs = floor_div(jitter_j + phi_k_j, period) + ceil_div(t - phi_k_j, period)
+    return max(0, jobs) * cost_j
+
+
+def w_transaction_k(view: TransactionView, starter: HPTask | None, t: float,
+                    starter_phi: float | None = None,
+                    starter_jitter: float | None = None) -> float:
+    """Contribution :math:`W^k_i` of a whole transaction (Eq. 11).
+
+    The busy period is assumed to start with the maximally-delayed
+    activation of *starter*.  The starter may be a task that is **not** in
+    the view (the analyzed task itself starting its own transaction's
+    scenario); pass its reduced offset and jitter explicitly in that case.
+    """
+    if starter is not None:
+        s_phi, s_jit = starter.phi, starter.jitter
+    else:
+        if starter_phi is None or starter_jitter is None:
+            raise ValueError("either starter or (starter_phi, starter_jitter) required")
+        s_phi, s_jit = starter_phi, starter_jitter
+    total = 0.0
+    for hp in view.tasks:
+        ph = phase(s_phi, s_jit, hp.phi, view.period)
+        total += w_task(ph, hp.jitter, hp.cost, view.period, t)
+    return total
+
+
+def w_transaction_star(view: TransactionView, t: float) -> float:
+    """Tindell's upper bound :math:`W^*_i` (Eq. 15): max over starters.
+
+    Evaluated lazily per *t*; note that the maximizing starter may change
+    with *t*, which is exactly why :math:`W^*_i(t)` remains an upper bound
+    (it dominates every individual :math:`W^k_i`).
+    """
+    best = 0.0
+    for starter in view.tasks:
+        best = max(best, w_transaction_k(view, starter, t))
+    return best
+
+
+def starter_phase_of_analyzed(
+    analyzed: AnalyzedTask, starter: HPTask | None
+) -> float:
+    """Phase :math:`\\varphi^{\\nu(a)}_{a,b}` of the analyzed task itself.
+
+    When the analyzed task starts its own busy period (*starter* ``None``)
+    its phase is the full period (Eq. 10 with ``k = (a,b)``).
+    """
+    if starter is None:
+        return phase(analyzed.phi, analyzed.jitter, analyzed.phi, analyzed.period)
+    return phase(starter.phi, starter.jitter, analyzed.phi, analyzed.period)

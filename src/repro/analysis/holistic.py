@@ -1,0 +1,200 @@
+"""The dynamic-offset outer fixed point (paper Sec. 3.2).
+
+Tasks of a transaction are released by the completion of their predecessor,
+so their offsets and jitters are not free parameters: Eq. 18 ties them to
+the predecessor's best/worst-case response times,
+
+.. math:: \\phi_{i,j} = R^{best}_{i,j-1}, \\qquad
+          J_{i,j} = R_{i,j-1} - R^{best}_{i,j-1}.
+
+The "static offset" analyses of Sec. 3.1 are iterated at a higher level:
+starting from :math:`J_{i,j} = 0`, each round recomputes every response time
+with the current jitters and then refreshes the jitters from the new
+responses (a Jacobi iteration -- exactly the scheme whose trace the paper
+reports in Table 3).  Monotonicity of response times in the jitters
+guarantees convergence to the least fixed point when the busy periods close.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.bestcase import best_case_response_times
+from repro.analysis.interfaces import (
+    AnalysisConfig,
+    IterationRow,
+    SystemAnalysis,
+    TaskAnalysis,
+    UNSCHEDULABLE,
+)
+from repro.analysis.reduced import response_time_reduced
+from repro.analysis.static_offsets import response_time_exact
+from repro.model.system import TransactionSystem
+from repro.model.transaction import Transaction
+
+__all__ = ["holistic_analysis"]
+
+
+def _clone(system: TransactionSystem) -> TransactionSystem:
+    """Deep-copy transactions (tasks included) so the input stays pristine."""
+    return TransactionSystem(
+        transactions=[
+            Transaction(
+                period=tr.period,
+                deadline=tr.deadline,
+                name=tr.name,
+                meta=dict(tr.meta),
+                tasks=[t.with_updates() for t in tr.tasks],
+            )
+            for tr in system.transactions
+        ],
+        platforms=list(system.platforms),
+        name=system.name,
+        meta=dict(system.meta),
+    )
+
+
+def holistic_analysis(
+    system: TransactionSystem,
+    *,
+    config: AnalysisConfig | None = None,
+    trace: bool = True,
+) -> SystemAnalysis:
+    """Run the full dynamic-offset analysis on *system*.
+
+    Parameters
+    ----------
+    system:
+        The transaction system.  Offsets/jitters of non-first tasks are
+        *derived* (Eq. 18) and any input values for them are ignored; the
+        first task of each transaction keeps its input offset and jitter.
+    config:
+        Analysis knobs; defaults to the reduced method with the paper's
+        simple best-case bound.
+    trace:
+        Record the per-iteration ``(J, R)`` table (Table 3 of the paper).
+
+    Returns
+    -------
+    SystemAnalysis
+        Final response times, verdict, and (optionally) the iteration trace.
+    """
+    config = config or AnalysisConfig()
+    work = _clone(system)
+    n_txn = len(work.transactions)
+
+    best = best_case_response_times(work, method=config.best_case)
+
+    # Initial state: phi_{i,j} = Rbest_{i,j-1}, J = 0 (paper Sec. 3.2).
+    for i, tr in enumerate(work.transactions):
+        for j in range(1, len(tr.tasks)):
+            tr.tasks[j].offset = best[(i, j - 1)]
+            tr.tasks[j].jitter = 0.0
+
+    def compute_one(i: int, j: int) -> float:
+        if math.isinf(work.transactions[i].tasks[j].jitter):
+            return UNSCHEDULABLE
+        if config.method == "exact":
+            return response_time_exact(work, i, j, config=config).wcrt
+        return response_time_reduced(work, i, j, config=config).wcrt
+
+    def compute_all() -> dict[tuple[int, int], float]:
+        """One outer round.
+
+        Jacobi: plain sweep with the jitters of the previous round.
+        Gauss-Seidel: each freshly computed response immediately refreshes
+        its successor's jitter before that successor is analyzed -- same
+        least fixed point (monotone map), fewer rounds.
+        """
+        out: dict[tuple[int, int], float] = {}
+        for i, tr in enumerate(work.transactions):
+            for j in range(len(tr.tasks)):
+                out[(i, j)] = compute_one(i, j)
+                if (
+                    config.update == "gauss_seidel"
+                    and j + 1 < len(tr.tasks)
+                    and not math.isinf(out[(i, j)])
+                ):
+                    tr.tasks[j + 1].jitter = max(
+                        tr.tasks[j + 1].jitter,
+                        out[(i, j)] - best[(i, j)],
+                    )
+        return out
+
+    rows: list[IterationRow] = []
+    responses: dict[tuple[int, int], float] = {}
+    converged = False
+    outer = 0
+    diverged = False
+
+    for outer in range(config.max_outer_iterations):
+        responses = compute_all()
+        if trace:
+            rows.append(
+                IterationRow(
+                    index=outer,
+                    jitters={
+                        (i, j): work.transactions[i].tasks[j].jitter
+                        for i in range(n_txn)
+                        for j in range(len(work.transactions[i].tasks))
+                    },
+                    responses=dict(responses),
+                )
+            )
+        if any(math.isinf(r) for r in responses.values()):
+            diverged = True
+            converged = True  # the fixed point is +inf; no point iterating
+            break
+
+        # Jacobi refresh of the jitters (Eq. 18).
+        changed = False
+        for i, tr in enumerate(work.transactions):
+            for j in range(1, len(tr.tasks)):
+                new_j = max(0.0, responses[(i, j - 1)] - best[(i, j - 1)])
+                if abs(new_j - tr.tasks[j].jitter) > config.tol:
+                    tr.tasks[j].jitter = new_j
+                    changed = True
+        if not changed:
+            converged = True
+            break
+        if config.stop_on_miss and any(
+            responses[(i, len(tr.tasks) - 1)] > tr.deadline + config.tol
+            for i, tr in enumerate(work.transactions)
+        ):
+            break
+
+    # Propagate divergence down each chain: a successor of an unbounded task
+    # is unbounded too.
+    if diverged:
+        for i, tr in enumerate(work.transactions):
+            dead = False
+            for j in range(len(tr.tasks)):
+                if math.isinf(responses.get((i, j), 0.0)):
+                    dead = True
+                if dead:
+                    responses[(i, j)] = UNSCHEDULABLE
+
+    tasks: dict[tuple[int, int], TaskAnalysis] = {}
+    for i, tr in enumerate(work.transactions):
+        for j, task in enumerate(tr.tasks):
+            tasks[(i, j)] = TaskAnalysis(
+                wcrt=responses[(i, j)],
+                bcrt=best[(i, j)],
+                offset=task.offset,
+                jitter=task.jitter,
+                name=task.name,
+            )
+
+    txn_wcrt = [responses[(i, len(tr.tasks) - 1)] for i, tr in enumerate(work.transactions)]
+    txn_dead = [float(tr.deadline) for tr in work.transactions]
+    schedulable = all(r <= d + config.tol for r, d in zip(txn_wcrt, txn_dead))
+
+    return SystemAnalysis(
+        tasks=tasks,
+        transaction_wcrt=txn_wcrt,
+        transaction_deadline=txn_dead,
+        schedulable=schedulable,
+        iterations=rows,
+        outer_iterations=outer + 1,
+        converged=converged,
+    )

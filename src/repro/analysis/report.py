@@ -1,0 +1,120 @@
+"""Human-readable analysis reports.
+
+Bundles everything a reviewer asks for into one text document: system
+inventory, per-platform utilizations, per-task response-time table,
+end-to-end verdicts, and (optionally) the Table-3-style iteration trace --
+the artifact a downstream user attaches to a design review.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.interfaces import AnalysisConfig, SystemAnalysis
+from repro.analysis.schedulability import analyze
+from repro.model.system import TransactionSystem
+from repro.viz.tables import format_table
+
+__all__ = ["text_report"]
+
+
+def _fmt(x: float, digits: int = 4) -> str:
+    if math.isinf(x):
+        return "inf"
+    return f"{x:.{digits}g}"
+
+
+def text_report(
+    system: TransactionSystem,
+    result: SystemAnalysis | None = None,
+    *,
+    config: AnalysisConfig | None = None,
+    include_trace: bool = False,
+) -> str:
+    """Produce the full text report for *system*.
+
+    Pass a pre-computed *result* to avoid re-analysis; otherwise the system
+    is analyzed with *config* (trace recording is forced on when
+    ``include_trace`` is requested).
+    """
+    if result is None:
+        result = analyze(system, config=config, trace=include_trace)
+    if include_trace and not result.iterations:
+        raise ValueError(
+            "include_trace requested but the provided result has no "
+            "iteration trace; analyze with trace=True"
+        )
+
+    sections: list[str] = []
+    title = system.name or "unnamed system"
+    verdict = "SCHEDULABLE" if result.schedulable else "NOT SCHEDULABLE"
+    sections.append(f"Schedulability report -- {title}: {verdict}")
+    sections.append(
+        f"{len(system.transactions)} transactions, {system.total_tasks()} tasks, "
+        f"{len(system.platforms)} platforms; analysis converged = "
+        f"{result.converged} in {result.outer_iterations} outer iteration(s)."
+    )
+
+    # Platforms.
+    platform_rows = []
+    for m, p in enumerate(system.platforms):
+        platform_rows.append([
+            getattr(p, "name", "") or f"Pi{m + 1}",
+            _fmt(p.rate), _fmt(p.delay), _fmt(p.burstiness),
+            f"{system.utilization(m):.1%}",
+            str(len(system.tasks_on(m))),
+        ])
+    sections.append(format_table(
+        ["platform", "alpha", "Delta", "beta", "utilization", "tasks"],
+        platform_rows,
+        title="Platforms",
+    ))
+
+    # Transactions.
+    txn_rows = []
+    for i, tr in enumerate(system.transactions):
+        r = result.transaction_wcrt[i]
+        txn_rows.append([
+            tr.name or f"Gamma{i + 1}",
+            _fmt(tr.period), _fmt(tr.deadline),
+            _fmt(r), _fmt(result.slack(i)),
+            "ok" if r <= tr.deadline + 1e-9 else "MISS",
+        ])
+    sections.append(format_table(
+        ["transaction", "T", "D", "wcrt", "slack", "verdict"],
+        txn_rows,
+        title="End-to-end responses",
+    ))
+
+    # Tasks.
+    task_rows = []
+    for (i, j), ta in sorted(result.tasks.items()):
+        task = system.transactions[i].tasks[j]
+        task_rows.append([
+            ta.name or f"tau_{i + 1}_{j + 1}",
+            f"Pi{task.platform + 1}",
+            str(task.priority),
+            _fmt(task.wcet), _fmt(ta.offset), _fmt(ta.jitter),
+            _fmt(ta.bcrt), _fmt(ta.wcrt),
+        ])
+    sections.append(format_table(
+        ["task", "platform", "p", "C", "phi", "J", "bcrt", "wcrt"],
+        task_rows,
+        title="Per-task results",
+    ))
+
+    if include_trace:
+        from repro.paper.tables import render_table3
+
+        for i, tr in enumerate(system.transactions):
+            if len(tr.tasks) > 1:
+                sections.append(render_table3(result, transaction=i))
+
+    if result.misses():
+        missed = ", ".join(
+            system.transactions[i].name or f"Gamma{i + 1}"
+            for i in result.misses()
+        )
+        sections.append(f"Deadline misses: {missed}")
+
+    return "\n\n".join(sections)

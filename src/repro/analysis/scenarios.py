@@ -1,0 +1,52 @@
+"""Scenario counting (Eq. 12) and enumeration helpers.
+
+The exact analysis considers every combination of busy-period starters; the
+reduced analysis only the analyzed transaction's own candidates.  These
+counters drive benchmark E7, which reproduces the paper's complexity claim
+("the number of scenarios is significantly less than the number of
+scenarios of the exact analysis").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.busy import build_views
+from repro.model.system import TransactionSystem
+
+__all__ = [
+    "count_scenarios_exact",
+    "count_scenarios_reduced",
+    "count_scenarios_system",
+]
+
+
+def count_scenarios_exact(system: TransactionSystem, a: int, b: int) -> int:
+    """Number of scenarios of the exact analysis for task ``(a, b)`` (Eq. 12).
+
+    :math:`N(\\tau_{a,b}) = (N_a(\\tau_{a,b}) + 1)\\ \\prod_{i \\ne a,\\
+    hp_i \\ne \\emptyset} N_i(\\tau_{a,b})` where :math:`N_i` counts the
+    interfering tasks of transaction :math:`\\Gamma_i` (same platform,
+    priority at least that of the analyzed task).
+    """
+    _, own, others = build_views(system, a, b)
+    n = len(own.tasks) + 1
+    for view in others:
+        n *= len(view.tasks)
+    return n
+
+
+def count_scenarios_reduced(system: TransactionSystem, a: int, b: int) -> int:
+    """Number of scenarios of the reduced analysis: :math:`N_a(\\tau_{a,b}) + 1`."""
+    _, own, _ = build_views(system, a, b)
+    return len(own.tasks) + 1
+
+
+def count_scenarios_system(
+    system: TransactionSystem, *, exact: bool = True
+) -> dict[tuple[int, int], int]:
+    """Scenario counts for every task of the system, keyed by (txn, task)."""
+    fn = count_scenarios_exact if exact else count_scenarios_reduced
+    return {
+        (i, j): fn(system, i, j)
+        for i, tr in enumerate(system.transactions)
+        for j in range(len(tr.tasks))
+    }

@@ -1,0 +1,59 @@
+"""One-call public schedulability API.
+
+``analyze(system)`` runs the full pipeline of the paper -- best-case bounds,
+dynamic-offset fixed point, per-task worst-case response times -- and
+returns a :class:`~repro.analysis.interfaces.SystemAnalysis` whose
+``schedulable`` flag implements the paper's acceptance criterion: the last
+task of every transaction meets the end-to-end deadline
+(:math:`R_{i,n_i} \\le D_i`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.holistic import holistic_analysis
+from repro.analysis.interfaces import AnalysisConfig, SystemAnalysis
+from repro.model.system import TransactionSystem
+
+__all__ = ["analyze", "is_schedulable"]
+
+
+def analyze(
+    system: TransactionSystem,
+    *,
+    method: str = "reduced",
+    best_case: str = "simple",
+    trace: bool = False,
+    config: AnalysisConfig | None = None,
+) -> SystemAnalysis:
+    """Analyze *system* and return response times plus the verdict.
+
+    Parameters
+    ----------
+    system:
+        The transaction system (use :mod:`repro.components` to derive one
+        from a component assembly, or build it directly).
+    method:
+        ``"reduced"`` (default; Sec. 3.1.2) or ``"exact"`` (Sec. 3.1.1).
+    best_case:
+        ``"simple"`` (the paper's bound) or ``"iterative"`` (refined).
+    trace:
+        Record the per-iteration (J, R) table -- the shape of the paper's
+        Table 3.
+    config:
+        Full configuration object; overrides *method*/*best_case* when given.
+
+    Examples
+    --------
+    >>> from repro.paper import sensor_fusion_system
+    >>> result = analyze(sensor_fusion_system())
+    >>> result.schedulable
+    True
+    """
+    if config is None:
+        config = AnalysisConfig(method=method, best_case=best_case)
+    return holistic_analysis(system, config=config, trace=trace)
+
+
+def is_schedulable(system: TransactionSystem, **kwargs) -> bool:
+    """Shorthand: run :func:`analyze` and return only the verdict."""
+    return analyze(system, **kwargs).schedulable

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Operates on JSON system files (see :mod:`repro.io.spec` for the schema):
+
+.. code-block:: console
+
+   $ python -m repro analyze system.json [--method exact] [--trace]
+   $ python -m repro simulate system.json [--horizon T] [--seed N]
+   $ python -m repro validate system.json [--seeds 0,1,2]
+   $ python -m repro design system.json [--rate-tol X]
+   $ python -m repro example --out system.json   # dump the paper example
+
+Exit status: 0 when the system is schedulable (or the command succeeded),
+1 when unschedulable / bounds violated, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.io import load_system, save_system, system_to_dict
+from repro.opt import minimize_bandwidth
+from repro.paper import render_table3, sensor_fusion_system
+from repro.sim import SimulationConfig, simulate, validate_against_analysis
+from repro.viz import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical scheduling analysis for component-based "
+        "real-time systems (Lorente/Lipari/Bini 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="response-time analysis + verdict")
+    p_an.add_argument("system", help="JSON system file")
+    p_an.add_argument("--method", choices=("reduced", "exact"), default="reduced")
+    p_an.add_argument(
+        "--best-case", choices=("simple", "sound", "iterative"), default="simple"
+    )
+    p_an.add_argument("--trace", action="store_true",
+                      help="print the (J, R) iteration table")
+    p_an.add_argument("--report", action="store_true",
+                      help="print the full text report instead of the summary")
+
+    p_sim = sub.add_parser("simulate", help="discrete-event simulation")
+    p_sim.add_argument("system")
+    p_sim.add_argument("--horizon", type=float, default=None)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--placement", choices=("early", "late", "random"), default="random"
+    )
+    p_sim.add_argument("--scheduler", choices=("fixed_priority", "edf"),
+                       default="fixed_priority")
+
+    p_val = sub.add_parser("validate", help="simulation-vs-analysis soundness")
+    p_val.add_argument("system")
+    p_val.add_argument("--seeds", default="0,1,2",
+                       help="comma-separated seed list")
+    p_val.add_argument("--horizon", type=float, default=None)
+
+    p_des = sub.add_parser("design", help="bandwidth-minimal platform design")
+    p_des.add_argument("system")
+    p_des.add_argument("--rate-tol", type=float, default=1e-3)
+    p_des.add_argument("--out", help="write the designed system here")
+
+    p_dv = sub.add_parser(
+        "derive",
+        help="expand a component assembly (Sec. 2.4) into a system file",
+    )
+    p_dv.add_argument("assembly", help="JSON assembly file")
+    p_dv.add_argument("--out", required=True, help="output system JSON path")
+
+    p_g = sub.add_parser("gantt", help="render a simulated schedule as text")
+    p_g.add_argument("system")
+    p_g.add_argument("--horizon", type=float, default=None)
+    p_g.add_argument("--window", type=float, default=None,
+                     help="render only the first WINDOW time units")
+    p_g.add_argument("--width", type=int, default=100)
+    p_g.add_argument("--seed", type=int, default=0)
+    p_g.add_argument(
+        "--placement", choices=("early", "late", "random"), default="random"
+    )
+
+    p_ex = sub.add_parser("example", help="dump the paper's example system")
+    p_ex.add_argument("--out", help="output path (default: stdout)")
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    config = AnalysisConfig(method=args.method, best_case=args.best_case)
+    result = analyze(system, config=config, trace=args.trace or args.report)
+
+    if args.report:
+        from repro.analysis.report import text_report
+
+        print(text_report(system, result, include_trace=args.trace))
+        return 0 if result.schedulable else 1
+
+    rows = [
+        [
+            tr.name or f"Gamma{i + 1}",
+            f"{result.transaction_wcrt[i]:.4g}",
+            f"{tr.deadline:g}",
+            f"{result.slack(i):.4g}",
+            "yes" if result.transaction_wcrt[i] <= tr.deadline + 1e-9 else "NO",
+        ]
+        for i, tr in enumerate(system.transactions)
+    ]
+    print(format_table(
+        ["transaction", "wcrt", "deadline", "slack", "meets"],
+        rows,
+        title=f"analysis of {args.system} (method={args.method})",
+    ))
+    if args.trace:
+        print()
+        for i in range(len(system.transactions)):
+            if len(system.transactions[i].tasks) > 1:
+                print(render_table3(result, transaction=i))
+                print()
+    print(f"schedulable: {result.schedulable}")
+    return 0 if result.schedulable else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    cfg = SimulationConfig(
+        horizon=args.horizon,
+        seed=args.seed,
+        placement=args.placement,
+        scheduler=args.scheduler,
+    )
+    trace = simulate(system, config=cfg)
+    rows = []
+    for (i, j), st in sorted(trace.tasks.items()):
+        name = system.transactions[i].tasks[j].name or f"({i},{j})"
+        rows.append([
+            name, str(st.count), f"{st.min_response:.4g}",
+            f"{st.mean_response:.4g}", f"{st.max_response:.4g}",
+            str(st.misses),
+        ])
+    print(format_table(
+        ["task", "jobs", "min R", "mean R", "max R", "misses"],
+        rows,
+        title=f"simulation of {args.system} "
+              f"(horizon={trace.horizon:g}, seed={args.seed})",
+    ))
+    misses = trace.total_misses()
+    print(f"total deadline misses: {misses}")
+    return 0 if misses == 0 else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s != "")
+    report = validate_against_analysis(system, seeds=seeds, horizon=args.horizon)
+    rows = [
+        [str(key), f"{report.observed.get(key, 0.0):.4g}",
+         f"{report.bound[key]:.4g}", f"{report.tightness(*key):.2f}"]
+        for key in sorted(report.bound)
+    ]
+    print(format_table(
+        ["task", "observed", "bound", "tightness"],
+        rows,
+        title=f"validation of {args.system} ({report.runs} runs)",
+    ))
+    print(f"sound: {report.sound}")
+    if report.violations:
+        print(f"bound violations: {report.violations}")
+    if report.best_violations:
+        print(f"best-case violations: {report.best_violations}")
+    return 0 if report.sound else 1
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    design = minimize_bandwidth(system, rate_tol=args.rate_tol)
+    rows = [
+        [getattr(p, "name", "") or f"Pi{k + 1}",
+         f"{system.platforms[k].rate:.4g}", f"{p.rate:.4g}"]
+        for k, p in enumerate(design.platforms)
+    ]
+    print(format_table(
+        ["platform", "rate before", "rate after"],
+        rows,
+        title=f"bandwidth-minimal design of {args.system}",
+    ))
+    print(f"feasible: {design.feasible}; total bandwidth "
+          f"{design.initial_bandwidth:.4g} -> {design.total_bandwidth:.4g} "
+          f"(saves {design.savings:.1%})")
+    if args.out and design.feasible:
+        save_system(design.designed_system(system), args.out)
+        print(f"designed system written to {args.out}")
+    return 0 if design.feasible else 1
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    from repro.io import load_assembly
+
+    assembly = load_assembly(args.assembly)
+    problems = assembly.validate()
+    for p in problems:
+        print(p)
+    system = assembly.derive_transactions()
+    save_system(system, args.out)
+    print(
+        f"derived {len(system.transactions)} transactions / "
+        f"{system.total_tasks()} tasks over {len(system.platforms)} "
+        f"platforms -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.viz.gantt import render_gantt
+
+    system = load_system(args.system)
+    cfg = SimulationConfig(
+        horizon=args.horizon,
+        seed=args.seed,
+        placement=args.placement,
+        record_intervals=True,
+    )
+    trace = simulate(system, config=cfg)
+    end = args.window if args.window is not None else trace.horizon
+    print(render_gantt(system, trace, end=min(end, trace.horizon),
+                       width=args.width))
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    system = sensor_fusion_system()
+    if args.out:
+        save_system(system, args.out)
+        print(f"paper example written to {args.out}")
+    else:
+        json.dump(system_to_dict(system), sys.stdout, indent=2)
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "simulate": _cmd_simulate,
+    "validate": _cmd_validate,
+    "design": _cmd_design,
+    "derive": _cmd_derive,
+    "gantt": _cmd_gantt,
+    "example": _cmd_example,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # AssemblyError and friends
+        from repro.components.validation import AssemblyError
+
+        if isinstance(exc, AssemblyError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The component model of the paper (Sections 2.1-2.2) and its transform.
+
+A *component* consists of a provided interface, a required interface and an
+implementation -- a set of threads plus a local scheduler.  Components are
+instantiated and wired into a :class:`~repro.components.assembly.SystemAssembly`
+(Section 2.2.1), placed on abstract platforms, and finally transformed into
+a :class:`~repro.model.system.TransactionSystem` by the recursive expansion
+of Section 2.4 (:mod:`repro.components.transform`), optionally inserting
+message tasks on network platforms for cross-node RPCs.
+"""
+
+from repro.components.interface import ProvidedMethod, RequiredMethod
+from repro.components.threads import (
+    CallStep,
+    EventThread,
+    PeriodicThread,
+    TaskStep,
+    ThreadSpec,
+)
+from repro.components.scheduler import (
+    EDFScheduler,
+    FixedPriorityScheduler,
+    LocalScheduler,
+)
+from repro.components.component import Component
+from repro.components.assembly import Binding, Placement, SystemAssembly
+from repro.components.transform import derive_transactions
+from repro.components.validation import (
+    AssemblyError,
+    MITViolation,
+    validate_assembly,
+)
+
+__all__ = [
+    "ProvidedMethod",
+    "RequiredMethod",
+    "TaskStep",
+    "CallStep",
+    "ThreadSpec",
+    "PeriodicThread",
+    "EventThread",
+    "LocalScheduler",
+    "FixedPriorityScheduler",
+    "EDFScheduler",
+    "Component",
+    "SystemAssembly",
+    "Binding",
+    "Placement",
+    "derive_transactions",
+    "validate_assembly",
+    "AssemblyError",
+    "MITViolation",
+]

@@ -1,0 +1,184 @@
+"""System assembly: instantiating, wiring and placing components (Sec. 2.2.1).
+
+An assembly holds named component *instances*, the *bindings* connecting
+required to provided methods, the abstract *platforms*, and the *placement*
+of each instance on a platform.  Cross-node RPCs may attach request/reply
+messages to a binding; the transform then inserts message tasks on the named
+network platform, exactly as Section 2.4 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.component import Component
+from repro.model.system import PlatformLike
+from repro.platforms.network import Message
+
+__all__ = ["Binding", "Placement", "SystemAssembly"]
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One wire: ``caller.required -> callee.provided``.
+
+    ``request``/``reply`` are optional messages carried over the *network*
+    platform (by name); when absent the call is a local function call with
+    no transmission delay, as in the paper.
+    """
+
+    caller: str
+    required: str
+    callee: str
+    provided: str
+    request: Message | None = None
+    reply: Message | None = None
+    network: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.request or self.reply) and not self.network:
+            raise ValueError(
+                f"binding {self.caller}.{self.required} -> "
+                f"{self.callee}.{self.provided}: messages declared without a "
+                "network platform"
+            )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Placement of an instance on a platform (by platform name)."""
+
+    instance: str
+    platform: str
+
+
+class SystemAssembly:
+    """A concrete system: instances + bindings + platforms + placements.
+
+    Typical construction order (any order is accepted; consistency is
+    checked at :meth:`derive_transactions` / ``validate`` time)::
+
+        asm = SystemAssembly(name="sensor-fusion")
+        asm.add_instance("Sensor1", sensor_reading_component())
+        asm.add_platform("Pi1", LinearSupplyPlatform(0.4, 1, 1))
+        asm.place("Sensor1", platform="Pi1")
+        asm.bind("Integrator", "readSensor1", "Sensor1", "read")
+        system = asm.derive_transactions()
+    """
+
+    def __init__(self, *, name: str = "") -> None:
+        self.name = name
+        self.instances: dict[str, Component] = {}
+        self.bindings: dict[tuple[str, str], Binding] = {}
+        self._platform_names: list[str] = []
+        self._platforms: dict[str, PlatformLike] = {}
+        self.placements: dict[str, str] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_instance(self, instance_name: str, component: Component) -> None:
+        """Register a component instance under *instance_name*."""
+        if not instance_name:
+            raise ValueError("instance name must be non-empty")
+        if instance_name in self.instances:
+            raise ValueError(f"instance {instance_name!r} already exists")
+        if not isinstance(component, Component):
+            raise TypeError(f"{component!r} is not a Component")
+        self.instances[instance_name] = component
+
+    def add_platform(self, platform_name: str, platform: PlatformLike) -> None:
+        """Register an abstract platform; insertion order fixes its index."""
+        if not platform_name:
+            raise ValueError("platform name must be non-empty")
+        if platform_name in self._platforms:
+            raise ValueError(f"platform {platform_name!r} already exists")
+        for attr in ("rate", "delay", "burstiness"):
+            if not hasattr(platform, attr):
+                raise TypeError(f"platform {platform_name!r} lacks {attr!r}")
+        self._platform_names.append(platform_name)
+        self._platforms[platform_name] = platform
+
+    def place(self, instance_name: str, *, platform: str) -> None:
+        """Map *instance_name* onto the platform named *platform*.
+
+        The paper dedicates one abstract platform per component; placing two
+        instances on the same platform is allowed (they then share the
+        priority space, e.g. the paper's Integrator and Background on Pi3).
+        """
+        self.placements[instance_name] = platform
+
+    def bind(
+        self,
+        caller: str,
+        required: str,
+        callee: str,
+        provided: str,
+        *,
+        request: Message | None = None,
+        reply: Message | None = None,
+        network: str | None = None,
+    ) -> None:
+        """Wire ``caller.required`` to ``callee.provided``.
+
+        Pass *request*/*reply* messages plus a *network* platform name to
+        model a remote procedure call across nodes.
+        """
+        key = (caller, required)
+        if key in self.bindings:
+            raise ValueError(f"{caller}.{required} is already bound")
+        self.bindings[key] = Binding(
+            caller=caller,
+            required=required,
+            callee=callee,
+            provided=provided,
+            request=request,
+            reply=reply,
+            network=network,
+        )
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def platform_names(self) -> list[str]:
+        """Platform names in index order."""
+        return list(self._platform_names)
+
+    def platform_index(self, platform_name: str) -> int:
+        """Index of *platform_name* in the derived system's platform list."""
+        try:
+            return self._platform_names.index(platform_name)
+        except ValueError:
+            raise KeyError(f"unknown platform {platform_name!r}") from None
+
+    def platform_list(self) -> list[PlatformLike]:
+        """Platform objects in index order."""
+        return [self._platforms[n] for n in self._platform_names]
+
+    def platform_of(self, instance_name: str) -> int:
+        """Platform index an instance is placed on."""
+        try:
+            pname = self.placements[instance_name]
+        except KeyError:
+            raise KeyError(f"instance {instance_name!r} has no placement") from None
+        return self.platform_index(pname)
+
+    def binding_for(self, caller: str, required: str) -> Binding:
+        """The binding of ``caller.required`` (raises ``KeyError`` if unbound)."""
+        try:
+            return self.bindings[(caller, required)]
+        except KeyError:
+            raise KeyError(f"{caller}.{required} is not bound") from None
+
+    # -- derivation ---------------------------------------------------------------
+
+    def derive_transactions(self, **kwargs):
+        """Run the Sec. 2.4 transform; see :func:`repro.components.transform.derive_transactions`."""
+        from repro.components.transform import derive_transactions
+
+        return derive_transactions(self, **kwargs)
+
+    def validate(self) -> list:
+        """Run assembly validation; see :func:`repro.components.validation.validate_assembly`."""
+        from repro.components.validation import validate_assembly
+
+        return validate_assembly(self)

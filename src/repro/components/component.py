@@ -1,0 +1,125 @@
+"""The component class (paper Sec. 2.1): interfaces + implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.components.interface import ProvidedMethod, RequiredMethod
+from repro.components.scheduler import FixedPriorityScheduler, LocalScheduler
+from repro.components.threads import CallStep, EventThread, PeriodicThread, ThreadSpec
+
+__all__ = ["Component"]
+
+
+@dataclass
+class Component:
+    """A reusable component: provided/required interfaces and threads.
+
+    Parameters
+    ----------
+    name:
+        Class name of the component (instances get their own names in the
+        assembly).
+    provided:
+        The provided interface -- methods offered to other components.
+    required:
+        The required interface -- methods this component invokes.
+    threads:
+        The implementation: periodic and event-triggered threads.
+    scheduler:
+        The local scheduler; fixed priority by default (the only policy the
+        paper analyses).
+
+    Construction validates internal consistency: every event thread must
+    realize a *distinct* provided method, and every :class:`CallStep` must
+    name a required method.
+    """
+
+    name: str
+    provided: Sequence[ProvidedMethod] = field(default_factory=list)
+    required: Sequence[RequiredMethod] = field(default_factory=list)
+    threads: Sequence[ThreadSpec] = field(default_factory=list)
+    scheduler: LocalScheduler = field(default_factory=FixedPriorityScheduler)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("component name must be non-empty")
+        self.provided = list(self.provided)
+        self.required = list(self.required)
+        self.threads = list(self.threads)
+
+        prov_names = [m.name for m in self.provided]
+        req_names = [m.name for m in self.required]
+        if len(set(prov_names)) != len(prov_names):
+            raise ValueError(f"component {self.name!r}: duplicate provided method names")
+        if len(set(req_names)) != len(req_names):
+            raise ValueError(f"component {self.name!r}: duplicate required method names")
+        overlap = set(prov_names) & set(req_names)
+        if overlap:
+            raise ValueError(
+                f"component {self.name!r}: methods both provided and required: {sorted(overlap)}"
+            )
+        thread_names = [t.name for t in self.threads]
+        if len(set(thread_names)) != len(thread_names):
+            raise ValueError(f"component {self.name!r}: duplicate thread names")
+
+        realized: set[str] = set()
+        for t in self.threads:
+            if isinstance(t, EventThread):
+                if t.realizes not in set(prov_names):
+                    raise ValueError(
+                        f"component {self.name!r}: thread {t.name!r} realizes "
+                        f"unknown provided method {t.realizes!r}"
+                    )
+                if t.realizes in realized:
+                    raise ValueError(
+                        f"component {self.name!r}: provided method {t.realizes!r} "
+                        "is realized by more than one thread"
+                    )
+                realized.add(t.realizes)
+            for step in t.body:
+                if isinstance(step, CallStep) and step.method not in set(req_names):
+                    raise ValueError(
+                        f"component {self.name!r}: thread {t.name!r} calls "
+                        f"{step.method!r} which is not in the required interface"
+                    )
+
+    # -- lookups ------------------------------------------------------------------
+
+    def provided_method(self, name: str) -> ProvidedMethod:
+        """The provided method called *name* (raises ``KeyError`` if absent)."""
+        for m in self.provided:
+            if m.name == name:
+                return m
+        raise KeyError(f"component {self.name!r} does not provide {name!r}")
+
+    def required_method(self, name: str) -> RequiredMethod:
+        """The required method called *name* (raises ``KeyError`` if absent)."""
+        for m in self.required:
+            if m.name == name:
+                return m
+        raise KeyError(f"component {self.name!r} does not require {name!r}")
+
+    def realizer_of(self, provided_name: str) -> EventThread:
+        """The event thread realizing *provided_name*.
+
+        Raises :class:`KeyError` when no thread realizes the method (a
+        provided method nobody implements is an assembly error surfaced by
+        :func:`repro.components.validation.validate_assembly`).
+        """
+        for t in self.threads:
+            if isinstance(t, EventThread) and t.realizes == provided_name:
+                return t
+        raise KeyError(
+            f"component {self.name!r}: no thread realizes provided method "
+            f"{provided_name!r}"
+        )
+
+    def periodic_threads(self) -> list[PeriodicThread]:
+        """The time-triggered threads (transaction roots)."""
+        return [t for t in self.threads if isinstance(t, PeriodicThread)]
+
+    def event_threads(self) -> list[EventThread]:
+        """The event-triggered threads."""
+        return [t for t in self.threads if isinstance(t, EventThread)]

@@ -1,0 +1,60 @@
+"""Component interfaces: provided and required methods (paper Sec. 2.1).
+
+Each method is characterized by its signature (here: a name and an optional
+parameter list kept as documentation) and a *worst-case activation pattern*,
+restricted -- as in the paper -- to a single value: the minimum inter-arrival
+time (MIT) between two consecutive calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+__all__ = ["ProvidedMethod", "RequiredMethod"]
+
+
+@dataclass(frozen=True)
+class ProvidedMethod:
+    """A method a component offers to the rest of the system.
+
+    Parameters
+    ----------
+    name:
+        The method name (``A.provided.read`` in the paper's dot notation is
+        spelled ``component.provided_method("read")`` here).
+    mit:
+        Minimum inter-arrival time the component is able to sustain between
+        two consecutive invocations (``A.provided.read.T``).
+    parameters:
+        Optional signature documentation; not interpreted.
+    """
+
+    name: str
+    mit: float
+    parameters: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"method name must be a non-empty string, got {self.name!r}")
+        check_positive(self.mit, f"provided method {self.name!r} mit")
+
+
+@dataclass(frozen=True)
+class RequiredMethod:
+    """A method a component needs from its environment.
+
+    ``mit`` declares the fastest rate at which the component will *issue*
+    calls; assembly validation checks it against both the callers' actual
+    invocation rates and the callee's sustainable MIT.
+    """
+
+    name: str
+    mit: float
+    parameters: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"method name must be a non-empty string, got {self.name!r}")
+        check_positive(self.mit, f"required method {self.name!r} mit")

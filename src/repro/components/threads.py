@@ -1,0 +1,136 @@
+"""Threads and thread bodies (paper Sec. 2.1).
+
+A thread is implemented by a *sequence of tasks and method calls*:
+
+* :class:`TaskStep` -- a piece of code executed by the component itself,
+  with its own worst/best-case execution time;
+* :class:`CallStep` -- a synchronous invocation of a method of the
+  component's required interface (the thread suspends until it returns).
+
+Threads are activated either periodically (:class:`PeriodicThread`) or by a
+call to a provided method they *realize* (:class:`EventThread`); the latter
+inherit their activation pattern from the method's MIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.util.validation import check_positive
+
+__all__ = ["TaskStep", "CallStep", "Step", "ThreadSpec", "PeriodicThread", "EventThread"]
+
+
+@dataclass(frozen=True)
+class TaskStep:
+    """A unit of component code inside a thread body.
+
+    Parameters
+    ----------
+    name:
+        Label of the task (becomes part of the derived task's name).
+    wcet, bcet:
+        Worst/best-case execution demand in cycles; ``bcet`` defaults to
+        ``wcet``.
+    priority:
+        Optional per-task priority override.  The paper's example needs it:
+        its ``compute`` task runs at priority 3 although its thread has
+        priority 2.  Defaults to the owning thread's priority.
+    """
+
+    name: str
+    wcet: float
+    bcet: float | None = None
+    priority: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.wcet, f"step {self.name!r} wcet")
+        if self.bcet is not None:
+            if self.bcet < 0 or self.bcet > self.wcet:
+                raise ValueError(
+                    f"step {self.name!r}: bcet ({self.bcet!r}) must lie in [0, wcet]"
+                )
+
+
+@dataclass(frozen=True)
+class CallStep:
+    """A synchronous invocation of a required-interface method."""
+
+    method: str
+
+    def __post_init__(self) -> None:
+        if not self.method or not isinstance(self.method, str):
+            raise ValueError(f"CallStep method must be a non-empty string, got {self.method!r}")
+
+
+Step = Union[TaskStep, CallStep]
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """Common thread attributes; use the concrete subclasses."""
+
+    name: str
+    priority: int
+    body: tuple[Step, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("thread name must be non-empty")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise TypeError(f"thread {self.name!r}: priority must be int")
+        object.__setattr__(self, "body", tuple(self.body))
+        for k, step in enumerate(self.body):
+            if not isinstance(step, (TaskStep, CallStep)):
+                raise TypeError(
+                    f"thread {self.name!r} body[{k}] is neither TaskStep nor "
+                    f"CallStep: {step!r}"
+                )
+
+    def task_steps(self) -> list[TaskStep]:
+        """The :class:`TaskStep` entries of the body, in order."""
+        return [s for s in self.body if isinstance(s, TaskStep)]
+
+    def call_steps(self) -> list[CallStep]:
+        """The :class:`CallStep` entries of the body, in order."""
+        return [s for s in self.body if isinstance(s, CallStep)]
+
+
+@dataclass(frozen=True)
+class PeriodicThread(ThreadSpec):
+    """A time-triggered thread: released every *period*, due after *deadline*.
+
+    Each periodic thread roots one transaction in the Sec. 2.4 transform.
+    """
+
+    period: float = 0.0
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive(self.period, f"thread {self.name!r} period")
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", float(self.period))
+        check_positive(self.deadline, f"thread {self.name!r} deadline")
+        if not self.body:
+            raise ValueError(f"periodic thread {self.name!r} has an empty body")
+
+
+@dataclass(frozen=True)
+class EventThread(ThreadSpec):
+    """An event-triggered thread realizing a provided method.
+
+    Its activation pattern (the MIT) comes from the provided method it is
+    attached to; its body is spliced into the caller's transaction by the
+    transform.
+    """
+
+    realizes: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.realizes:
+            raise ValueError(f"event thread {self.name!r} must realize a provided method")
+        if not self.body:
+            raise ValueError(f"event thread {self.name!r} has an empty body")

@@ -1,0 +1,187 @@
+"""Component-to-transaction transform (paper Sec. 2.4).
+
+Every periodic thread roots one transaction.  Walking its body in order:
+
+* a :class:`~repro.components.threads.TaskStep` becomes a task on the
+  platform of the *owning* instance, at the step's (or thread's) priority;
+* a :class:`~repro.components.threads.CallStep` is resolved through the
+  assembly's bindings to the event thread realizing the target provided
+  method, whose body is spliced in **recursively** (the callee may itself
+  call further components) -- tasks created there live on the *callee's*
+  platform at the event thread's priorities;
+* when the binding declares request/reply messages, message tasks are
+  inserted on the named network platform before/after the callee's tasks
+  ("messages can simply be modeled by considering additional tasks...").
+
+The expansion carries a call stack for cycle detection: recursive RPC loops
+(A calls B calls A) are a specification error, reported with the full cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.components.assembly import SystemAssembly
+from repro.components.threads import CallStep, EventThread, PeriodicThread, TaskStep
+from repro.components.validation import AssemblyError, validate_assembly
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.model.system import TransactionSystem
+from repro.platforms.network import NetworkLinkPlatform, message_to_task
+
+__all__ = ["derive_transactions"]
+
+
+@dataclass
+class _ExpandContext:
+    assembly: SystemAssembly
+    tasks: list[Task]
+    stack: list[tuple[str, str]]  # (instance, provided-method) call stack
+    root: str  # transaction label for error messages
+
+
+def _expand_thread(
+    ctx: _ExpandContext,
+    instance: str,
+    thread: PeriodicThread | EventThread,
+) -> None:
+    """Append the tasks of *thread* (owned by *instance*) to the context."""
+    asm = ctx.assembly
+    platform = asm.platform_of(instance)
+    for step in thread.body:
+        if isinstance(step, TaskStep):
+            ctx.tasks.append(
+                Task(
+                    wcet=step.wcet,
+                    bcet=step.bcet if step.bcet is not None else step.wcet,
+                    platform=platform,
+                    priority=step.priority if step.priority is not None else thread.priority,
+                    name=f"{instance}.{thread.name}.{step.name}",
+                    meta={
+                        "instance": instance,
+                        "thread": thread.name,
+                        "step": step.name,
+                        "kind": "code",
+                    },
+                )
+            )
+        else:  # CallStep
+            _expand_call(ctx, instance, step)
+
+
+def _expand_call(ctx: _ExpandContext, caller: str, step: CallStep) -> None:
+    asm = ctx.assembly
+    binding = asm.binding_for(caller, step.method)
+    callee_component = asm.instances[binding.callee]
+    key = (binding.callee, binding.provided)
+    if key in ctx.stack:
+        cycle = " -> ".join(f"{i}.{m}" for i, m in ctx.stack + [key])
+        raise AssemblyError(
+            f"transaction {ctx.root!r}: recursive RPC cycle detected: {cycle}"
+        )
+
+    def emit_message(message, direction: str) -> None:
+        net_index = asm.platform_index(binding.network)
+        link = asm.platform_list()[net_index]
+        if not isinstance(link, NetworkLinkPlatform):
+            raise AssemblyError(
+                f"binding {binding.caller}.{binding.required}: network platform "
+                f"{binding.network!r} is not a NetworkLinkPlatform"
+            )
+        task = message_to_task(message, link, net_index)
+        task.name = (
+            f"{binding.caller}.{binding.required}.{direction}"
+            if not message.name
+            else message.name
+        )
+        task.meta.update(
+            {
+                "instance": binding.caller,
+                "direction": direction,
+                "kind": "message",
+            }
+        )
+        ctx.tasks.append(task)
+
+    if binding.request is not None:
+        emit_message(binding.request, "request")
+
+    realizer = callee_component.realizer_of(binding.provided)
+    ctx.stack.append(key)
+    _expand_thread(ctx, binding.callee, realizer)
+    ctx.stack.pop()
+
+    if binding.reply is not None:
+        emit_message(binding.reply, "reply")
+
+
+def derive_transactions(
+    assembly: SystemAssembly,
+    *,
+    validate: bool = True,
+    require_analyzable: bool = True,
+) -> TransactionSystem:
+    """Transform *assembly* into an analyzable transaction system.
+
+    Parameters
+    ----------
+    assembly:
+        The wired and placed component assembly.
+    validate:
+        Run :func:`repro.components.validation.validate_assembly` first and
+        raise on hard errors (MIT violations raise; see that module for the
+        error taxonomy).
+    require_analyzable:
+        Refuse components whose local scheduler the analysis does not
+        support (EDF); set to ``False`` when deriving only for simulation.
+
+    Returns
+    -------
+    TransactionSystem
+        One transaction per periodic thread, in (instance, thread) insertion
+        order, over the assembly's platforms in registration order.
+    """
+    if validate:
+        problems = validate_assembly(assembly)
+        hard = [p for p in problems if p.fatal]
+        if hard:
+            raise AssemblyError(
+                "assembly validation failed:\n  "
+                + "\n  ".join(str(p) for p in hard)
+            )
+
+    if require_analyzable:
+        for iname, comp in assembly.instances.items():
+            if not comp.scheduler.analyzable:
+                raise AssemblyError(
+                    f"instance {iname!r} uses local scheduler "
+                    f"{comp.scheduler.policy!r}, which the analysis does not "
+                    "support; derive with require_analyzable=False for "
+                    "simulation-only use"
+                )
+
+    transactions: list[Transaction] = []
+    for iname, comp in assembly.instances.items():
+        for thread in comp.periodic_threads():
+            root = f"{iname}.{thread.name}"
+            ctx = _ExpandContext(assembly=assembly, tasks=[], stack=[], root=root)
+            _expand_thread(ctx, iname, thread)
+            if not ctx.tasks:
+                raise AssemblyError(
+                    f"periodic thread {root!r} produced no tasks"
+                )
+            transactions.append(
+                Transaction(
+                    period=thread.period,
+                    deadline=thread.deadline,
+                    name=root,
+                    tasks=ctx.tasks,
+                    meta={"instance": iname, "thread": thread.name},
+                )
+            )
+
+    return TransactionSystem(
+        transactions=transactions,
+        platforms=assembly.platform_list(),
+        name=assembly.name,
+    )

@@ -1,0 +1,32 @@
+"""Workload generators for experiments and property-based testing.
+
+* :mod:`repro.gen.uunifast` -- the UUniFast / UUniFast-discard utilization
+  samplers (Bini & Buttazzo), the standard unbiased way to draw task-set
+  utilizations.
+* :mod:`repro.gen.random_transactions` -- random transaction systems over
+  random abstract platforms with controlled per-platform utilization.
+* :mod:`repro.gen.random_components` -- random layered component
+  assemblies (acyclic RPC topologies) exercising the Sec. 2.4 transform.
+"""
+
+from repro.gen.uunifast import uunifast, uunifast_discard
+from repro.gen.random_transactions import (
+    RandomSystemSpec,
+    random_system,
+)
+from repro.gen.random_components import (
+    RandomAssemblySpec,
+    random_assembly,
+)
+from repro.gen.presets import automotive_cluster, avionics_partitions
+
+__all__ = [
+    "uunifast",
+    "uunifast_discard",
+    "RandomSystemSpec",
+    "random_system",
+    "RandomAssemblySpec",
+    "random_assembly",
+    "automotive_cluster",
+    "avionics_partitions",
+]

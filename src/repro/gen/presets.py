@@ -1,0 +1,192 @@
+"""Canonical ready-made workloads.
+
+Two realistic component-based systems in the style the paper's introduction
+motivates, usable as test fixtures, demo material and benchmark seeds:
+
+* :func:`automotive_cluster` -- three ECUs around a CAN-like bus: an engine
+  controller polling sensors over the bus, a dashboard subscribing to the
+  engine state, and a diagnostics unit with background traffic.  Exercises
+  message tasks, multiple callers of one provided method, and priority
+  bands on the bus.
+* :func:`avionics_partitions` -- an IMA-flavoured uniprocessor hosting
+  three partitions (flight control / navigation / maintenance) as periodic
+  servers, with an RPC from navigation into flight control's provided
+  attitude service.  Exercises server platforms and cross-partition calls.
+
+Both return a validated :class:`~repro.components.assembly.SystemAssembly`
+whose derived system is schedulable under the default analysis.
+"""
+
+from __future__ import annotations
+
+from repro.components.assembly import SystemAssembly
+from repro.components.component import Component
+from repro.components.interface import ProvidedMethod, RequiredMethod
+from repro.components.threads import CallStep, EventThread, PeriodicThread, TaskStep
+from repro.platforms.linear import LinearSupplyPlatform
+from repro.platforms.network import Message, NetworkLinkPlatform
+from repro.platforms.periodic_server import PeriodicServer
+
+__all__ = ["automotive_cluster", "avionics_partitions"]
+
+
+def automotive_cluster() -> SystemAssembly:
+    """Three ECUs + CAN-like bus; times in milliseconds, payloads in bytes."""
+    engine = Component(
+        name="EngineController",
+        provided=[ProvidedMethod("engine_state", mit=9.0)],
+        threads=[
+            PeriodicThread(
+                name="injection",
+                period=5.0,
+                deadline=5.0,
+                priority=4,
+                body=[TaskStep("injection_law", wcet=0.8, bcet=0.3)],
+            ),
+            PeriodicThread(
+                name="lambda_loop",
+                period=20.0,
+                deadline=20.0,
+                priority=3,
+                body=[TaskStep("lambda_ctrl", wcet=1.5, bcet=0.6)],
+            ),
+            EventThread(
+                name="state_server",
+                realizes="engine_state",
+                priority=2,
+                body=[TaskStep("snapshot", wcet=0.4, bcet=0.2)],
+            ),
+        ],
+    )
+    dashboard = Component(
+        name="Dashboard",
+        required=[RequiredMethod("engine", mit=40.0)],
+        threads=[
+            PeriodicThread(
+                name="refresh",
+                period=40.0,
+                deadline=40.0,
+                priority=2,
+                body=[
+                    CallStep("engine"),
+                    TaskStep("render", wcet=4.0, bcet=1.5),
+                ],
+            )
+        ],
+    )
+    diagnostics = Component(
+        name="Diagnostics",
+        required=[RequiredMethod("engine", mit=100.0)],
+        threads=[
+            PeriodicThread(
+                name="obd",
+                period=100.0,
+                deadline=100.0,
+                priority=1,
+                body=[
+                    CallStep("engine"),
+                    TaskStep("store_dtc", wcet=6.0, bcet=2.0),
+                ],
+            )
+        ],
+    )
+
+    asm = SystemAssembly(name="automotive-cluster")
+    asm.add_instance("Engine", engine)
+    asm.add_instance("Dash", dashboard)
+    asm.add_instance("Diag", diagnostics)
+    asm.add_platform("ecu.engine", LinearSupplyPlatform(0.7, 0.3, 0.0, name="ecu.engine"))
+    asm.add_platform("ecu.dash", LinearSupplyPlatform(0.5, 0.5, 0.0, name="ecu.dash"))
+    asm.add_platform("ecu.diag", LinearSupplyPlatform(0.3, 1.0, 0.0, name="ecu.diag"))
+    asm.add_platform(
+        "can",
+        NetworkLinkPlatform(
+            bandwidth=62.5,            # bytes/ms (500 kbit/s)
+            share=0.6,                 # periodic window
+            arbitration_delay=0.27,    # one max frame at 500 kbit/s
+            frame_overhead=6.0,
+            name="can",
+        ),
+    )
+    asm.place("Engine", platform="ecu.engine")
+    asm.place("Dash", platform="ecu.dash")
+    asm.place("Diag", platform="ecu.diag")
+    asm.bind(
+        "Dash", "engine", "Engine", "engine_state",
+        request=Message(payload=2.0, priority=3, name="dash.req"),
+        reply=Message(payload=8.0, priority=3, name="dash.rep"),
+        network="can",
+    )
+    asm.bind(
+        "Diag", "engine", "Engine", "engine_state",
+        request=Message(payload=2.0, priority=1, name="diag.req"),
+        reply=Message(payload=8.0, priority=1, name="diag.rep"),
+        network="can",
+    )
+    return asm
+
+
+def avionics_partitions() -> SystemAssembly:
+    """Three IMA partitions on one CPU (periodic servers); times in ms."""
+    flight_control = Component(
+        name="FlightControl",
+        provided=[ProvidedMethod("attitude", mit=90.0)],
+        threads=[
+            PeriodicThread(
+                name="inner_loop",
+                period=10.0,
+                deadline=10.0,
+                priority=4,
+                body=[TaskStep("stabilize", wcet=1.0, bcet=0.5)],
+            ),
+            EventThread(
+                name="attitude_server",
+                realizes="attitude",
+                priority=3,
+                body=[TaskStep("read_attitude", wcet=0.5, bcet=0.25)],
+            ),
+        ],
+    )
+    navigation = Component(
+        name="Navigation",
+        required=[RequiredMethod("att", mit=100.0)],
+        threads=[
+            PeriodicThread(
+                name="fusion",
+                period=100.0,
+                deadline=100.0,
+                priority=2,
+                body=[
+                    TaskStep("predict", wcet=2.0, bcet=1.0),
+                    CallStep("att"),
+                    TaskStep("correct", wcet=3.0, bcet=1.2),
+                ],
+            )
+        ],
+    )
+    maintenance = Component(
+        name="Maintenance",
+        threads=[
+            PeriodicThread(
+                name="health",
+                period=200.0,
+                deadline=200.0,
+                priority=1,
+                body=[TaskStep("bit", wcet=8.0, bcet=3.0)],
+            )
+        ],
+    )
+
+    asm = SystemAssembly(name="avionics-partitions")
+    asm.add_instance("FC", flight_control)
+    asm.add_instance("NAV", navigation)
+    asm.add_instance("MX", maintenance)
+    # One physical CPU, three ARINC-style servers: total bandwidth 0.8.
+    asm.add_platform("p.fc", PeriodicServer(2.0, 5.0, name="p.fc"))
+    asm.add_platform("p.nav", PeriodicServer(2.5, 10.0, name="p.nav"))
+    asm.add_platform("p.mx", PeriodicServer(3.0, 20.0, name="p.mx"))
+    asm.place("FC", platform="p.fc")
+    asm.place("NAV", platform="p.nav")
+    asm.place("MX", platform="p.mx")
+    asm.bind("NAV", "att", "FC", "attitude")
+    return asm

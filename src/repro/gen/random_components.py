@@ -1,0 +1,161 @@
+"""Random layered component assemblies.
+
+Exercises the Sec. 2.4 transform on non-trivial topologies: *client*
+components with periodic threads call into a layer of *server* components,
+which may in turn call a deeper layer -- always downward, so the call graph
+is acyclic by construction.  Each server's provided MIT is set to the
+fastest caller period divided by the number of call sites, guaranteeing the
+MIT validation passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.components.assembly import SystemAssembly
+from repro.components.component import Component
+from repro.components.interface import ProvidedMethod, RequiredMethod
+from repro.components.threads import CallStep, EventThread, PeriodicThread, TaskStep
+from repro.platforms.linear import LinearSupplyPlatform
+
+__all__ = ["RandomAssemblySpec", "random_assembly"]
+
+
+@dataclass(frozen=True)
+class RandomAssemblySpec:
+    """Parameters of :func:`random_assembly`."""
+
+    n_layers: int = 2          # 1 client layer + (n_layers - 1) server layers
+    clients_per_layer: int = 2
+    calls_per_thread: tuple[int, int] = (1, 2)
+    period_range: tuple[float, float] = (50.0, 400.0)
+    wcet_range: tuple[float, float] = (0.5, 3.0)
+    rate_range: tuple[float, float] = (0.3, 0.9)
+    delay_range: tuple[float, float] = (0.0, 2.0)
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1 or self.clients_per_layer < 1:
+            raise ValueError("need at least one layer with one component")
+        lo, hi = self.calls_per_thread
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad calls_per_thread {self.calls_per_thread!r}")
+
+
+def random_assembly(
+    spec: RandomAssemblySpec | None = None,
+    *,
+    seed: int | np.random.Generator = 0,
+) -> SystemAssembly:
+    """Draw a random acyclic component assembly (one platform per instance)."""
+    spec = spec or RandomAssemblySpec()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+
+    asm = SystemAssembly(name="random-assembly")
+    # layer -> list of (instance name, provided method name or None)
+    layers: list[list[tuple[str, str | None]]] = []
+
+    # Build from the deepest layer up so callees exist when callers bind.
+    min_period = spec.period_range[0]
+    for depth in range(spec.n_layers - 1, -1, -1):
+        layer: list[tuple[str, str | None]] = []
+        for k in range(spec.clients_per_layer):
+            iname = f"L{depth}C{k}"
+            is_leafward = depth > 0  # servers in layers >= 1
+            callees = layers[-1] if layers else []
+            n_calls = (
+                int(rng.integers(spec.calls_per_thread[0], spec.calls_per_thread[1] + 1))
+                if callees
+                else 0
+            )
+            chosen = (
+                [callees[int(rng.integers(0, len(callees)))] for _ in range(n_calls)]
+                if n_calls
+                else []
+            )
+            required = []
+            body: list = [
+                TaskStep(
+                    "work0",
+                    wcet=float(rng.uniform(*spec.wcet_range)),
+                    bcet=None,
+                )
+            ]
+            for c_idx, (callee, method) in enumerate(chosen):
+                req_name = f"call{c_idx}"
+                # A very generous MIT: validated against the real rate later.
+                required.append(RequiredMethod(req_name, mit=min_period / 8.0))
+                body.append(CallStep(req_name))
+            body.append(
+                TaskStep(
+                    "work1",
+                    wcet=float(rng.uniform(*spec.wcet_range)),
+                    bcet=None,
+                )
+            )
+
+            if is_leafward:
+                # Server component: provides one method realized by an event
+                # thread with the body above.  MIT sized for the worst case:
+                # every possible caller thread calling at the fastest period.
+                mit = min_period / (8.0 * spec.clients_per_layer * spec.calls_per_thread[1])
+                comp = Component(
+                    name=f"Server{depth}_{k}",
+                    provided=[ProvidedMethod("serve", mit=mit)],
+                    required=required,
+                    threads=[
+                        EventThread(
+                            name="handler",
+                            realizes="serve",
+                            priority=1 + int(rng.integers(0, 3)),
+                            body=tuple(body),
+                        )
+                    ],
+                )
+                layer.append((iname, "serve"))
+            else:
+                period = float(
+                    np.exp(
+                        rng.uniform(
+                            np.log(spec.period_range[0]),
+                            np.log(spec.period_range[1]),
+                        )
+                    )
+                )
+                comp = Component(
+                    name=f"Client{k}",
+                    provided=[],
+                    required=required,
+                    threads=[
+                        PeriodicThread(
+                            name="main",
+                            period=period,
+                            priority=1 + int(rng.integers(0, 3)),
+                            body=tuple(body),
+                        )
+                    ],
+                )
+                layer.append((iname, None))
+
+            asm.add_instance(iname, comp)
+            pname = f"P_{iname}"
+            asm.add_platform(
+                pname,
+                LinearSupplyPlatform(
+                    rate=float(rng.uniform(*spec.rate_range)),
+                    delay=float(rng.uniform(*spec.delay_range)),
+                    burstiness=0.0,
+                    name=pname,
+                ),
+            )
+            asm.place(iname, platform=pname)
+            for c_idx, (callee, method) in enumerate(chosen):
+                asm.bind(iname, f"call{c_idx}", callee, method)
+        layers.append(layer)
+
+    return asm

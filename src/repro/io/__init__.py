@@ -1,0 +1,34 @@
+"""Serialization of transaction systems to/from plain dictionaries and JSON.
+
+Systems survive a round trip exactly (up to float representation); platform
+objects are serialized by mechanism so a loaded system analyzes *and*
+simulates identically.
+"""
+
+from repro.io.spec import (
+    system_from_dict,
+    system_to_dict,
+    load_system,
+    save_system,
+)
+from repro.io.components_spec import (
+    assembly_from_dict,
+    assembly_to_dict,
+    component_from_dict,
+    component_to_dict,
+    load_assembly,
+    save_assembly,
+)
+
+__all__ = [
+    "system_to_dict",
+    "system_from_dict",
+    "save_system",
+    "load_system",
+    "component_to_dict",
+    "component_from_dict",
+    "assembly_to_dict",
+    "assembly_from_dict",
+    "save_assembly",
+    "load_assembly",
+]

@@ -1,0 +1,35 @@
+"""Task, transaction and system data model.
+
+These are the objects Section 2.4 of the paper derives from the component
+specification and on which Section 3 runs its analysis:
+
+* :class:`repro.model.task.Task` -- one task :math:`\\tau_{i,j}` with
+  worst/best-case execution time, offset, jitter, priority and the index of
+  the abstract platform it is mapped to.
+* :class:`repro.model.transaction.Transaction` -- a precedence chain
+  :math:`\\Gamma_i = (\\tau_{i,1} \\dots \\tau_{i,n_i})` with a period and an
+  end-to-end deadline.
+* :class:`repro.model.system.TransactionSystem` -- the full analyzable
+  system: transactions plus the list of abstract platforms.
+* :mod:`repro.model.priorities` -- priority-assignment policies (the paper
+  takes priorities from the component threads; rate/deadline-monotonic
+  assignment is provided for generated workloads).
+"""
+
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.model.system import TransactionSystem
+from repro.model.priorities import (
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+    normalize_priorities,
+)
+
+__all__ = [
+    "Task",
+    "Transaction",
+    "TransactionSystem",
+    "assign_deadline_monotonic",
+    "assign_rate_monotonic",
+    "normalize_priorities",
+]

@@ -1,0 +1,80 @@
+"""Priority-assignment policies.
+
+In the paper, task priorities come directly from the component threads
+(Section 2.4): they are fixed by the designer, local to each component, and
+the analysis compares them only between tasks mapped to the same platform.
+For *generated* workloads (:mod:`repro.gen`) we provide the two classical
+fixed-priority policies.  Priorities follow the paper's convention: **greater
+number = higher priority**.
+"""
+
+from __future__ import annotations
+
+from repro.model.system import TransactionSystem
+
+__all__ = [
+    "assign_rate_monotonic",
+    "assign_deadline_monotonic",
+    "normalize_priorities",
+]
+
+
+def _assign_by_key(system: TransactionSystem, key_is_period: bool) -> None:
+    """Assign per-platform priorities ordered by period or deadline.
+
+    Tasks on each platform are ranked by their transaction's period
+    (rate-monotonic) or end-to-end deadline (deadline-monotonic): the
+    smallest value receives the highest priority.  Ties are broken by
+    transaction index, then task index, deterministically.
+    """
+    for m in range(len(system.platforms)):
+        entries = system.tasks_on(m)
+        if not entries:
+            continue
+
+        def sort_key(entry: tuple[int, int, object]) -> tuple[float, int, int]:
+            i, j, _ = entry
+            tr = system.transactions[i]
+            val = tr.period if key_is_period else float(tr.deadline)
+            return (val, i, j)
+
+        ordered = sorted(entries, key=sort_key)
+        # Highest priority (largest number) to the smallest period/deadline.
+        n = len(ordered)
+        for rank, (i, j, _) in enumerate(ordered):
+            system.transactions[i].tasks[j].priority = n - rank
+
+
+def assign_rate_monotonic(system: TransactionSystem) -> TransactionSystem:
+    """Rate-monotonic priorities per platform (in place; returns *system*).
+
+    Each platform gets an independent priority space (priorities are local,
+    as in the paper); the task whose transaction has the shortest period gets
+    the numerically greatest priority on that platform.
+    """
+    _assign_by_key(system, key_is_period=True)
+    return system
+
+
+def assign_deadline_monotonic(system: TransactionSystem) -> TransactionSystem:
+    """Deadline-monotonic priorities per platform (in place; returns *system*)."""
+    _assign_by_key(system, key_is_period=False)
+    return system
+
+
+def normalize_priorities(system: TransactionSystem) -> TransactionSystem:
+    """Re-map priorities on each platform to the dense range ``1..n``.
+
+    Preserves the relative order (including ties) of the existing
+    priorities.  Useful after composing systems whose components used
+    arbitrary local priority values.
+    """
+    for m in range(len(system.platforms)):
+        entries = system.tasks_on(m)
+        if not entries:
+            continue
+        distinct = sorted({t.priority for _, _, t in entries})
+        remap = {p: rank + 1 for rank, p in enumerate(distinct)}
+        for i, j, t in entries:
+            system.transactions[i].tasks[j].priority = remap[t.priority]
+    return system

@@ -1,0 +1,136 @@
+"""The task model :math:`\\tau_{i,j}` of Section 2.4.
+
+A task is a piece of sequential code belonging to a transaction.  Its
+parameters are the classical holistic-analysis parameters (Tindell & Clark
+1994; Palencia & Gonzalez Harbour 1998) extended with the *mapping variable*
+``platform`` selecting the abstract computing platform the task executes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["Task"]
+
+
+@dataclass
+class Task:
+    """One task :math:`\\tau_{i,j}` of a transaction.
+
+    Parameters
+    ----------
+    wcet:
+        Worst-case execution time :math:`C_{i,j}` in *cycles* (platform-
+        independent work; the platform rate :math:`\\alpha` converts cycles
+        to time).
+    platform:
+        Index :math:`s_{i,j}` of the abstract platform in the owning
+        :class:`~repro.model.system.TransactionSystem`.
+    priority:
+        Fixed priority :math:`p_{i,j}`; **greater value means higher
+        priority**, as in the paper.
+    bcet:
+        Best-case execution time :math:`C^{best}_{i,j}`; defaults to
+        ``wcet`` (no best-case information).
+    offset:
+        Static offset :math:`\\phi_{i,j}` from the transaction activation.
+        May exceed the transaction period; analyses reduce it modulo the
+        period.  For derived (dynamic-offset) systems this field is managed
+        by the analysis and equals the best-case response time of the
+        predecessor.
+    jitter:
+        Activation jitter :math:`J_{i,j}`: the task is released anywhere in
+        ``[offset, offset + jitter]`` after the transaction activation.  May
+        exceed the period.
+    blocking:
+        Blocking term :math:`B_{i,j}` from lower-priority non-preemptable
+        sections, in *time* units (i.e. already scaled by the platform
+        rate -- it enters Eq. 13 additively next to :math:`\\Delta`).  The
+        paper carries the term without computing it;
+        :mod:`repro.analysis.blocking` fills it from a resource
+        specification under SRP/PCP or non-preemptive protocols.
+    name:
+        Optional human-readable label used in reports.
+    meta:
+        Free-form metadata (the component transform records the originating
+        component/thread/method here).
+    """
+
+    wcet: float
+    platform: int
+    priority: int
+    bcet: float | None = None
+    offset: float = 0.0
+    jitter: float = 0.0
+    blocking: float = 0.0
+    name: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive(self.wcet, "wcet")
+        if self.bcet is None:
+            self.bcet = float(self.wcet)
+        check_non_negative(self.bcet, "bcet")
+        if self.bcet > self.wcet + 1e-12:
+            raise ValueError(
+                f"bcet ({self.bcet!r}) must not exceed wcet ({self.wcet!r})"
+            )
+        if not isinstance(self.platform, int) or isinstance(self.platform, bool):
+            raise TypeError(f"platform must be an int index, got {self.platform!r}")
+        if self.platform < 0:
+            raise ValueError(f"platform index must be >= 0, got {self.platform!r}")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise TypeError(f"priority must be an int, got {self.priority!r}")
+        check_non_negative(self.offset, "offset")
+        check_non_negative(self.jitter, "jitter")
+        check_non_negative(self.blocking, "blocking")
+        self.wcet = float(self.wcet)
+        self.bcet = float(self.bcet)
+        self.offset = float(self.offset)
+        self.jitter = float(self.jitter)
+        self.blocking = float(self.blocking)
+
+    def with_updates(self, **changes: Any) -> "Task":
+        """Return a copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def scaled_wcet(self, rate: float) -> float:
+        """Execution time on a platform of rate *rate*: :math:`C/\\alpha`."""
+        if rate <= 0:
+            raise ValueError(f"platform rate must be positive, got {rate!r}")
+        return self.wcet / rate
+
+    def scaled_bcet(
+        self, rate: float, burstiness: float = 0.0, *, sound: bool = False
+    ) -> float:
+        """Best-case execution time on an abstract platform.
+
+        With ``sound=False`` (default) this is the *published* term
+        :math:`\\max(0, C^{best}/\\alpha - \\beta)` -- the formula the
+        paper's Table 1 offsets are computed with.
+
+        With ``sound=True`` it is the bound implied by the supply envelope
+        :math:`Z^{max}(t) \\le \\beta + \\alpha t`: completion no earlier
+        than :math:`\\max(0, (C^{best} - \\beta)/\\alpha)`.  Since
+        :math:`\\beta/\\alpha \\ge \\beta` for :math:`\\alpha \\le 1`, the
+        published formula can *overestimate* the best case (and is therefore
+        not a valid lower bound against compliant supply patterns); see
+        EXPERIMENTS.md for the discussion and a demonstrating simulation.
+        """
+        if rate <= 0:
+            raise ValueError(f"platform rate must be positive, got {rate!r}")
+        if burstiness < 0:
+            raise ValueError(f"burstiness must be >= 0, got {burstiness!r}")
+        if sound:
+            return max(0.0, (self.bcet - burstiness) / rate)
+        return max(0.0, self.bcet / rate - burstiness)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "task"
+        return (
+            f"{label}(C={self.wcet}, Cb={self.bcet}, phi={self.offset}, "
+            f"J={self.jitter}, p={self.priority}, Pi={self.platform})"
+        )

@@ -1,0 +1,44 @@
+"""Platform-parameter optimization -- the paper's stated future work.
+
+Section 5: "the parameters of the abstract computing platform ... could be
+computed depending on the actual requirement of a component.  This requires
+an optimization method to assign the parameters (alpha, beta, Delta) to each
+abstract platform.  The search for the optimal platform parameters would
+allow a better utilization of the resources."
+
+This package implements that search:
+
+* :mod:`repro.opt.platform_design` -- coordinate-descent minimization of
+  total reserved bandwidth (sum of rates) subject to schedulability.
+* :mod:`repro.opt.server_params` -- the mapping between linear triples and
+  concrete periodic-server parameters :math:`(Q, P)`.
+* :mod:`repro.opt.pareto` -- rate/delay trade-off frontiers.
+"""
+
+from repro.opt.interfaces import (
+    ComponentInterface,
+    Composition,
+    InterfacePoint,
+    component_interface,
+    compose_interfaces,
+)
+from repro.opt.platform_design import DesignResult, minimize_bandwidth
+from repro.opt.server_params import (
+    server_for_triple,
+    triple_for_server,
+)
+from repro.opt.pareto import pareto_front, rate_delay_frontier
+
+__all__ = [
+    "ComponentInterface",
+    "Composition",
+    "InterfacePoint",
+    "component_interface",
+    "compose_interfaces",
+    "DesignResult",
+    "minimize_bandwidth",
+    "server_for_triple",
+    "triple_for_server",
+    "pareto_front",
+    "rate_delay_frontier",
+]

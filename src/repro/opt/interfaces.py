@@ -1,0 +1,166 @@
+"""Component interface generation and composition (Lipari & Bini style).
+
+The methodology the paper builds on ([7]: "A methodology for designing
+hierarchical scheduling systems") abstracts each component by the region of
+platform parameters :math:`(\\alpha, \\Delta)` under which its local task
+set is schedulable -- the component's *temporal interface*.  Components are
+then composed by picking one operating point per component such that the
+points are jointly realizable on the physical resource.
+
+This module computes
+
+* :func:`component_interface` -- the boundary of the feasible region of one
+  component (minimum rate as a function of the tolerated delay), using the
+  per-component tests of :mod:`repro.analysis.compositional`;
+* :func:`compose_interfaces` -- a feasibility check + operating-point
+  selection for several components sharing one physical processor, under
+  the periodic-server realization (each point :math:`(\\alpha, \\Delta)`
+  costs bandwidth :math:`\\alpha`; points are realizable iff
+  :math:`\\sum \\alpha \\le 1` and every selected server keeps its delay).
+
+The full-system search of :mod:`repro.opt.platform_design` subsumes this
+when transactions *interact*; interface generation is the modular
+alternative the component market story needs: a component vendor publishes
+the curve, an integrator composes curves without seeing task internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.compositional import (
+    LocalTask,
+    edf_component_schedulable,
+    fp_component_schedulable,
+)
+from repro.analysis.sensitivity import bisect_monotone
+from repro.platforms.linear import LinearSupplyPlatform
+
+__all__ = ["InterfacePoint", "ComponentInterface", "component_interface",
+           "compose_interfaces"]
+
+
+@dataclass(frozen=True)
+class InterfacePoint:
+    """One operating point of a component's temporal interface."""
+
+    delay: float
+    rate: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.rate <= 1.0
+
+
+@dataclass
+class ComponentInterface:
+    """The feasible (rate, delay) boundary of one component.
+
+    ``points`` are sorted by delay; a point with ``rate = inf`` marks a
+    delay no rate ``<= 1`` can compensate.
+    """
+
+    name: str
+    points: list[InterfacePoint]
+    utilization: float
+
+    def min_rate_at(self, delay: float) -> float:
+        """Minimum feasible rate at *delay* (conservative interpolation).
+
+        Between computed points the *larger* neighbouring rate is returned
+        (the curve is non-decreasing in delay, so rounding toward the next
+        computed point is safe).
+        """
+        eligible = [p for p in self.points if p.delay >= delay]
+        if not eligible:
+            return float("inf")
+        return min(p.rate for p in eligible)
+
+
+def component_interface(
+    tasks: Sequence[LocalTask],
+    delays: Sequence[float],
+    *,
+    scheduler: str = "fp",
+    name: str = "",
+    rate_tol: float = 1e-3,
+) -> ComponentInterface:
+    """Compute the minimum feasible rate of a component per tolerated delay.
+
+    Parameters
+    ----------
+    tasks:
+        The component's local (independent) task set.
+    delays:
+        Delay grid to evaluate; the curve is non-decreasing in delay.
+    scheduler:
+        Local scheduler: ``"fp"`` (fixed priority, the paper's choice) or
+        ``"edf"`` (the extension the paper mentions).
+    """
+    if scheduler not in ("fp", "edf"):
+        raise ValueError(f"scheduler must be 'fp' or 'edf', got {scheduler!r}")
+    test = fp_component_schedulable if scheduler == "fp" else edf_component_schedulable
+    task_list = list(tasks)
+    util = sum(t.wcet / t.period for t in task_list)
+
+    points: list[InterfacePoint] = []
+    for delay in sorted(delays):
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+
+        def ok(rate: float, delay=delay) -> bool:
+            platform = LinearSupplyPlatform(rate, delay, 0.0)
+            return test(task_list, platform)
+
+        if not ok(1.0):
+            points.append(InterfacePoint(delay=float(delay), rate=float("inf")))
+            continue
+        lo = max(util, 1e-6)
+        flip = bisect_monotone(
+            lambda y: ok(1.0 + lo - y), lo, 1.0, tol=rate_tol
+        )
+        points.append(InterfacePoint(delay=float(delay), rate=1.0 + lo - flip))
+    return ComponentInterface(name=name, points=points, utilization=util)
+
+
+@dataclass
+class Composition:
+    """Outcome of composing interfaces on one physical processor."""
+
+    feasible: bool
+    #: Selected operating point per component (index-aligned); empty when
+    #: infeasible.
+    selection: list[InterfacePoint]
+    total_bandwidth: float
+
+
+def compose_interfaces(
+    interfaces: Sequence[ComponentInterface],
+    *,
+    delays: Sequence[float] | None = None,
+) -> Composition:
+    """Select one operating point per component with total bandwidth <= 1.
+
+    Strategy: for each component independently take the cheapest feasible
+    point (largest tolerable delay with finite rate gives the minimum rate
+    since the curve is non-decreasing... in *rate* as delay shrinks); then
+    check the bandwidth budget.  Because each component's bandwidth demand
+    is independent of the others' choices under the reservation model, the
+    component-wise minimum is globally optimal -- no search needed.
+    """
+    selection: list[InterfacePoint] = []
+    for iface in interfaces:
+        finite = [p for p in iface.points if p.rate != float("inf")]
+        if delays is not None:
+            finite = [p for p in finite if p.delay in set(delays)]
+        if not finite:
+            return Composition(feasible=False, selection=[], total_bandwidth=float("inf"))
+        best = min(finite, key=lambda p: (p.rate, -p.delay))
+        selection.append(best)
+    total = sum(p.rate for p in selection)
+    return Composition(
+        feasible=total <= 1.0 + 1e-9,
+        selection=selection if total <= 1.0 + 1e-9 else selection,
+        total_bandwidth=total,
+    )

@@ -1,0 +1,80 @@
+"""Rate/delay trade-off frontiers.
+
+For a single platform, a longer supply delay (cheaper to implement -- larger
+server period, fewer context switches) must be compensated by a higher rate
+to keep the system schedulable.  :func:`rate_delay_frontier` traces that
+curve; :func:`pareto_front` is the generic non-dominated filter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.interfaces import AnalysisConfig
+from repro.analysis.schedulability import analyze
+from repro.analysis.sensitivity import bisect_monotone
+from repro.model.system import TransactionSystem
+from repro.platforms.linear import LinearSupplyPlatform
+
+__all__ = ["pareto_front", "rate_delay_frontier"]
+
+
+def pareto_front(
+    points: Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Non-dominated subset of *points*, minimizing both coordinates.
+
+    Returned sorted by the first coordinate.  A point dominates another when
+    it is no larger in both coordinates and strictly smaller in one.
+    """
+    ordered = sorted(points)
+    front: list[tuple[float, float]] = []
+    best_y = float("inf")
+    for x, y in ordered:
+        if y < best_y - 1e-15:
+            front.append((x, y))
+            best_y = y
+    return front
+
+
+def rate_delay_frontier(
+    system: TransactionSystem,
+    platform_index: int,
+    delays: Sequence[float],
+    *,
+    config: AnalysisConfig | None = None,
+    rate_tol: float = 1e-3,
+) -> list[tuple[float, float]]:
+    """Minimum feasible rate of one platform as a function of its delay.
+
+    Other platforms stay fixed.  Entries whose delay admits no feasible rate
+    ``<= 1`` are reported with rate ``inf``.
+    """
+    base = system.platforms[platform_index]
+
+    def schedulable(rate: float, delay: float) -> bool:
+        platforms = list(system.platforms)
+        platforms[platform_index] = LinearSupplyPlatform(
+            rate=rate,
+            delay=delay,
+            burstiness=base.burstiness,
+            allow_superunit=True,
+        )
+        candidate = TransactionSystem(
+            transactions=system.transactions, platforms=platforms, name=system.name
+        )
+        return analyze(candidate, config=config).schedulable
+
+    frontier: list[tuple[float, float]] = []
+    for delay in delays:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        if not schedulable(1.0, delay):
+            frontier.append((float(delay), float("inf")))
+            continue
+        lo = 1e-6
+        flip = bisect_monotone(
+            lambda y, d=delay: schedulable(1.0 + lo - y, d), lo, 1.0, tol=rate_tol
+        )
+        frontier.append((float(delay), 1.0 + lo - flip))
+    return frontier

@@ -1,0 +1,42 @@
+"""Mapping between linear triples and periodic-server parameters.
+
+A periodic server :math:`(Q, P)` has the triple
+:math:`(\\alpha, \\Delta, \\beta) = (Q/P,\\ 2(P-Q),\\ 2Q(P-Q)/P)`
+(:mod:`repro.platforms.periodic_server`).  Inverting the first two gives the
+server realizing a requested rate/delay pair:
+
+.. math:: P = \\frac{\\Delta}{2(1 - \\alpha)}, \\qquad Q = \\alpha P .
+
+The burstiness is then determined -- a designer cannot pick all three
+independently with this mechanism, which is why
+:func:`server_for_triple` only consumes ``rate`` and ``delay``.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.periodic_server import PeriodicServer
+
+__all__ = ["server_for_triple", "triple_for_server"]
+
+
+def server_for_triple(rate: float, delay: float, *, name: str = "") -> PeriodicServer:
+    """The periodic server whose rate/delay equal the requested pair.
+
+    Raises :class:`ValueError` for ``rate >= 1`` (a share of a single
+    processor must be fractional for the blackout to be positive) or
+    non-positive delay (no finite period realizes an instantaneous share --
+    use a dedicated processor instead).
+    """
+    if not (0.0 < rate < 1.0):
+        raise ValueError(f"rate must lie in (0, 1), got {rate!r}")
+    if delay <= 0.0:
+        raise ValueError(
+            f"delay must be positive to synthesize a server, got {delay!r}"
+        )
+    period = delay / (2.0 * (1.0 - rate))
+    return PeriodicServer(budget=rate * period, period=period, name=name)
+
+
+def triple_for_server(server: PeriodicServer) -> tuple[float, float, float]:
+    """The linear triple of a periodic server (delegates to the platform)."""
+    return server.triple()

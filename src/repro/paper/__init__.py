@@ -1,0 +1,36 @@
+"""The paper's worked example (Sections 2.2, 4) as ready-made objects.
+
+* :func:`~repro.paper.example.sensor_fusion_system` -- the transaction
+  system of Figure 5 with the parameters of Tables 1-2.
+* :func:`~repro.paper.example.sensor_fusion_components` -- the same system
+  expressed as components (Figures 1-2), from which the transform of
+  Section 2.4 re-derives the transactions.
+* :mod:`~repro.paper.tables` -- regenerate Tables 1, 2 and 3 as formatted
+  text, used by the benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.paper.example import (
+    PAPER_TABLE3_CORRECTED,
+    paper_table1_rows,
+    paper_table2_rows,
+    paper_table3_rows,
+    sensor_fusion_components,
+    sensor_fusion_system,
+)
+from repro.paper.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "PAPER_TABLE3_CORRECTED",
+    "sensor_fusion_system",
+    "sensor_fusion_components",
+    "paper_table1_rows",
+    "paper_table2_rows",
+    "paper_table3_rows",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

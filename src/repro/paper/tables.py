@@ -1,0 +1,98 @@
+"""Regenerate the paper's tables as formatted text.
+
+Used by the benchmarks (E1-E3) and the examples; the heavy lifting is done
+by :mod:`repro.analysis`, this module only formats.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.interfaces import SystemAnalysis
+from repro.model.system import TransactionSystem
+from repro.viz.tables import format_table
+
+__all__ = ["render_table1", "render_table2", "render_table3"]
+
+
+def _fmt(x: float | None, digits: int = 4) -> str:
+    if x is None:
+        return ""
+    if isinstance(x, float) and math.isinf(x):
+        return "inf"
+    if float(x) == int(x):
+        return str(int(x))
+    return f"{x:.{digits}g}"
+
+
+def render_table1(system: TransactionSystem, analysis: SystemAnalysis) -> str:
+    """Table 1: per-task parameters with the derived minimum offsets."""
+    header = ["Task", "Platform", "Cbest", "C", "T", "D", "p", "phi_min"]
+    rows = []
+    for i, tr in enumerate(system.transactions):
+        for j, task in enumerate(tr.tasks):
+            platform = system.platforms[task.platform]
+            rows.append([
+                task.name or f"tau_{i + 1}_{j + 1}",
+                getattr(platform, "name", "") or f"Pi{task.platform + 1}",
+                _fmt(task.bcet),
+                _fmt(task.wcet),
+                _fmt(tr.period),
+                _fmt(tr.deadline),
+                str(task.priority),
+                _fmt(analysis.tasks[(i, j)].offset),
+            ])
+    return format_table(header, rows, title="Table 1: task parameters")
+
+
+def render_table2(system: TransactionSystem) -> str:
+    """Table 2: the platform triples."""
+    header = ["Platform", "alpha", "Delta", "beta"]
+    rows = [
+        [
+            getattr(p, "name", "") or f"Pi{m + 1}",
+            _fmt(p.rate),
+            _fmt(p.delay),
+            _fmt(p.burstiness),
+        ]
+        for m, p in enumerate(system.platforms)
+    ]
+    return format_table(header, rows, title="Table 2: platform parameters")
+
+
+def render_table3(
+    analysis: SystemAnalysis, transaction: int = 0
+) -> str:
+    """Table 3: the (J, R) iteration trace of one transaction.
+
+    Requires the analysis to have been run with ``trace=True``.  Cells after
+    a task's convergence are left blank, matching the paper's layout.
+    """
+    if not analysis.iterations:
+        raise ValueError("analysis was run without trace=True; no iterations recorded")
+    keys = sorted(k for k in analysis.tasks if k[0] == transaction)
+    n_iter = len(analysis.iterations)
+
+    header = ["Task"]
+    for n in range(n_iter):
+        header += [f"J({n})", f"R({n})"]
+
+    rows = []
+    for (i, j) in keys:
+        row = [analysis.tasks[(i, j)].name or f"tau_{i + 1}_{j + 1}"]
+        converged_at: int | None = None
+        prev: tuple[float, float] | None = None
+        for n, it in enumerate(analysis.iterations):
+            jv = it.jitters[(i, j)]
+            rv = it.responses[(i, j)]
+            if prev is not None and converged_at is None and (jv, rv) == prev:
+                converged_at = n
+            prev = (jv, rv)
+            if converged_at is not None and n > converged_at:
+                row += ["", ""]
+            else:
+                row += [_fmt(jv), _fmt(rv)]
+        rows.append(row)
+    return format_table(
+        header, rows, title=f"Table 3: iteration trace of transaction {transaction + 1}"
+    )

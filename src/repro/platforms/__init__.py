@@ -1,0 +1,76 @@
+"""Abstract computing platforms and their supply functions (paper Sec. 2.3).
+
+An *abstract computing platform* :math:`\\Pi` is characterized by the number
+of cycles it is guaranteed to provide in any time interval.  The paper
+bounds the provided cycles between a minimum and a maximum supply function
+(Definitions 1-2) and abstracts both by linear envelopes described by the
+triple :math:`(\\alpha, \\Delta, \\beta)` -- rate, delay and burstiness
+(Definitions 3-5), in direct analogy with network calculus.
+
+This sub-package provides:
+
+* :class:`~repro.platforms.base.AbstractPlatform` -- the common interface:
+  exact supply functions ``zmin``/``zmax`` plus the linear triple.
+* :class:`~repro.platforms.linear.LinearSupplyPlatform` -- a platform given
+  directly by its triple (what the paper's example uses, Table 2), and
+  :class:`~repro.platforms.linear.DedicatedPlatform` -- the classical
+  processor :math:`(1, 0, 0)`.
+* :class:`~repro.platforms.periodic_server.PeriodicServer` -- the
+  :math:`Q` - every - :math:`P` reservation of Figure 3 with exact
+  piecewise supply functions.
+* :class:`~repro.platforms.partition.StaticPartitionPlatform` -- table-driven
+  TDM slot partitions.
+* :class:`~repro.platforms.pfair.PFairPlatform` -- p-fair weighted fair
+  scheduling (lag-1 bound).
+* :mod:`~repro.platforms.servers` -- polling/deferrable/CBS reservation
+  variants sharing the budget/period supply envelope.
+* :class:`~repro.platforms.network.NetworkLinkPlatform` -- a network modeled
+  as a platform (Sec. 2.2.1: "the network is similar to a computational
+  node"), plus message-to-task conversion helpers.
+* :mod:`~repro.platforms.algebra` -- numeric extraction and verification of
+  :math:`(\\alpha, \\Delta, \\beta)` from arbitrary supply curves.
+"""
+
+from repro.platforms.base import AbstractPlatform
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+from repro.platforms.periodic_server import PeriodicServer
+from repro.platforms.partition import StaticPartitionPlatform
+from repro.platforms.pfair import PFairPlatform
+from repro.platforms.servers import (
+    CBSServer,
+    DeferrableServer,
+    PollingServer,
+    ReservationServer,
+)
+from repro.platforms.hierarchy import NestedPlatform, nest
+from repro.platforms.network import Message, NetworkLinkPlatform, message_to_task
+from repro.platforms.algebra import (
+    LinearBounds,
+    as_linear,
+    extract_linear_bounds,
+    verify_linear_bounds,
+    verify_supply_sanity,
+)
+
+__all__ = [
+    "AbstractPlatform",
+    "LinearSupplyPlatform",
+    "DedicatedPlatform",
+    "PeriodicServer",
+    "StaticPartitionPlatform",
+    "PFairPlatform",
+    "ReservationServer",
+    "PollingServer",
+    "DeferrableServer",
+    "CBSServer",
+    "NestedPlatform",
+    "nest",
+    "NetworkLinkPlatform",
+    "Message",
+    "message_to_task",
+    "LinearBounds",
+    "as_linear",
+    "extract_linear_bounds",
+    "verify_linear_bounds",
+    "verify_supply_sanity",
+]

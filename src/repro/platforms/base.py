@@ -1,0 +1,123 @@
+"""Common interface of abstract computing platforms.
+
+Definitions 1-5 of the paper: a platform is fully described by its minimum
+and maximum supply functions; the analysis consumes the linear abstraction
+:math:`Z^{min}(t) \\ge \\alpha(t - \\Delta)` and
+:math:`Z^{max}(t) \\le \\beta + \\alpha t`.
+
+Note on Definitions 4-5.  The paper defines :math:`\\Delta` as
+``max{d >= 0 : exists t >= 0, Zmin(t) <= alpha (t - d)}`` -- read literally
+this is unbounded (take ``t = 0``).  The intended (and standard, cf. network
+calculus rate-latency curves) semantics, which the paper's Figure 3
+illustrates, is the *tightest safe* linear bound:
+
+.. math::  \\Delta = \\min\\{d : \\forall t,\\ Z^{min}(t) \\ge \\alpha(t-d)\\}
+           = \\sup_t\\,(t - Z^{min}(t)/\\alpha)
+
+and dually :math:`\\beta = \\sup_t\\,(Z^{max}(t) - \\alpha t)`.  All concrete
+platforms implement these semantics (analytically where closed forms exist,
+numerically via :mod:`repro.platforms.algebra` otherwise).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["AbstractPlatform"]
+
+
+class AbstractPlatform(abc.ABC):
+    """An abstract computing platform :math:`\\Pi` (paper Sec. 2.3).
+
+    Subclasses must implement the exact supply functions and the linear
+    triple.  Supply functions are expressed in *cycles provided* as a
+    function of interval length ``t``; both are ``0`` for ``t <= 0`` except
+    that ``zmax`` may jump to ``burstiness`` immediately after ``0``.
+    """
+
+    # -- exact supply -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def zmin(self, t: float) -> float:
+        """Minimum cycles provided in any interval of length *t* (Def. 1)."""
+
+    @abc.abstractmethod
+    def zmax(self, t: float) -> float:
+        """Maximum cycles provided in any interval of length *t* (Def. 2)."""
+
+    # -- linear abstraction -------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def rate(self) -> float:
+        """Long-run rate :math:`\\alpha` (Def. 3); in ``(0, 1]`` for a CPU share."""
+
+    @property
+    @abc.abstractmethod
+    def delay(self) -> float:
+        """Delay :math:`\\Delta` of the linear lower bound (Def. 4, see module note)."""
+
+    @property
+    @abc.abstractmethod
+    def burstiness(self) -> float:
+        """Burstiness :math:`\\beta` of the linear upper bound (Def. 5)."""
+
+    # -- derived helpers (shared implementations) ----------------------------------
+
+    def linear_lower(self, t: float) -> float:
+        """The lower envelope :math:`\\max(0, \\alpha(t - \\Delta))`."""
+        return max(0.0, self.rate * (t - self.delay))
+
+    def linear_upper(self, t: float) -> float:
+        """The upper envelope :math:`\\beta + \\alpha t` (``0`` for ``t <= 0``)."""
+        if t <= 0.0:
+            return 0.0
+        return self.burstiness + self.rate * t
+
+    def triple(self) -> tuple[float, float, float]:
+        """The characterizing triple :math:`(\\alpha, \\Delta, \\beta)`."""
+        return (self.rate, self.delay, self.burstiness)
+
+    # -- vectorized sampling (for plots, verification and sweeps) -------------------
+
+    def sample_zmin(self, ts: Iterable[float] | np.ndarray) -> np.ndarray:
+        """``zmin`` evaluated over an array of interval lengths."""
+        arr = np.asarray(list(ts) if not isinstance(ts, np.ndarray) else ts, dtype=float)
+        return np.array([self.zmin(float(t)) for t in arr.ravel()]).reshape(arr.shape)
+
+    def sample_zmax(self, ts: Iterable[float] | np.ndarray) -> np.ndarray:
+        """``zmax`` evaluated over an array of interval lengths."""
+        arr = np.asarray(list(ts) if not isinstance(ts, np.ndarray) else ts, dtype=float)
+        return np.array([self.zmax(float(t)) for t in arr.ravel()]).reshape(arr.shape)
+
+    # -- service-time inversion ------------------------------------------------------
+
+    def min_service_time(self, cycles: float) -> float:
+        """Time to *guarantee* `cycles` using the linear lower bound.
+
+        Inverts :math:`\\alpha(t - \\Delta) = cycles`, i.e.
+        :math:`t = \\Delta + cycles/\\alpha` -- the term the analysis uses for
+        the task under analysis (Eq. 13: the :math:`\\Delta + C/\\alpha`
+        contribution).
+        """
+        if cycles <= 0.0:
+            return 0.0
+        return self.delay + cycles / self.rate
+
+    def best_service_time(self, cycles: float) -> float:
+        """Shortest conceivable time to obtain *cycles* per the paper's best case.
+
+        The paper's best-case term is :math:`\\max(0, cycles/\\alpha - \\beta)`
+        (see :meth:`repro.model.task.Task.scaled_bcet` for the discussion of
+        the published form).
+        """
+        if cycles <= 0.0:
+            return 0.0
+        return max(0.0, cycles / self.rate - self.burstiness)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        a, d, b = self.triple()
+        return f"{type(self).__name__}(alpha={a:g}, delta={d:g}, beta={b:g})"

@@ -1,0 +1,117 @@
+"""Multi-level hierarchical platforms: reservations inside reservations.
+
+The paper's model is two-level (global scheduler realizes one abstract
+platform per component).  Deeper hierarchies -- a subsystem reserved inside
+another subsystem's reservation -- compose naturally at the supply-function
+level: if the *outer* platform guarantees :math:`Z^{min}_o(t)` units of
+processor time in any window of length :math:`t`, and the *inner* mechanism
+guarantees :math:`Z^{min}_i(s)` cycles out of any :math:`s` units of the
+time it is given, then the composition guarantees
+
+.. math::  Z^{min}(t) = Z^{min}_i(Z^{min}_o(t)), \\qquad
+           Z^{max}(t) = Z^{max}_i(Z^{max}_o(t)).
+
+For the linear abstractions this yields the closed triple
+
+.. math::  \\alpha = \\alpha_i\\,\\alpha_o, \\qquad
+           \\Delta = \\Delta_o + \\Delta_i/\\alpha_o, \\qquad
+           \\beta  = \\beta_i + \\alpha_i\\,\\beta_o,
+
+i.e. the inner delay is *stretched* by the outer rate (waiting
+:math:`\\Delta_i` units of inner time takes :math:`\\Delta_i/\\alpha_o`
+wall-clock time in the worst case), and rates multiply.  The closed triple
+is itself a valid (generally slightly pessimistic) envelope of the exact
+composed curves; both are exposed.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import AbstractPlatform
+
+__all__ = ["NestedPlatform", "nest"]
+
+
+class NestedPlatform(AbstractPlatform):
+    """An inner reservation scheduled inside an outer platform's supply.
+
+    Parameters
+    ----------
+    outer:
+        The platform providing raw processor time (e.g. a periodic server
+        on the physical CPU).
+    inner:
+        The mechanism subdividing the outer supply (e.g. another periodic
+        server, expressed in the *inner* timeline: its parameters count
+        units of time actually received from the outer platform).
+    """
+
+    def __init__(
+        self,
+        outer: AbstractPlatform,
+        inner: AbstractPlatform,
+        *,
+        name: str = "",
+    ) -> None:
+        for which, p in (("outer", outer), ("inner", inner)):
+            for attr in ("zmin", "zmax", "rate", "delay", "burstiness"):
+                if not hasattr(p, attr):
+                    raise TypeError(f"{which} platform {p!r} lacks {attr!r}")
+        self.outer = outer
+        self.inner = inner
+        self.name = name
+
+    # -- exact composed supply -----------------------------------------------------
+
+    def zmin(self, t: float) -> float:
+        return self.inner.zmin(self.outer.zmin(t))
+
+    def zmax(self, t: float) -> float:
+        return self.inner.zmax(self.outer.zmax(t))
+
+    # -- closed-form triple -----------------------------------------------------------
+
+    @property
+    def rate(self) -> float:
+        return self.inner.rate * self.outer.rate
+
+    @property
+    def delay(self) -> float:
+        return self.outer.delay + self.inner.delay / self.outer.rate
+
+    @property
+    def burstiness(self) -> float:
+        return self.inner.burstiness + self.inner.rate * self.outer.burstiness
+
+    def depth(self) -> int:
+        """Nesting depth (a flat platform is depth 1)."""
+        inner_depth = (
+            self.inner.depth() if isinstance(self.inner, NestedPlatform) else 1
+        )
+        outer_depth = (
+            self.outer.depth() if isinstance(self.outer, NestedPlatform) else 1
+        )
+        return 1 + max(inner_depth, outer_depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"NestedPlatform{label}({self.inner!r} inside {self.outer!r}; "
+            f"alpha={self.rate:g}, delta={self.delay:g}, beta={self.burstiness:g})"
+        )
+
+
+def nest(*platforms: AbstractPlatform, name: str = "") -> AbstractPlatform:
+    """Compose a chain of platforms, outermost first.
+
+    ``nest(cpu_share, subsystem_share, component_share)`` reserves
+    ``component_share`` inside ``subsystem_share`` inside ``cpu_share``.
+    With a single argument the platform is returned unchanged.
+    """
+    if not platforms:
+        raise ValueError("nest() needs at least one platform")
+    current = platforms[0]
+    for inner in platforms[1:]:
+        current = NestedPlatform(current, inner)
+    if name and isinstance(current, NestedPlatform):
+        current.name = name
+    return current

@@ -1,0 +1,98 @@
+"""Platforms specified directly by their linear triple.
+
+The paper's example (Table 2) specifies platforms as bare
+:math:`(\\alpha, \\Delta, \\beta)` triples; :class:`LinearSupplyPlatform`
+realizes exactly that, taking the linear envelopes *as* the supply
+functions.  :class:`DedicatedPlatform` is the classical full-speed processor
+:math:`(1, 0, 0)` the paper singles out: with it, the whole analysis reduces
+to the classical holistic analysis (benchmark E9 verifies this).
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import AbstractPlatform
+from repro.util.validation import check_in_range, check_non_negative
+
+__all__ = ["LinearSupplyPlatform", "DedicatedPlatform"]
+
+
+class LinearSupplyPlatform(AbstractPlatform):
+    """A platform whose supply functions *are* the linear envelopes.
+
+    Parameters
+    ----------
+    rate:
+        :math:`\\alpha \\in (0, 1]` -- fraction of a unit-speed processor.
+        Rates above 1 are permitted (e.g. a network link measured in bytes
+        per time unit) by passing ``allow_superunit=True``.
+    delay:
+        :math:`\\Delta \\ge 0` -- worst-case initial service delay.
+    burstiness:
+        :math:`\\beta \\ge 0` -- best-case head start.
+    name:
+        Optional label used in reports (e.g. ``"Pi1"``).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        delay: float = 0.0,
+        burstiness: float = 0.0,
+        *,
+        name: str = "",
+        allow_superunit: bool = False,
+    ) -> None:
+        if allow_superunit:
+            check_in_range(rate, 0.0, float("inf"), "rate", low_open=True)
+        else:
+            check_in_range(rate, 0.0, 1.0, "rate", low_open=True)
+        check_non_negative(delay, "delay")
+        check_non_negative(burstiness, "burstiness")
+        self._rate = float(rate)
+        self._delay = float(delay)
+        self._burstiness = float(burstiness)
+        self.name = name
+
+    # -- supply -----------------------------------------------------------------
+
+    def zmin(self, t: float) -> float:
+        return max(0.0, self._rate * (t - self._delay))
+
+    def zmax(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        return self._burstiness + self._rate * t
+
+    # -- triple -----------------------------------------------------------------
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    @property
+    def burstiness(self) -> float:
+        return self._burstiness
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"LinearSupplyPlatform{label}(alpha={self._rate:g}, "
+            f"delta={self._delay:g}, beta={self._burstiness:g})"
+        )
+
+
+class DedicatedPlatform(LinearSupplyPlatform):
+    """The classical dedicated processor: :math:`(\\alpha,\\Delta,\\beta)=(1,0,0)`.
+
+    A convenience subclass so call sites read
+    ``DedicatedPlatform()`` instead of ``LinearSupplyPlatform(1, 0, 0)``.
+    An optional *speed* lets heterogeneous multiprocessors be modeled
+    (a processor of speed 0.5 provides half the cycles per unit time).
+    """
+
+    def __init__(self, speed: float = 1.0, *, name: str = "") -> None:
+        super().__init__(rate=speed, delay=0.0, burstiness=0.0, name=name)

@@ -1,0 +1,145 @@
+"""Networks modeled as abstract computing platforms.
+
+Section 2.2.1 of the paper: "we assume that the network is similar to a
+computational node and messages are scheduled according to the network
+scheduling policy", and Section 2.4: "messages can simply be modeled by
+considering additional tasks that have to be executed on an abstract
+computing platform that models the network".
+
+:class:`NetworkLinkPlatform` maps a (possibly shared) link to the linear
+supply model: the *cycles* of a message task are its bytes on the wire, the
+*rate* is the bandwidth share granted to the traffic class, the *delay*
+aggregates arbitration blackout plus propagation, and the *burstiness*
+captures any credit-based head start.  :func:`message_to_task` converts a
+:class:`Message` into a :class:`~repro.model.task.Task` ready to be spliced
+into a transaction by the component transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.task import Task
+from repro.platforms.linear import LinearSupplyPlatform
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["NetworkLinkPlatform", "Message", "message_to_task"]
+
+
+class NetworkLinkPlatform(LinearSupplyPlatform):
+    """A network link (or a TDM share of one) as an abstract platform.
+
+    Parameters
+    ----------
+    bandwidth:
+        Raw link bandwidth in bytes per time unit.
+    share:
+        Fraction of the bandwidth reserved for this traffic class
+        (``(0, 1]``); e.g. the FTT-CAN synchronous window share.
+    arbitration_delay:
+        Worst-case time a ready frame waits for the medium (blackout of the
+        TDM window plus the longest lower-priority frame in transit).
+    propagation_delay:
+        Physical propagation plus stack latency, added to the supply delay.
+    burst_credit:
+        Bytes of head start a back-logged class may receive (credit-based
+        shapers); ``0`` for plain TDM.
+    frame_overhead:
+        Protocol overhead in bytes added to every message's payload when
+        converting messages to tasks.
+    """
+
+    def __init__(
+        self,
+        bandwidth: float,
+        *,
+        share: float = 1.0,
+        arbitration_delay: float = 0.0,
+        propagation_delay: float = 0.0,
+        burst_credit: float = 0.0,
+        frame_overhead: float = 0.0,
+        name: str = "",
+    ) -> None:
+        check_positive(bandwidth, "bandwidth")
+        if not (0.0 < share <= 1.0):
+            raise ValueError(f"share must lie in (0, 1], got {share!r}")
+        check_non_negative(arbitration_delay, "arbitration_delay")
+        check_non_negative(propagation_delay, "propagation_delay")
+        check_non_negative(burst_credit, "burst_credit")
+        check_non_negative(frame_overhead, "frame_overhead")
+        super().__init__(
+            rate=bandwidth * share,
+            delay=arbitration_delay + propagation_delay,
+            burstiness=burst_credit,
+            name=name,
+            allow_superunit=True,
+        )
+        self.bandwidth = float(bandwidth)
+        self.share = float(share)
+        self.frame_overhead = float(frame_overhead)
+
+    def wire_cycles(self, payload_bytes: float) -> float:
+        """Cycles (bytes on the wire) a message of *payload_bytes* demands."""
+        check_non_negative(payload_bytes, "payload_bytes")
+        return payload_bytes + self.frame_overhead
+
+    def transmission_time(self, payload_bytes: float) -> float:
+        """Guaranteed-bound transmission time of one message (no queueing)."""
+        return self.min_service_time(self.wire_cycles(payload_bytes))
+
+
+@dataclass
+class Message:
+    """A message exchanged between components over a network platform.
+
+    Parameters
+    ----------
+    payload:
+        Payload size in bytes (worst case).
+    payload_best:
+        Best-case payload size; defaults to ``payload``.
+    priority:
+        Network-scheduler priority of the message stream (greater = higher,
+        as everywhere in the library).
+    name:
+        Optional label (e.g. ``"readSensor1.request"``).
+    """
+
+    payload: float
+    priority: int = 1
+    payload_best: float | None = None
+    name: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive(self.payload, "payload")
+        if self.payload_best is None:
+            self.payload_best = float(self.payload)
+        check_positive(self.payload_best, "payload_best")
+        if self.payload_best > self.payload:
+            raise ValueError(
+                f"payload_best ({self.payload_best!r}) must not exceed "
+                f"payload ({self.payload!r})"
+            )
+
+
+def message_to_task(
+    message: Message,
+    link: NetworkLinkPlatform,
+    platform_index: int,
+) -> Task:
+    """Convert *message* into a schedulable task on the network platform.
+
+    The resulting task's cycles are the bytes on the wire (payload plus the
+    link's frame overhead); the analysis then treats the link exactly like a
+    processor, as prescribed by Section 2.4 of the paper.
+    """
+    return Task(
+        wcet=link.wire_cycles(message.payload),
+        bcet=link.wire_cycles(message.payload_best),
+        platform=platform_index,
+        priority=message.priority,
+        name=message.name or "msg",
+        meta={"kind": "message", **message.meta},
+    )

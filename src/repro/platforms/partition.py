@@ -1,0 +1,181 @@
+"""Static time-partition (TDM table) platforms.
+
+The paper lists "static partitioning of the resource" (Feng & Mok) among the
+global scheduling strategies that realize abstract platforms.  A partition
+is a cyclically repeating table of time slots during which the component
+owns the processor.  The exact supply functions are computed by sliding a
+window over the periodic slot pattern; the linear triple is extracted
+exactly from the piecewise-linear corners.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.platforms.base import AbstractPlatform
+from repro.util.math import EPS, fmod_pos
+from repro.util.validation import check_positive
+
+__all__ = ["StaticPartitionPlatform"]
+
+
+class StaticPartitionPlatform(AbstractPlatform):
+    """A platform defined by a cyclic table of exclusive time slots.
+
+    Parameters
+    ----------
+    slots:
+        Sequence of ``(start, length)`` pairs within ``[0, cycle)`` during
+        which the partition owns the (unit-speed) processor.  Slots must not
+        overlap; they may touch.
+    cycle:
+        The major cycle after which the table repeats.
+
+    Example
+    -------
+    ``StaticPartitionPlatform([(0, 2), (5, 1)], cycle=10)`` provides 3 cycles
+    every 10 time units (:math:`\\alpha = 0.3`) with the worst-case window
+    starting just after the slot at 5 ends.
+    """
+
+    def __init__(
+        self,
+        slots: Sequence[tuple[float, float]],
+        cycle: float,
+        *,
+        name: str = "",
+    ) -> None:
+        check_positive(cycle, "cycle")
+        self.cycle = float(cycle)
+        self.name = name
+        cleaned: list[tuple[float, float]] = []
+        for k, (start, length) in enumerate(slots):
+            if length <= 0:
+                raise ValueError(f"slots[{k}] has non-positive length {length!r}")
+            if start < 0 or start + length > cycle + EPS:
+                raise ValueError(
+                    f"slots[{k}] = ({start!r}, {length!r}) does not fit in "
+                    f"[0, {cycle!r})"
+                )
+            cleaned.append((float(start), float(length)))
+        cleaned.sort()
+        for (s0, l0), (s1, _) in zip(cleaned, cleaned[1:]):
+            if s0 + l0 > s1 + EPS:
+                raise ValueError(
+                    f"slots ({s0}, {l0}) and starting at {s1} overlap"
+                )
+        if not cleaned:
+            raise ValueError("a partition needs at least one slot")
+        self.slots = cleaned
+        self._supply_per_cycle = sum(l for _, l in cleaned)
+        # Pre-compute cumulative supply at slot boundaries for fast lookup.
+        self._boundaries: list[float] = []
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for start, length in cleaned:
+            self._boundaries.append(start)
+            self._cumulative.append(acc)
+            acc += length
+            self._boundaries.append(start + length)
+            self._cumulative.append(acc)
+        self._delay, self._burstiness = self._extract_bounds()
+
+    # -- cumulative supply -----------------------------------------------------------
+
+    def _partial(self, x: float) -> float:
+        """Supply accumulated in ``[0, x)`` within a single cycle, ``x in [0, cycle]``."""
+        acc = 0.0
+        for start, length in self.slots:
+            if x <= start:
+                break
+            acc += min(length, x - start)
+        return acc
+
+    def cumulative_supply(self, x: float) -> float:
+        """Total supply in ``[0, x)`` for any ``x >= 0`` (pattern repeats)."""
+        if x <= 0.0:
+            return 0.0
+        k = int(x // self.cycle)
+        rem = x - k * self.cycle
+        return k * self._supply_per_cycle + self._partial(rem)
+
+    # -- exact supply functions ---------------------------------------------------------
+
+    def _window_candidates(self, t: float) -> list[float]:
+        """Window-start candidates where ``S(t0+t) - S(t0)`` can attain extrema.
+
+        The sliding-window supply is piecewise linear in the window start
+        ``t0`` with breakpoints where either edge of the window crosses a
+        slot boundary; the extrema are attained at these breakpoints.
+        """
+        cands: set[float] = set()
+        for b in self._boundaries:
+            cands.add(fmod_pos(b, self.cycle))
+            cands.add(fmod_pos(b - t, self.cycle))
+        return sorted(cands)
+
+    def zmin(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        best = float("inf")
+        for t0 in self._window_candidates(t):
+            s = self.cumulative_supply(t0 + t) - self.cumulative_supply(t0)
+            best = min(best, s)
+        return max(0.0, best)
+
+    def zmax(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        best = 0.0
+        for t0 in self._window_candidates(t):
+            s = self.cumulative_supply(t0 + t) - self.cumulative_supply(t0)
+            best = max(best, s)
+        return best
+
+    # -- linear triple ---------------------------------------------------------------
+
+    def _extract_bounds(self) -> tuple[float, float]:
+        """Exact :math:`(\\Delta, \\beta)` from the piecewise-linear corners.
+
+        ``t - zmin(t)/alpha`` and ``zmax(t) - alpha t`` are periodic in ``t``
+        with period ``cycle`` (one extra cycle covers the initial blackout),
+        and their extrema lie at window lengths equal to differences of slot
+        boundaries.  Enumerating boundary pairs across two cycles is exact.
+        """
+        alpha = self.rate
+        bounds2: list[float] = []
+        for k in (0, 1, 2):
+            bounds2.extend(b + k * self.cycle for b in self._boundaries)
+        lengths: set[float] = set()
+        for b1 in self._boundaries:
+            for b2 in bounds2:
+                if b2 - b1 > EPS:
+                    lengths.add(b2 - b1)
+        delay = 0.0
+        burst = 0.0
+        for t in lengths:
+            zmn = self.zmin(t)
+            zmx = self.zmax(t)
+            delay = max(delay, t - zmn / alpha)
+            burst = max(burst, zmx - alpha * t)
+        return delay, burst
+
+    @property
+    def rate(self) -> float:
+        return self._supply_per_cycle / self.cycle
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    @property
+    def burstiness(self) -> float:
+        return self._burstiness
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"StaticPartitionPlatform{label}({len(self.slots)} slots / "
+            f"{self.cycle:g}; alpha={self.rate:g}, delta={self.delay:g}, "
+            f"beta={self.burstiness:g})"
+        )

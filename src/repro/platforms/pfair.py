@@ -1,0 +1,73 @@
+"""P-fair scheduling as an abstract platform.
+
+The paper cites p-fair schedulers (Srinivasan & Anderson) as one possible
+global scheduling mechanism.  A p-fair task of weight :math:`w` receives an
+allocation whose *lag* with respect to the fluid schedule :math:`w\\,t` is
+strictly bounded by one quantum: :math:`|S(t) - w\\,t| < q`.  Taken as a
+supply model this yields
+
+.. math::  Z^{min}(t) = \\max(0,\\ w\\,t - q), \\qquad
+           Z^{max}(t) = \\min(t,\\ w\\,t + q)
+
+so the linear triple is :math:`(\\alpha, \\Delta, \\beta) = (w,\\ q/w,\\ q)`.
+The paper's Figure 3 commentary ("if Pi is implemented by a pfair task the
+min/max supply functions will be quite different") is exactly this shape:
+no blackout longer than :math:`q/w`, and a much smaller burst than a
+periodic server of equal bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import AbstractPlatform
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["PFairPlatform"]
+
+
+class PFairPlatform(AbstractPlatform):
+    """A p-fair share of a (multi)processor.
+
+    Parameters
+    ----------
+    weight:
+        Fluid rate :math:`w \\in (0, 1]` of the share.
+    quantum:
+        Lag bound :math:`q` (the scheduling quantum), default 1 time unit.
+    """
+
+    def __init__(self, weight: float, quantum: float = 1.0, *, name: str = "") -> None:
+        check_in_range(weight, 0.0, 1.0, "weight", low_open=True)
+        check_positive(quantum, "quantum")
+        self.weight = float(weight)
+        self.quantum = float(quantum)
+        self.name = name
+
+    def zmin(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        return max(0.0, self.weight * t - self.quantum)
+
+    def zmax(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        return min(t, self.weight * t + self.quantum)
+
+    @property
+    def rate(self) -> float:
+        return self.weight
+
+    @property
+    def delay(self) -> float:
+        """:math:`\\Delta = q/w`: the lag bound divided by the fluid rate."""
+        return self.quantum / self.weight
+
+    @property
+    def burstiness(self) -> float:
+        return self.quantum
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"PFairPlatform{label}(w={self.weight:g}, q={self.quantum:g}; "
+            f"delta={self.delay:g})"
+        )

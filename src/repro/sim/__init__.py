@@ -1,0 +1,58 @@
+"""Discrete-event simulation of hierarchical scheduling.
+
+The validation substrate for the analysis of Section 3: transactions are
+executed on concrete realizations of the abstract platforms (budget/period
+servers, TDM partitions, fluid shares), with preemptive fixed-priority (or
+EDF) local scheduling and precedence chaining across platforms -- the
+run-time system the paper assumes a middleware/OS provides.
+
+Key invariant (asserted by the property tests and benchmark E8): for any
+compliant supply pattern and any release phasing, every *observed* response
+time is bounded by the *analytic* worst case.
+
+* :mod:`repro.sim.supply` -- concrete supply processes compliant with each
+  platform's supply bounds.
+* :mod:`repro.sim.engine` -- the event-driven simulator core.
+* :mod:`repro.sim.trace` -- response-time statistics and deadline-miss
+  accounting.
+* :mod:`repro.sim.workload` -- release-phasing policies.
+* :mod:`repro.sim.validate` -- one-call comparison against the analysis.
+"""
+
+from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.sim.supply import (
+    AlwaysOnSupply,
+    FluidSupply,
+    PartitionSupply,
+    ServerSupply,
+    SupplyProcess,
+    supply_for_platform,
+)
+from repro.sim.physical import (
+    GlobalScheduleResult,
+    WindowSupply,
+    schedule_servers,
+)
+from repro.sim.trace import SimTrace, TaskStats
+from repro.sim.workload import ReleasePolicy
+from repro.sim.validate import ValidationReport, validate_against_analysis
+
+__all__ = [
+    "SimulationConfig",
+    "Simulator",
+    "simulate",
+    "SupplyProcess",
+    "AlwaysOnSupply",
+    "FluidSupply",
+    "ServerSupply",
+    "PartitionSupply",
+    "supply_for_platform",
+    "GlobalScheduleResult",
+    "WindowSupply",
+    "schedule_servers",
+    "SimTrace",
+    "TaskStats",
+    "ReleasePolicy",
+    "ValidationReport",
+    "validate_against_analysis",
+]

@@ -1,0 +1,302 @@
+"""Event-driven simulator core.
+
+State: per platform, a set of *ready jobs* and the currently running job;
+per transaction, a stream of periodic releases.  Between two consecutive
+events the running job of each platform advances at the platform's current
+supply rate (piecewise constant by construction of
+:mod:`repro.sim.supply`), so exact completion instants can be predicted and
+no time-stepping error is introduced.
+
+Event kinds (implicit -- the loop simply advances to the earliest of):
+
+* the next transaction release,
+* the next supply-rate change on any platform,
+* the predicted completion of any running job.
+
+Scheduling is preemptive: after every event each platform runs its
+highest-priority ready job (fixed priority; ties broken by earliest ready
+time, then transaction index -- deterministic).  EDF local scheduling
+orders by absolute deadline instead, honouring the per-component policy of
+the derived system when task metadata carries one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.system import TransactionSystem
+from repro.sim.supply import SupplyProcess, supply_for_platform
+from repro.sim.trace import SimTrace
+from repro.sim.workload import ReleasePolicy
+
+__all__ = ["SimulationConfig", "Simulator", "simulate"]
+
+_EPS = 1e-9
+_INF = float("inf")
+
+
+@dataclass
+class SimulationConfig:
+    """Simulation knobs.
+
+    Parameters
+    ----------
+    horizon:
+        Simulated time span.  Defaults (when ``None``) to 50 times the
+        largest transaction period.
+    release:
+        Release-phasing policy.
+    placement:
+        Budget-window placement passed to the server supplies
+        (``"early"``/``"late"``/``"random"``).
+    seed:
+        Master seed; supplies and the release policy derive their streams
+        from it.
+    scheduler:
+        ``"fixed_priority"`` (default) or ``"edf"`` -- the local policy used
+        on every platform.
+    execution:
+        How much work each job actually performs: ``"wcet"`` (default,
+        worst case), ``"bcet"`` (best case) or ``"uniform"`` (seeded draw
+        in ``[bcet, wcet]`` per job).  Varying execution times exercise the
+        best-case bounds and the jitter propagation.
+    record_events:
+        Keep a full event log in the trace (slow; for debugging).
+    record_intervals:
+        Record per-platform execution intervals for Gantt rendering
+        (:func:`repro.viz.gantt.render_gantt`).
+    keep_samples:
+        Retain every observed response time per task (enables quantiles and
+        histograms; memory grows with the horizon).
+    """
+
+    horizon: float | None = None
+    release: ReleasePolicy = field(default_factory=ReleasePolicy)
+    placement: str = "random"
+    seed: int = 0
+    scheduler: str = "fixed_priority"
+    execution: str = "wcet"
+    record_events: bool = False
+    record_intervals: bool = False
+    keep_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("fixed_priority", "edf"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.placement not in ("early", "late", "random"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+        if self.execution not in ("wcet", "bcet", "uniform"):
+            raise ValueError(f"unknown execution policy {self.execution!r}")
+
+
+@dataclass
+class _Job:
+    txn: int
+    idx: int
+    release: float  # transaction release time
+    remaining: float  # cycles left
+    priority: int
+    abs_deadline: float
+    ready: float  # instant this job became ready
+    uid: int  # global tie-breaker
+
+
+class Simulator:
+    """Executable instance of a transaction system.
+
+    Create, then call :meth:`run`.  A simulator is single-use: ``run`` may
+    only be called once per instance.
+    """
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        config: SimulationConfig | None = None,
+        *,
+        supplies: list[SupplyProcess] | None = None,
+    ) -> None:
+        self.system = system
+        self.config = config or SimulationConfig()
+        rng = np.random.default_rng(self.config.seed)
+        if supplies is None:
+            supplies = [
+                supply_for_platform(
+                    p,
+                    placement=self.config.placement,
+                    rng=np.random.default_rng(rng.integers(0, 2**63)),
+                )
+                for p in system.platforms
+            ]
+        if len(supplies) != len(system.platforms):
+            raise ValueError(
+                f"{len(supplies)} supplies for {len(system.platforms)} platforms"
+            )
+        self.supplies = supplies
+        self._exec_rng = np.random.default_rng(
+            np.random.default_rng(self.config.seed + 1).integers(0, 2**63)
+        )
+        self._ran = False
+
+    def _demand(self, task) -> float:
+        """Cycles one job of *task* executes under the execution policy."""
+        policy = self.config.execution
+        if policy == "wcet":
+            return task.wcet
+        if policy == "bcet":
+            return task.bcet
+        if task.bcet >= task.wcet:
+            return task.wcet
+        return float(self._exec_rng.uniform(task.bcet, task.wcet))
+
+    # -- scheduling order ---------------------------------------------------------
+
+    def _key(self, job: _Job) -> tuple:
+        if self.config.scheduler == "edf":
+            return (job.abs_deadline, job.ready, job.uid)
+        # Fixed priority: greater number = higher priority.
+        return (-job.priority, job.ready, job.uid)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> SimTrace:
+        """Simulate and return the trace."""
+        if self._ran:
+            raise RuntimeError("Simulator instances are single-use; create a new one")
+        self._ran = True
+
+        system = self.system
+        cfg = self.config
+        n_txn = len(system.transactions)
+        horizon = (
+            cfg.horizon
+            if cfg.horizon is not None
+            else 50.0 * max(tr.period for tr in system.transactions)
+        )
+
+        trace = SimTrace(
+            horizon=horizon, released=[0] * n_txn, keep_samples=cfg.keep_samples
+        )
+        uid_counter = itertools.count()
+
+        periods = [tr.period for tr in system.transactions]
+        next_release = cfg.release.initial_releases(periods)
+
+        ready: list[list[_Job]] = [[] for _ in system.platforms]
+        running: list[_Job | None] = [None] * len(system.platforms)
+
+        def log(t: float, kind: str, detail: str) -> None:
+            if cfg.record_events:
+                trace.events.append((t, kind, detail))
+
+        def enqueue(job: _Job, t: float) -> None:
+            ready[system.transactions[job.txn].tasks[job.idx].platform].append(job)
+            log(t, "ready", f"txn{job.txn}.task{job.idx}")
+
+        def pick(m: int) -> None:
+            if ready[m]:
+                ready[m].sort(key=self._key)
+                running[m] = ready[m][0]
+            else:
+                running[m] = None
+
+        def release_transaction(i: int, t: float) -> None:
+            tr = system.transactions[i]
+            task = tr.tasks[0]
+            job = _Job(
+                txn=i,
+                idx=0,
+                release=t,
+                remaining=self._demand(task),
+                priority=task.priority,
+                abs_deadline=t + float(tr.deadline),
+                ready=t,
+                uid=next(uid_counter),
+            )
+            trace.released[i] += 1
+            enqueue(job, t)
+
+        t = 0.0
+        # Prime releases occurring exactly at their initial instants.
+        while t <= horizon + _EPS:
+            # 1) release everything due now.
+            for i in range(n_txn):
+                while next_release[i] <= t + _EPS:
+                    release_transaction(i, next_release[i])
+                    next_release[i] += periods[i]
+            # 2) elect runners.
+            for m in range(len(system.platforms)):
+                pick(m)
+            # 3) find the next event time.
+            t_next = min(next_release)
+            for m, sup in enumerate(self.supplies):
+                boundary = sup.next_change(t)
+                t_next = min(t_next, boundary)
+                job = running[m]
+                if job is not None:
+                    rate = sup.rate_at(t)
+                    if rate > 0.0:
+                        completion = t + job.remaining / rate
+                        # Only trust the prediction up to the next supply
+                        # boundary; the loop will re-predict after it.
+                        t_next = min(t_next, completion)
+            if t_next <= t + _EPS:
+                t_next = t + _EPS  # defensive: guarantee progress
+            if t_next > horizon:
+                break
+            # 4) advance running jobs.
+            dt = t_next - t
+            for m, sup in enumerate(self.supplies):
+                job = running[m]
+                if job is not None:
+                    rate = sup.rate_at(t)
+                    job.remaining -= rate * dt
+                    if cfg.record_intervals and rate > 0.0 and dt > _EPS:
+                        trace.intervals.append(
+                            (m, job.txn, job.idx, t, t_next)
+                        )
+            t = t_next
+            # 5) retire completed jobs.
+            for m in range(len(system.platforms)):
+                job = running[m]
+                if job is not None and job.remaining <= _EPS:
+                    ready[m].remove(job)
+                    running[m] = None
+                    tr = system.transactions[job.txn]
+                    response = t - job.release
+                    is_last = job.idx == len(tr.tasks) - 1
+                    trace.stats(job.txn, job.idx).record(
+                        response, float(tr.deadline), is_last
+                    )
+                    log(t, "done", f"txn{job.txn}.task{job.idx} R={response:.4f}")
+                    if not is_last:
+                        nxt = tr.tasks[job.idx + 1]
+                        enqueue(
+                            _Job(
+                                txn=job.txn,
+                                idx=job.idx + 1,
+                                release=job.release,
+                                remaining=self._demand(nxt),
+                                priority=nxt.priority,
+                                abs_deadline=job.abs_deadline,
+                                ready=t,
+                                uid=next(uid_counter),
+                            ),
+                            t,
+                        )
+
+        trace.in_flight = sum(len(q) for q in ready)
+        return trace
+
+
+def simulate(
+    system: TransactionSystem,
+    *,
+    config: SimulationConfig | None = None,
+    supplies: list[SupplyProcess] | None = None,
+) -> SimTrace:
+    """One-call wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(system, config, supplies=supplies).run()

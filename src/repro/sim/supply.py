@@ -1,0 +1,229 @@
+"""Concrete supply processes realizing abstract platforms.
+
+A :class:`SupplyProcess` answers two questions the simulator core asks:
+what is the service *rate* at time ``t`` (0 when the platform is off), and
+when does the rate next change.  Every process here is *compliant* with the
+supply bounds of the platform it realizes: over any window, the delivered
+cycles lie between ``zmin`` and ``zmax`` -- which is precisely why observed
+response times can never exceed the analytic bounds.
+
+Realizations:
+
+* :class:`AlwaysOnSupply` -- a dedicated processor of some speed.
+* :class:`FluidSupply` -- an idealized fractional share (rate
+  :math:`\\alpha` at every instant); compliant with any platform of rate
+  :math:`\\alpha` since :math:`\\alpha t` lies between the envelopes.
+* :class:`ServerSupply` -- one budget window of length :math:`Q` per period
+  :math:`P`, placed early, late, or at a (seeded) random position -- the
+  placement degree of freedom is exactly the "on-line conditions" of the
+  paper's Figure 3.
+* :class:`PartitionSupply` -- a cyclic TDM table.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.platforms.base import AbstractPlatform
+from repro.platforms.partition import StaticPartitionPlatform
+from repro.platforms.periodic_server import PeriodicServer
+
+__all__ = [
+    "SupplyProcess",
+    "AlwaysOnSupply",
+    "FluidSupply",
+    "ServerSupply",
+    "PartitionSupply",
+    "supply_for_platform",
+]
+
+_INF = float("inf")
+
+
+class SupplyProcess(abc.ABC):
+    """Service rate as a piecewise-constant function of time."""
+
+    @abc.abstractmethod
+    def rate_at(self, t: float) -> float:
+        """Execution speed granted at time *t* (cycles per time unit)."""
+
+    @abc.abstractmethod
+    def next_change(self, t: float) -> float:
+        """First instant strictly after *t* where :meth:`rate_at` changes.
+
+        ``inf`` when the rate is constant forever after *t*.
+        """
+
+
+class AlwaysOnSupply(SupplyProcess):
+    """A dedicated processor running at *speed* forever."""
+
+    def __init__(self, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed!r}")
+        self.speed = float(speed)
+
+    def rate_at(self, t: float) -> float:
+        return self.speed
+
+    def next_change(self, t: float) -> float:
+        return _INF
+
+
+class FluidSupply(AlwaysOnSupply):
+    """An idealized fractional share: constant rate :math:`\\alpha < 1`.
+
+    Used to realize bare :class:`~repro.platforms.linear.LinearSupplyPlatform`
+    triples, whose fluid supply :math:`\\alpha t` trivially satisfies
+    :math:`\\max(0, \\alpha(t-\\Delta)) \\le \\alpha t \\le \\beta+\\alpha t`.
+    """
+
+
+class ServerSupply(SupplyProcess):
+    """Budget :math:`Q` delivered contiguously once per period :math:`P`.
+
+    Parameters
+    ----------
+    budget, period:
+        The reservation.
+    placement:
+        ``"early"`` -- window at each period start (maximizes early supply);
+        ``"late"`` -- window at each period end (realizes the worst-case
+        blackout when preceded by an early window);
+        ``"random"`` -- independent uniform placement per period (seeded).
+    rng:
+        NumPy generator for ``"random"`` placement.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        period: float,
+        *,
+        placement: str = "random",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if budget <= 0 or period <= 0 or budget > period:
+            raise ValueError(
+                f"invalid server parameters Q={budget!r}, P={period!r}"
+            )
+        if placement not in ("early", "late", "random"):
+            raise ValueError(f"unknown placement {placement!r}")
+        self.budget = float(budget)
+        self.period = float(period)
+        self.placement = placement
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._offsets: dict[int, float] = {}
+
+    def _offset(self, k: int) -> float:
+        """Start of the budget window within period *k*, relative to ``kP``."""
+        slack = self.period - self.budget
+        if self.placement == "early":
+            return 0.0
+        if self.placement == "late":
+            return slack
+        got = self._offsets.get(k)
+        if got is None:
+            got = float(self._rng.uniform(0.0, slack)) if slack > 0 else 0.0
+            self._offsets[k] = got
+        return got
+
+    def _window(self, k: int) -> tuple[float, float]:
+        start = k * self.period + self._offset(k)
+        return start, start + self.budget
+
+    def rate_at(self, t: float) -> float:
+        k = int(math.floor(t / self.period))
+        s, e = self._window(k)
+        return 1.0 if s <= t < e else 0.0
+
+    def next_change(self, t: float) -> float:
+        k = int(math.floor(t / self.period))
+        for kk in (k, k + 1):
+            s, e = self._window(kk)
+            if s > t:
+                return s
+            if e > t:
+                return e
+        return (k + 2) * self.period + self._offset(k + 2)  # pragma: no cover
+
+
+class PartitionSupply(SupplyProcess):
+    """A cyclic TDM slot table (full speed inside slots, off outside)."""
+
+    def __init__(self, slots: list[tuple[float, float]], cycle: float) -> None:
+        # Reuse the platform's validation.
+        self._platform = StaticPartitionPlatform(slots, cycle)
+        self.cycle = float(cycle)
+        self.slots = self._platform.slots
+
+    def rate_at(self, t: float) -> float:
+        rem = t - math.floor(t / self.cycle) * self.cycle
+        for start, length in self.slots:
+            if start <= rem < start + length:
+                return 1.0
+        return 0.0
+
+    def next_change(self, t: float) -> float:
+        base = math.floor(t / self.cycle) * self.cycle
+        rem = t - base
+        boundaries: list[float] = []
+        for start, length in self.slots:
+            boundaries.extend((start, start + length))
+        for b in sorted(boundaries):
+            if b > rem + 1e-12:
+                return base + b
+        return base + self.cycle + min(b for b in boundaries if b >= 0)
+
+
+def supply_for_platform(
+    platform: AbstractPlatform,
+    *,
+    placement: str = "random",
+    rng: np.random.Generator | None = None,
+) -> SupplyProcess:
+    """Build a compliant supply process for *platform*.
+
+    * :class:`~repro.platforms.periodic_server.PeriodicServer` (and its
+      reservation subclasses) map to :class:`ServerSupply`.
+    * :class:`~repro.platforms.partition.StaticPartitionPlatform` maps to
+      :class:`PartitionSupply`.
+    * Dedicated platforms (rate 1, no delay) map to :class:`AlwaysOnSupply`.
+    * Other linear triples: when the delay is positive, a periodic server
+      with the same rate and worst-case blackout is synthesized
+      (:math:`P = \\Delta / (2(1-\\alpha))`, :math:`Q = \\alpha P`) --
+      *provided* its double-hit burst :math:`2Q(1-\\alpha)` stays within the
+      platform's advertised burstiness, so the realized supply respects
+      **both** envelopes.  When the burst budget is too small for that
+      server (or the delay is zero), the fluid share is used instead: its
+      supply :math:`\\alpha t` is compliant with any
+      :math:`(\\alpha, \\Delta \\ge 0, \\beta \\ge 0)`.
+    """
+    if isinstance(platform, PeriodicServer):
+        return ServerSupply(
+            platform.budget, platform.period, placement=placement, rng=rng
+        )
+    if isinstance(platform, StaticPartitionPlatform):
+        return PartitionSupply(
+            [(s, l) for s, l in platform.slots], platform.cycle
+        )
+    alpha, delta, beta = platform.triple()
+    if alpha >= 1.0 and delta == 0.0:
+        return AlwaysOnSupply(speed=alpha)
+    if delta <= 0.0:
+        return FluidSupply(speed=alpha)
+    if alpha >= 1.0:
+        # Super-unit rates (network links measured in bytes/time) with a
+        # positive delay: the fluid stream at the advertised rate is the
+        # compliant realization (alpha*t sits between both envelopes).
+        return FluidSupply(speed=alpha)
+    period = delta / (2.0 * (1.0 - alpha))
+    budget = alpha * period
+    if 2.0 * budget * (1.0 - alpha) > beta + 1e-12:
+        # The delay-matched server would burst past the advertised beta;
+        # the fluid share is the compliant realization.
+        return FluidSupply(speed=alpha)
+    return ServerSupply(budget, period, placement=placement, rng=rng)

@@ -1,0 +1,98 @@
+"""Simulation traces and response-time statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskStats", "SimTrace"]
+
+
+@dataclass
+class TaskStats:
+    """Observed response times of one task (measured from transaction release).
+
+    When ``keep_samples`` is set the individual responses are retained so
+    quantiles and histograms can be computed; otherwise only the running
+    aggregates are kept (constant memory).
+    """
+
+    count: int = 0
+    max_response: float = 0.0
+    min_response: float = float("inf")
+    total_response: float = 0.0
+    misses: int = 0  # completions after the transaction's end-to-end deadline
+    keep_samples: bool = False
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, response: float, deadline: float, is_last: bool) -> None:
+        self.count += 1
+        self.total_response += response
+        if response > self.max_response:
+            self.max_response = response
+        if response < self.min_response:
+            self.min_response = response
+        if is_last and response > deadline + 1e-9:
+            self.misses += 1
+        if self.keep_samples:
+            self.samples.append(response)
+
+    @property
+    def mean_response(self) -> float:
+        return self.total_response / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Empirical response-time quantile; requires ``keep_samples``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q!r}")
+        if not self.samples:
+            raise ValueError(
+                "no samples retained; simulate with keep_samples=True"
+            )
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+
+@dataclass
+class SimTrace:
+    """Aggregate outcome of one simulation run."""
+
+    #: Per-task statistics keyed by (transaction index, task index).
+    tasks: dict[tuple[int, int], TaskStats] = field(default_factory=dict)
+    #: Simulated horizon.
+    horizon: float = 0.0
+    #: Number of transaction instances released (per transaction).
+    released: list[int] = field(default_factory=list)
+    #: Instances still in flight when the horizon was reached.
+    in_flight: int = 0
+    #: Optional event log [(time, kind, detail)], filled when requested.
+    events: list[tuple[float, str, str]] = field(default_factory=list)
+    #: Optional execution intervals [(platform, txn, task, start, end)],
+    #: filled when ``record_intervals`` is set; consumed by the Gantt
+    #: renderer.
+    intervals: list[tuple[int, int, int, float, float]] = field(
+        default_factory=list
+    )
+
+    #: Whether per-job samples are retained in every TaskStats.
+    keep_samples: bool = False
+
+    def stats(self, i: int, j: int) -> TaskStats:
+        return self.tasks.setdefault(
+            (i, j), TaskStats(keep_samples=self.keep_samples)
+        )
+
+    def max_response(self, i: int, j: int) -> float:
+        """Largest observed response of task ``(i, j)`` (0 if never completed)."""
+        st = self.tasks.get((i, j))
+        return st.max_response if st else 0.0
+
+    def total_misses(self) -> int:
+        return sum(st.misses for st in self.tasks.values())
+
+    def observed_end_to_end(self) -> dict[int, float]:
+        """Max observed end-to-end response per transaction (last task's max)."""
+        last: dict[int, int] = {}
+        for (i, j) in self.tasks:
+            last[i] = max(last.get(i, -1), j)
+        return {i: self.tasks[(i, j)].max_response for i, j in last.items()}

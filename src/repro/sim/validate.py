@@ -1,0 +1,121 @@
+"""Simulation-versus-analysis validation.
+
+Runs the simulator under several seeds/placements/phasings and checks the
+fundamental soundness invariant of the reproduction: **no observed response
+time exceeds the analytic worst-case bound** (and, symmetrically, none falls
+below the best-case bound).  Benchmark E8 reports the resulting tightness
+ratios; the property tests assert the invariant on random systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.interfaces import AnalysisConfig, SystemAnalysis
+from repro.analysis.schedulability import analyze
+from repro.model.system import TransactionSystem
+from repro.sim.engine import SimulationConfig, simulate
+from repro.sim.workload import ReleasePolicy
+
+__all__ = ["ValidationReport", "validate_against_analysis"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of the sim-vs-analysis comparison."""
+
+    #: max observed response per task, over all runs.
+    observed: dict[tuple[int, int], float]
+    #: analytic worst-case bound per task.
+    bound: dict[tuple[int, int], float]
+    #: analytic best-case bound per task.
+    best: dict[tuple[int, int], float]
+    #: tasks whose observation exceeded the bound (should be empty).
+    violations: list[tuple[int, int]] = field(default_factory=list)
+    #: tasks observed below the best-case bound (should be empty).
+    best_violations: list[tuple[int, int]] = field(default_factory=list)
+    runs: int = 0
+    analysis: SystemAnalysis | None = None
+
+    @property
+    def sound(self) -> bool:
+        """True when no bound was violated in any run."""
+        return not self.violations and not self.best_violations
+
+    def tightness(self, i: int, j: int) -> float:
+        """observed / bound for task (i, j); 0 when never observed."""
+        b = self.bound[(i, j)]
+        if b == 0 or b != b or b == float("inf"):
+            return 0.0
+        return self.observed.get((i, j), 0.0) / b
+
+
+def validate_against_analysis(
+    system: TransactionSystem,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    placements: tuple[str, ...] = ("early", "late", "random"),
+    release_modes: tuple[str, ...] = ("synchronous", "random"),
+    horizon: float | None = None,
+    analysis_config: AnalysisConfig | None = None,
+    tol: float = 1e-6,
+) -> ValidationReport:
+    """Cross-validate the analysis against simulation on *system*.
+
+    Every combination of seed, budget-window placement and release phasing
+    is simulated; the per-task maxima are compared with the analytic
+    bounds.  Transactions whose analytic bound is infinite (unschedulable)
+    are skipped in the comparison -- simulation cannot refute an infinite
+    bound.
+
+    Unless an explicit *analysis_config* is given, the analysis runs with
+    the envelope-correct ``best_case="sound"`` bound: the paper's published
+    best-case formula is not a valid lower bound against compliant bursty
+    supplies (see :mod:`repro.analysis.bestcase`), so checking observations
+    against it would produce false violations.
+    """
+    if analysis_config is None:
+        analysis_config = AnalysisConfig(best_case="sound")
+    result = analyze(system, config=analysis_config)
+    bound = {k: v.wcrt for k, v in result.tasks.items()}
+    best = {k: v.bcrt for k, v in result.tasks.items()}
+
+    observed: dict[tuple[int, int], float] = {}
+    min_observed: dict[tuple[int, int], float] = {}
+    runs = 0
+    for seed in seeds:
+        for placement in placements:
+            for mode in release_modes:
+                cfg = SimulationConfig(
+                    horizon=horizon,
+                    seed=seed,
+                    placement=placement,
+                    release=ReleasePolicy(mode=mode, seed=seed),
+                )
+                trace = simulate(system, config=cfg)
+                runs += 1
+                for key, st in trace.tasks.items():
+                    observed[key] = max(observed.get(key, 0.0), st.max_response)
+                    min_observed[key] = min(
+                        min_observed.get(key, float("inf")), st.min_response
+                    )
+
+    violations = [
+        key
+        for key, obs in observed.items()
+        if obs > bound[key] + tol and bound[key] != float("inf")
+    ]
+    best_violations = [
+        key
+        for key, obs in min_observed.items()
+        if obs < best[key] - tol
+    ]
+    return ValidationReport(
+        observed=observed,
+        bound=bound,
+        best=best,
+        violations=sorted(violations),
+        best_violations=sorted(best_violations),
+        runs=runs,
+        analysis=result,
+    )

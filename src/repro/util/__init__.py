@@ -1,0 +1,62 @@
+"""Numeric and iteration utilities shared by the whole library.
+
+This sub-package provides the small, heavily exercised substrate on which
+every analysis module is built:
+
+* :mod:`repro.util.math` -- robust ceiling/floor/modulo arithmetic on
+  floating-point quantities (schedulability analyses are notoriously
+  sensitive to ``ceil(x/T)`` evaluated at exact multiples of ``T``).
+* :mod:`repro.util.fixedpoint` -- drivers for the monotone fixed-point
+  iterations used by every response-time computation in the paper
+  (Eq. 13, Eq. 16 and the busy-period recurrences).
+* :mod:`repro.util.validation` -- argument-validation helpers producing
+  consistent error messages across the public API.
+"""
+
+from repro.util.math import (
+    EPS,
+    ceil_div,
+    floor_div,
+    fceil,
+    ffloor,
+    fmod_pos,
+    is_close,
+    is_integer_multiple,
+    phase_in_period,
+    safe_div,
+)
+from repro.util.fixedpoint import (
+    FixedPointDiverged,
+    FixedPointResult,
+    iterate_fixed_point,
+    iterate_monotone,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "EPS",
+    "ceil_div",
+    "floor_div",
+    "fceil",
+    "ffloor",
+    "fmod_pos",
+    "is_close",
+    "is_integer_multiple",
+    "phase_in_period",
+    "safe_div",
+    "FixedPointDiverged",
+    "FixedPointResult",
+    "iterate_fixed_point",
+    "iterate_monotone",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,150 @@
+"""Fixed-point iteration drivers.
+
+Every response-time quantity in the paper is the least fixed point of a
+monotone non-decreasing function: the job-completion recurrence (Eq. 13 and
+Eq. 16), the busy-period length and the outer "dynamic offset" jitter
+iteration of Section 3.2.  Centralizing the iteration gives uniform
+convergence criteria, divergence detection (unschedulable systems make the
+recurrences grow without bound) and iteration accounting for the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.math import EPS
+
+__all__ = [
+    "FixedPointDiverged",
+    "FixedPointResult",
+    "iterate_fixed_point",
+    "iterate_monotone",
+]
+
+
+class FixedPointDiverged(RuntimeError):
+    """Raised when a monotone iteration exceeds its bound or iteration cap.
+
+    For response-time recurrences this signals an unschedulable (or not
+    provably schedulable) configuration: the busy period never closes.
+    Callers that interpret divergence as "deadline miss" catch this and
+    report an infinite response time instead of propagating the error.
+    """
+
+    def __init__(self, message: str, last_value: float, iterations: int):
+        super().__init__(message)
+        #: Value of the iterate when divergence was declared.
+        self.last_value = last_value
+        #: Number of iterations performed before giving up.
+        self.iterations = iterations
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a convergent fixed-point iteration."""
+
+    #: The fixed point reached.
+    value: float
+    #: Number of evaluations of the iterated function.
+    iterations: int
+
+    def __float__(self) -> float:  # pragma: no cover - trivial
+        return self.value
+
+
+def iterate_fixed_point(
+    func: Callable[[float], float],
+    start: float,
+    *,
+    bound: float = float("inf"),
+    max_iterations: int = 100_000,
+    tol: float = EPS,
+) -> FixedPointResult:
+    """Iterate ``x <- func(x)`` from *start* until two iterates agree.
+
+    Parameters
+    ----------
+    func:
+        The iterated map.  For the schedulability recurrences it is monotone
+        non-decreasing in its argument, which guarantees that iterating from
+        below converges to the *least* fixed point when one exists.
+    start:
+        Initial iterate (``0`` for completion-time recurrences).
+    bound:
+        Declare divergence as soon as an iterate exceeds this value.  The
+        analyses pass the transaction deadline plus one period: a busy period
+        extending past that proves a deadline miss, so there is no reason to
+        keep iterating.
+    max_iterations:
+        Safety cap independent of *bound*.
+    tol:
+        Absolute convergence tolerance between successive iterates.
+
+    Raises
+    ------
+    FixedPointDiverged
+        If an iterate exceeds *bound* or the iteration cap is hit.
+    """
+    x = start
+    for n in range(1, max_iterations + 1):
+        nxt = func(x)
+        if nxt > bound:
+            raise FixedPointDiverged(
+                f"fixed-point iteration exceeded bound {bound!r} "
+                f"after {n} iterations (last value {nxt!r})",
+                last_value=nxt,
+                iterations=n,
+            )
+        if abs(nxt - x) <= tol:
+            return FixedPointResult(value=nxt, iterations=n)
+        x = nxt
+    raise FixedPointDiverged(
+        f"fixed-point iteration did not converge within {max_iterations} "
+        f"iterations (last value {x!r})",
+        last_value=x,
+        iterations=max_iterations,
+    )
+
+
+def iterate_monotone(
+    func: Callable[[float], float],
+    start: float,
+    *,
+    bound: float = float("inf"),
+    max_iterations: int = 100_000,
+    tol: float = EPS,
+) -> FixedPointResult:
+    """Like :func:`iterate_fixed_point` but verifies monotonicity.
+
+    The schedulability equations are monotone by construction; a decreasing
+    step indicates a modelling bug (e.g. a W-function that is not
+    non-decreasing in ``t``).  This variant is used by the test suite and by
+    debug runs; production code paths call :func:`iterate_fixed_point`
+    directly to avoid the extra comparison.
+    """
+    x = start
+    for n in range(1, max_iterations + 1):
+        nxt = func(x)
+        if nxt < x - tol:
+            raise AssertionError(
+                f"monotone iteration decreased from {x!r} to {nxt!r}; "
+                "the iterated map is not monotone non-decreasing"
+            )
+        if nxt > bound:
+            raise FixedPointDiverged(
+                f"monotone iteration exceeded bound {bound!r} "
+                f"after {n} iterations (last value {nxt!r})",
+                last_value=nxt,
+                iterations=n,
+            )
+        if abs(nxt - x) <= tol:
+            return FixedPointResult(value=nxt, iterations=n)
+        x = nxt
+    raise FixedPointDiverged(
+        f"monotone iteration did not converge within {max_iterations} "
+        f"iterations (last value {x!r})",
+        last_value=x,
+        iterations=max_iterations,
+    )

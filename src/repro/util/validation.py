@@ -1,0 +1,78 @@
+"""Argument-validation helpers with consistent error messages.
+
+The public API validates eagerly: a malformed task set should fail at
+construction time with a message naming the offending field, not deep inside
+a fixed-point iteration three calls later.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]
+
+
+def check_type(value: Any, types: type | tuple[type, ...], name: str) -> Any:
+    """Raise :class:`TypeError` unless *value* is an instance of *types*."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__} ({value!r})"
+        )
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless *value* is a finite real number."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless *value* is finite and ``> 0``."""
+    v = check_finite(value, name)
+    if v <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return v
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless *value* is finite and ``>= 0``."""
+    v = check_finite(value, name)
+    if v < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return v
+
+
+def check_in_range(
+    value: float,
+    low: float,
+    high: float,
+    name: str,
+    *,
+    low_open: bool = False,
+    high_open: bool = False,
+) -> float:
+    """Raise :class:`ValueError` unless *value* lies in the given interval."""
+    v = check_finite(value, name)
+    low_ok = v > low if low_open else v >= low
+    high_ok = v < high if high_open else v <= high
+    if not (low_ok and high_ok):
+        lo = "(" if low_open else "["
+        hi = ")" if high_open else "]"
+        raise ValueError(f"{name} must lie in {lo}{low}, {high}{hi}, got {value!r}")
+    return v

@@ -1,0 +1,128 @@
+"""ASCII line plots for the terminal.
+
+Renders one or more ``(x, y)`` series on a character canvas.  Good enough to
+eyeball the supply-function figures of the paper (Figure 3) and the sweep
+benches; exact values go to CSV via :mod:`repro.viz.csvout`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_step_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "t",
+    ylabel: str = "",
+) -> str:
+    """Plot labelled series on one canvas.
+
+    Parameters
+    ----------
+    series:
+        Sequence of ``(label, xs, ys)`` triples; series are drawn in order,
+        later series overwrite earlier ones where they collide.
+    width, height:
+        Canvas size in characters (axes excluded).
+    """
+    if not series:
+        raise ValueError("ascii_plot needs at least one series")
+    xs_all = np.concatenate([np.asarray(s[1], dtype=float) for s in series])
+    ys_all = np.concatenate([np.asarray(s[2], dtype=float) for s in series])
+    if xs_all.size == 0:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        # Row 0 is the top of the canvas.
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, height - 1 - int(frac * (height - 1))))
+
+    for k, (_, xs, ys) in enumerate(series):
+        marker = _MARKERS[k % len(_MARKERS)]
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        # Densify by resampling on columns so lines look continuous.
+        if xs.size >= 2:
+            grid = np.linspace(x_lo, x_hi, width * 2)
+            inside = (grid >= xs.min()) & (grid <= xs.max())
+            gy = np.interp(grid[inside], xs, ys)
+            for x, y in zip(grid[inside], gy):
+                canvas[to_row(float(y))][to_col(float(x))] = marker
+        else:
+            for x, y in zip(xs, ys):
+                canvas[to_row(float(x))][to_col(float(y))] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[k % len(_MARKERS)]} {label}" for k, (label, _, _) in enumerate(series)
+    )
+    lines.append(legend)
+    top_label = f"{y_hi:.4g}"
+    bot_label = f"{y_lo:.4g}"
+    pad = max(len(top_label), len(bot_label))
+    for r, row in enumerate(canvas):
+        if r == 0:
+            prefix = top_label.rjust(pad)
+        elif r == height - 1:
+            prefix = bot_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo:.4g}".ljust(width // 2) + f"{xlabel}".center(8)
+        + f"{x_hi:.4g}".rjust(width // 2 - 8)
+    )
+    if ylabel:
+        lines.append(f"(y: {ylabel})")
+    return "\n".join(lines)
+
+
+def ascii_step_plot(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    **kwargs,
+) -> str:
+    """Step-style variant: each series is repeated at midpoints before plotting.
+
+    Approximates piecewise-constant curves (e.g. supply functions sampled at
+    corners) better than linear interpolation.
+    """
+    stepped = []
+    for label, xs, ys in series:
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.size < 2:
+            stepped.append((label, xs, ys))
+            continue
+        new_x = np.empty(xs.size * 2 - 1)
+        new_y = np.empty(ys.size * 2 - 1)
+        new_x[0::2] = xs
+        new_y[0::2] = ys
+        new_x[1::2] = xs[1:] - 1e-9
+        new_y[1::2] = ys[:-1]
+        order = np.argsort(new_x)
+        stepped.append((label, new_x[order], new_y[order]))
+    return ascii_plot(stepped, **kwargs)

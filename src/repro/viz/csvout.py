@@ -1,0 +1,42 @@
+"""CSV output of benchmark series.
+
+Each figure-reproducing benchmark writes its series next to its printed
+output so the exact numbers can be re-plotted outside the sandbox.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["write_csv", "series_to_rows"]
+
+
+def series_to_rows(
+    columns: dict[str, Sequence[float]],
+) -> tuple[list[str], list[list[float]]]:
+    """Convert a column dict to (header, rows); columns must align in length."""
+    header = list(columns.keys())
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"columns have inconsistent lengths: {lengths}")
+    n = lengths.pop() if lengths else 0
+    rows = [[float(columns[h][k]) for h in header] for k in range(n)]
+    return header, rows
+
+
+def write_csv(
+    path: str | Path,
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+) -> Path:
+    """Write rows to *path*, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,42 @@
+"""Plain-text table formatting used by reports and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    *,
+    title: str = "",
+    pad: int = 2,
+) -> str:
+    """Render a left-aligned monospace table.
+
+    All cells must already be strings; column widths adapt to content.
+    """
+    cols = len(header)
+    for r, row in enumerate(rows):
+        if len(row) != cols:
+            raise ValueError(
+                f"row {r} has {len(row)} cells, header has {cols}"
+            )
+    widths = [len(h) for h in header]
+    for row in rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return (" " * pad).join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = (" " * pad).join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(header))
+    out.append(sep)
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen import RandomSystemSpec, random_system
+from repro.paper import sensor_fusion_system
+
+
+@pytest.fixture
+def paper_system():
+    """The paper's sensor-fusion system (Tables 1-2)."""
+    return sensor_fusion_system()
+
+
+@pytest.fixture(params=[1, 2, 3, 5, 8])
+def small_random_system(request):
+    """A parade of small random systems at moderate utilization."""
+    spec = RandomSystemSpec(
+        n_platforms=2,
+        n_transactions=3,
+        tasks_per_transaction=(1, 3),
+        utilization=0.35,
+    )
+    return random_system(spec, seed=request.param)

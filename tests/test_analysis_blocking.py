@@ -1,0 +1,131 @@
+"""Tests for resource blocking terms (SRP/PCP and non-preemptive)."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.blocking import (
+    CriticalSection,
+    ResourceSpec,
+    assign_ceiling_blocking,
+    assign_nonpreemptive_blocking,
+    resource_ceilings,
+)
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+
+
+def three_task_system(platform=None):
+    """Priorities 3 > 2 > 1, all on one platform."""
+    txns = [
+        Transaction(period=10.0, tasks=[Task(wcet=1.0, platform=0, priority=3)], name="hi"),
+        Transaction(period=20.0, tasks=[Task(wcet=2.0, platform=0, priority=2)], name="mid"),
+        Transaction(period=40.0, tasks=[Task(wcet=4.0, platform=0, priority=1)], name="lo"),
+    ]
+    return TransactionSystem(
+        transactions=txns, platforms=[platform or DedicatedPlatform()]
+    )
+
+
+class TestSpecValidation:
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            CriticalSection(0, 0, "r", 0.0)
+
+    def test_rejects_bad_indices(self):
+        s = three_task_system()
+        with pytest.raises(ValueError, match="transaction"):
+            ResourceSpec().add(9, 0, "r", 0.5).validate(s)
+        with pytest.raises(ValueError, match="task"):
+            ResourceSpec().add(0, 5, "r", 0.5).validate(s)
+
+    def test_rejects_section_longer_than_wcet(self):
+        s = three_task_system()
+        with pytest.raises(ValueError, match="exceeds"):
+            ResourceSpec().add(0, 0, "r", 5.0).validate(s)
+
+    def test_rejects_cross_platform_resource(self):
+        txns = [
+            Transaction(period=10.0, tasks=[Task(wcet=1.0, platform=0, priority=1)]),
+            Transaction(period=10.0, tasks=[Task(wcet=1.0, platform=1, priority=1)]),
+        ]
+        s = TransactionSystem(
+            transactions=txns,
+            platforms=[DedicatedPlatform(), DedicatedPlatform()],
+        )
+        spec = ResourceSpec().add(0, 0, "shared", 0.5).add(1, 0, "shared", 0.5)
+        with pytest.raises(ValueError, match="cross-platform"):
+            spec.validate(s)
+
+
+class TestCeilings:
+    def test_ceiling_is_max_accessor_priority(self):
+        s = three_task_system()
+        spec = ResourceSpec().add(0, 0, "r", 0.5).add(2, 0, "r", 1.0)
+        assert resource_ceilings(spec, s) == {"r": 3}
+
+
+class TestCeilingBlocking:
+    def test_hi_blocked_by_lo_through_shared_resource(self):
+        s = three_task_system()
+        # hi and lo share "r"; lo holds it for 1.0 cycles.
+        spec = ResourceSpec().add(0, 0, "r", 0.5).add(2, 0, "r", 1.0)
+        assign_ceiling_blocking(s, spec)
+        assert s.transactions[0].tasks[0].blocking == pytest.approx(1.0)
+        # mid does not use r but has priority below its ceiling: classic
+        # PCP indirect blocking applies.
+        assert s.transactions[1].tasks[0].blocking == pytest.approx(1.0)
+        # lo is the lowest priority: nothing can block it.
+        assert s.transactions[2].tasks[0].blocking == 0.0
+
+    def test_low_ceiling_resource_does_not_block_high(self):
+        s = three_task_system()
+        # Only mid and lo share the resource: ceiling 2 < priority 3.
+        spec = ResourceSpec().add(1, 0, "r", 0.5).add(2, 0, "r", 1.5)
+        assign_ceiling_blocking(s, spec)
+        assert s.transactions[0].tasks[0].blocking == 0.0
+        assert s.transactions[1].tasks[0].blocking == pytest.approx(1.5)
+
+    def test_blocking_scaled_by_platform_rate(self):
+        s = three_task_system(platform=LinearSupplyPlatform(0.5))
+        spec = ResourceSpec().add(0, 0, "r", 0.5).add(2, 0, "r", 1.0)
+        assign_ceiling_blocking(s, spec)
+        assert s.transactions[0].tasks[0].blocking == pytest.approx(2.0)
+
+    def test_blocking_increases_response_times(self):
+        plain = three_task_system()
+        blocked = three_task_system()
+        spec = ResourceSpec().add(0, 0, "r", 0.5).add(2, 0, "r", 1.0)
+        assign_ceiling_blocking(blocked, spec)
+        r_plain = analyze(plain)
+        r_blocked = analyze(blocked)
+        assert r_blocked.wcrt(0, 0) == pytest.approx(r_plain.wcrt(0, 0) + 1.0)
+
+
+class TestNonPreemptiveBlocking:
+    def test_longest_lower_section_blocks(self):
+        s = three_task_system()
+        assign_nonpreemptive_blocking(
+            s, {(1, 0): 0.5, (2, 0): 2.0}
+        )
+        assert s.transactions[0].tasks[0].blocking == pytest.approx(2.0)
+        assert s.transactions[1].tasks[0].blocking == pytest.approx(2.0)
+        assert s.transactions[2].tasks[0].blocking == 0.0
+
+    def test_rejects_section_beyond_wcet(self):
+        s = three_task_system()
+        with pytest.raises(ValueError):
+            assign_nonpreemptive_blocking(s, {(0, 0): 2.0})
+
+    def test_other_platform_does_not_block(self):
+        txns = [
+            Transaction(period=10.0, tasks=[Task(wcet=1.0, platform=0, priority=2)]),
+            Transaction(period=10.0, tasks=[Task(wcet=4.0, platform=1, priority=1)]),
+        ]
+        s = TransactionSystem(
+            transactions=txns,
+            platforms=[DedicatedPlatform(), DedicatedPlatform()],
+        )
+        assign_nonpreemptive_blocking(s, {(1, 0): 3.0})
+        assert s.transactions[0].tasks[0].blocking == 0.0

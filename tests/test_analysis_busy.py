@@ -1,0 +1,113 @@
+"""Unit tests for the interference machinery (phases and W functions)."""
+
+import pytest
+
+from repro.analysis.busy import (
+    HPTask,
+    TransactionView,
+    build_views,
+    phase,
+    starter_phase_of_analyzed,
+    w_task,
+    w_transaction_k,
+    w_transaction_star,
+)
+from repro.paper import sensor_fusion_system
+
+
+class TestPhase:
+    def test_self_start_gives_full_period(self):
+        # Starter == the task itself, no jitter: Eq. 10 gives T.
+        assert phase(0.0, 0.0, 0.0, 50.0) == 50.0
+
+    def test_table3_tau14_phase(self):
+        # tau_1_4 starting its own busy period with J=19, phi=5:
+        # T - (5 + 19 - 5) mod 50 = 31.
+        assert phase(5.0, 19.0, 5.0, 50.0) == 31.0
+
+    def test_cross_task_phase(self):
+        # Busy period started by tau_1_4 (phi=5, J=0); phase of tau_1_1
+        # (phi=0): 50 - 5 = 45.
+        assert phase(5.0, 0.0, 0.0, 50.0) == 45.0
+
+
+class TestWTask:
+    def test_no_jitter_one_job_per_period(self):
+        # phi = T: floor((0+T)/T) = 1 pending job; no arrivals before t<=T.
+        assert w_task(50.0, 0.0, 5.0, 50.0, 10.0) == 5.0
+
+    def test_arrivals_accumulate(self):
+        # phi = 5: at t=10 one arrival has happened plus ceil((10-5)/50)=1.
+        assert w_task(5.0, 0.0, 2.5, 15.0, 10.0) == 2.5
+        assert w_task(5.0, 0.0, 2.5, 15.0, 21.0) == 5.0
+
+    def test_jitter_adds_pending_jobs(self):
+        # floor((J+phi)/T) with J=19, phi=31, T=50 -> 1 pending job.
+        assert w_task(31.0, 19.0, 5.0, 50.0, 1.0) == 5.0
+
+    def test_zero_time_nonnegative(self):
+        assert w_task(50.0, 0.0, 5.0, 50.0, 0.0) == 0.0
+
+    def test_monotone_in_t(self):
+        prev = -1.0
+        for t in [0.0, 1.0, 5.0, 14.9, 15.1, 30.0, 45.0]:
+            cur = w_task(5.0, 3.0, 2.0, 15.0, t)
+            assert cur >= prev
+            prev = cur
+
+
+class TestTransactionViews:
+    def test_build_views_platform_restriction(self, paper_system=None):
+        system = sensor_fusion_system()
+        analyzed, own, others = build_views(system, 0, 3)  # tau_1_4 on Pi3
+        # Same platform (Pi3) and priority >= 3: nothing qualifies.
+        assert own.tasks == ()
+        assert others == []
+
+    def test_build_views_tau41(self):
+        system = sensor_fusion_system()
+        analyzed, own, others = build_views(system, 3, 0)  # tau_4_1 on Pi3
+        assert own.tasks == ()
+        assert len(others) == 1  # only Gamma_1 has tasks on Pi3
+        hp_idx = sorted(t.index for t in others[0].tasks)
+        assert hp_idx == [0, 3]  # tau_1_1 and tau_1_4
+
+    def test_costs_are_rate_scaled(self):
+        system = sensor_fusion_system()
+        analyzed, own, others = build_views(system, 3, 0)
+        for hp in others[0].tasks:
+            assert hp.cost == pytest.approx(1.0 / 0.2)  # C=1, alpha=0.2
+        assert analyzed.cost == pytest.approx(7.0 / 0.2)
+        assert analyzed.delay == 2.0
+
+    def test_analyzed_task_excluded_from_own_view(self):
+        system = sensor_fusion_system()
+        analyzed, own, others = build_views(system, 0, 0)  # tau_1_1, prio 2
+        # tau_1_4 (prio 3, same platform) interferes; tau_1_1 itself must not.
+        assert [t.index for t in own.tasks] == [3]
+
+
+class TestWTransaction:
+    def test_w_star_dominates_every_starter(self):
+        view = TransactionView(
+            period=20.0,
+            index=0,
+            tasks=(
+                HPTask(phi=0.0, jitter=2.0, cost=1.0, index=0),
+                HPTask(phi=5.0, jitter=0.0, cost=2.0, index=1),
+            ),
+        )
+        for t in [0.5, 3.0, 7.0, 12.0, 19.0, 25.0]:
+            star = w_transaction_star(view, t)
+            for starter in view.tasks:
+                assert star >= w_transaction_k(view, starter, t) - 1e-12
+
+    def test_explicit_starter_params_required(self):
+        view = TransactionView(period=10.0, index=0, tasks=())
+        with pytest.raises(ValueError):
+            w_transaction_k(view, None, 1.0)
+
+    def test_starter_phase_of_analyzed_self(self):
+        system = sensor_fusion_system()
+        analyzed, own, _ = build_views(system, 0, 3)
+        assert starter_phase_of_analyzed(analyzed, None) == 50.0

@@ -1,0 +1,83 @@
+"""Tests for the classical baselines (dedicated special case, independent RTA)."""
+
+import math
+
+import pytest
+
+from repro.analysis import analyze, analyze_dedicated, rta_independent
+from repro.analysis.classic import IndependentTask
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.paper import sensor_fusion_system
+from repro.platforms.linear import DedicatedPlatform
+
+
+class TestRtaIndependent:
+    def test_textbook_set(self):
+        tasks = [
+            IndependentTask(wcet=1.0, period=4.0, deadline=4.0, priority=3),
+            IndependentTask(wcet=2.0, period=6.0, deadline=6.0, priority=2),
+            IndependentTask(wcet=3.0, period=12.0, deadline=12.0, priority=1),
+        ]
+        r = rta_independent(tasks)
+        assert r == pytest.approx([1.0, 3.0, 10.0])
+
+    def test_jitter_increases_response(self):
+        base = [
+            IndependentTask(wcet=1.0, period=4.0, deadline=4.0, priority=2),
+            IndependentTask(wcet=2.0, period=10.0, deadline=10.0, priority=1),
+        ]
+        jittered = [
+            IndependentTask(wcet=1.0, period=4.0, deadline=4.0, priority=2, jitter=3.0),
+            IndependentTask(wcet=2.0, period=10.0, deadline=10.0, priority=1),
+        ]
+        assert rta_independent(jittered)[1] >= rta_independent(base)[1]
+
+    def test_blocking_term(self):
+        tasks = [IndependentTask(wcet=1.0, period=10.0, deadline=10.0,
+                                 priority=1, blocking=2.5)]
+        assert rta_independent(tasks)[0] == pytest.approx(3.5)
+
+    def test_overload_reports_inf(self):
+        tasks = [
+            IndependentTask(wcet=5.0, period=8.0, deadline=8.0, priority=2),
+            IndependentTask(wcet=5.0, period=8.0, deadline=8.0, priority=1),
+        ]
+        r = rta_independent(tasks, max_busy=1e4)
+        assert math.isinf(r[1])
+
+    def test_agrees_with_transaction_analysis_on_dedicated_platform(self):
+        """Singleton transactions on one dedicated CPU == classical RTA."""
+        specs = [(1.0, 5.0, 3), (1.5, 8.0, 2), (2.5, 20.0, 1)]
+        txns = [
+            Transaction(period=p, tasks=[Task(wcet=c, platform=0, priority=prio)])
+            for c, p, prio in specs
+        ]
+        system = TransactionSystem(transactions=txns, platforms=[DedicatedPlatform()])
+        ours = analyze(system).transaction_wcrt
+        classical = rta_independent([
+            IndependentTask(wcet=c, period=p, deadline=p, priority=prio)
+            for c, p, prio in specs
+        ])
+        assert ours == pytest.approx(classical)
+
+
+class TestAnalyzeDedicated:
+    def test_dedicated_never_slower(self):
+        """Full-speed dedicated platforms dominate the shared platforms."""
+        system = sensor_fusion_system()
+        shared = analyze(system)
+        dedicated = analyze_dedicated(system)
+        for key in shared.tasks:
+            assert dedicated.tasks[key].wcrt <= shared.tasks[key].wcrt + 1e-9
+
+    def test_dedicated_verdict(self):
+        assert analyze_dedicated(sensor_fusion_system()).schedulable
+
+    def test_dedicated_gamma1_value(self):
+        # On (1,0,0) platforms Gamma_1 is a 4-task chain with no competing
+        # higher-priority work except its own compute/init relationship.
+        ded = analyze_dedicated(sensor_fusion_system())
+        # Chain of four unit tasks, some interference from the pollers.
+        assert 4.0 <= ded.wcrt(0, 3) <= 10.0

@@ -1,0 +1,167 @@
+"""Tests for the compositional (per-component) baseline tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.analysis.compositional import (
+    LocalTask,
+    dbf,
+    edf_component_schedulable,
+    fp_component_schedulable,
+    rbf,
+)
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+from repro.platforms.periodic_server import PeriodicServer
+
+
+class TestLocalTask:
+    def test_deadline_defaults_to_period(self):
+        assert LocalTask(wcet=1.0, period=5.0).deadline == 5.0
+
+    def test_rejects_unconstrained_deadline(self):
+        with pytest.raises(ValueError, match="deadline <= period"):
+            LocalTask(wcet=1.0, period=5.0, deadline=7.0)
+
+
+class TestDbf:
+    def test_steps_at_deadlines(self):
+        tasks = [LocalTask(wcet=2.0, period=10.0, deadline=6.0)]
+        assert dbf(tasks, 5.9) == 0.0
+        assert dbf(tasks, 6.0) == 2.0
+        assert dbf(tasks, 15.9) == 2.0
+        assert dbf(tasks, 16.0) == 4.0
+
+    def test_additive_over_tasks(self):
+        a = [LocalTask(wcet=1.0, period=4.0)]
+        b = [LocalTask(wcet=2.0, period=6.0)]
+        for t in (0.0, 4.0, 6.0, 12.0, 24.0):
+            assert dbf(a + b, t) == dbf(a, t) + dbf(b, t)
+
+    @given(st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, t):
+        tasks = [
+            LocalTask(wcet=1.0, period=7.0, deadline=5.0),
+            LocalTask(wcet=2.0, period=11.0),
+        ]
+        assert dbf(tasks, t) <= dbf(tasks, t + 1.0) + 1e-12
+
+
+class TestRbf:
+    def test_includes_own_wcet_and_hp_releases(self):
+        hi = LocalTask(wcet=1.0, period=4.0, priority=2)
+        lo = LocalTask(wcet=2.0, period=10.0, priority=1)
+        tasks = [hi, lo]
+        assert rbf(tasks, lo, 0.5) == pytest.approx(3.0)   # 2 + 1
+        assert rbf(tasks, lo, 4.5) == pytest.approx(4.0)   # 2 + 2*1
+
+    def test_lower_priority_does_not_contribute(self):
+        hi = LocalTask(wcet=1.0, period=4.0, priority=2)
+        lo = LocalTask(wcet=2.0, period=10.0, priority=1)
+        assert rbf([hi, lo], hi, 3.0) == pytest.approx(1.0)
+
+
+class TestEdfTest:
+    def test_dedicated_platform_full_utilization(self):
+        # EDF on a dedicated CPU is feasible up to U = 1 (implicit deadlines).
+        tasks = [
+            LocalTask(wcet=2.0, period=4.0),
+            LocalTask(wcet=3.0, period=6.0),
+        ]
+        assert edf_component_schedulable(tasks, DedicatedPlatform())
+
+    def test_overload_rejected(self):
+        tasks = [
+            LocalTask(wcet=3.0, period=4.0),
+            LocalTask(wcet=3.0, period=6.0),
+        ]
+        assert not edf_component_schedulable(tasks, DedicatedPlatform())
+
+    def test_periodic_server_blackout_matters(self):
+        # U = 0.25 fits the rate 0.4, but the tight deadline collides with
+        # the 2*(P-Q) = 6 blackout.
+        server = PeriodicServer(2.0, 5.0)
+        tight = [LocalTask(wcet=1.0, period=20.0, deadline=5.0)]
+        loose = [LocalTask(wcet=1.0, period=20.0, deadline=12.0)]
+        assert not edf_component_schedulable(tight, server)
+        assert edf_component_schedulable(loose, server)
+
+    def test_empty_component(self):
+        assert edf_component_schedulable([], DedicatedPlatform())
+
+    def test_exact_supply_beats_linear_bound(self):
+        """Using zmin directly admits components the linear bound rejects."""
+        server = PeriodicServer(2.0, 5.0)
+        linear = LinearSupplyPlatform(
+            server.rate, server.delay, server.burstiness
+        )
+        # Demand sits exactly on a zmin plateau corner above the line.
+        tasks = [LocalTask(wcet=2.0, period=20.0, deadline=8.0)]
+        assert edf_component_schedulable(tasks, server)
+        # zmin(8) = 2 but alpha*(8 - 6) = 0.8 < 2: linear bound refuses.
+        assert not edf_component_schedulable(tasks, linear)
+
+
+class TestFpTest:
+    def test_classic_feasible_set(self):
+        tasks = [
+            LocalTask(wcet=1.0, period=4.0, priority=3),
+            LocalTask(wcet=2.0, period=6.0, priority=2),
+            LocalTask(wcet=3.0, period=12.0, priority=1),
+        ]
+        assert fp_component_schedulable(tasks, DedicatedPlatform())
+
+    def test_infeasible_set(self):
+        tasks = [
+            LocalTask(wcet=2.0, period=4.0, priority=2),
+            LocalTask(wcet=3.0, period=6.0, priority=1),
+        ]
+        assert not fp_component_schedulable(tasks, DedicatedPlatform())
+
+    def test_agrees_with_holistic_on_independent_components(self):
+        """E13 property: singleton transactions == per-component test."""
+        specs = [(1.0, 15.0, 3), (1.0, 15.0, 2)]
+        platform = LinearSupplyPlatform(0.4, 1.0, 0.0)
+        local = [
+            LocalTask(wcet=c, period=p, priority=prio)
+            for c, p, prio in specs
+        ]
+        txns = [
+            Transaction(period=p, tasks=[Task(wcet=c, platform=0, priority=prio)])
+            for c, p, prio in specs
+        ]
+        system = TransactionSystem(transactions=[*txns], platforms=[platform])
+        holistic = analyze(system)
+        assert fp_component_schedulable(local, platform) == holistic.schedulable
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_never_accepts_what_holistic_rejects(self, seed):
+        """On independent tasks with the same linear supply information the
+        two tests agree; with exact zmin the compositional test can only be
+        *more* permissive."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        platform = LinearSupplyPlatform(
+            rate=float(rng.uniform(0.3, 0.9)),
+            delay=float(rng.uniform(0.0, 3.0)),
+        )
+        n = int(rng.integers(1, 4))
+        specs = []
+        for k in range(n):
+            period = float(rng.uniform(10.0, 100.0))
+            wcet = float(rng.uniform(0.05, 0.15)) * period * platform.rate
+            specs.append((wcet, period, n - k))
+        local = [LocalTask(wcet=c, period=p, priority=q) for c, p, q in specs]
+        txns = [
+            Transaction(period=p, tasks=[Task(wcet=c, platform=0, priority=q)])
+            for c, p, q in specs
+        ]
+        holistic = analyze(TransactionSystem(transactions=txns, platforms=[platform]))
+        if holistic.schedulable:
+            assert fp_component_schedulable(local, platform)

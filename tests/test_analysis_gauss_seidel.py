@@ -1,0 +1,46 @@
+"""Tests for the Gauss-Seidel outer-iteration variant."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.gen import RandomSystemSpec, random_system
+from repro.paper import sensor_fusion_system
+
+
+class TestGaussSeidel:
+    def test_same_fixed_point_on_example(self):
+        system = sensor_fusion_system()
+        jac = analyze(system, config=AnalysisConfig(update="jacobi"))
+        gs = analyze(system, config=AnalysisConfig(update="gauss_seidel"))
+        for key in jac.tasks:
+            assert gs.tasks[key].wcrt == pytest.approx(jac.tasks[key].wcrt)
+            assert gs.tasks[key].jitter == pytest.approx(jac.tasks[key].jitter)
+        assert gs.schedulable == jac.schedulable
+
+    def test_fewer_or_equal_iterations(self):
+        system = sensor_fusion_system()
+        jac = analyze(system, config=AnalysisConfig(update="jacobi"))
+        gs = analyze(system, config=AnalysisConfig(update="gauss_seidel"))
+        assert gs.outer_iterations <= jac.outer_iterations
+
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11])
+    def test_same_fixed_point_on_random_systems(self, seed):
+        spec = RandomSystemSpec(
+            n_platforms=2,
+            n_transactions=3,
+            tasks_per_transaction=(2, 4),
+            utilization=0.45,
+        )
+        system = random_system(spec, seed=seed)
+        jac = analyze(system, config=AnalysisConfig(update="jacobi"))
+        gs = analyze(system, config=AnalysisConfig(update="gauss_seidel"))
+        for key in jac.tasks:
+            assert gs.tasks[key].wcrt == pytest.approx(jac.tasks[key].wcrt)
+
+    def test_paper_trace_requires_jacobi(self):
+        """Table 3 is a Jacobi trace; the default config reproduces it."""
+        assert AnalysisConfig().update == "jacobi"
+
+    def test_bad_update_rejected(self):
+        with pytest.raises(ValueError, match="update"):
+            AnalysisConfig(update="chaotic")

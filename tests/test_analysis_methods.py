@@ -1,0 +1,208 @@
+"""Unit tests for the exact/reduced analyses, best case and scenario counts."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    analyze,
+    count_scenarios_exact,
+    count_scenarios_reduced,
+    response_time_exact,
+    response_time_reduced,
+)
+from repro.analysis.bestcase import (
+    best_case_response_times,
+    iterative_best_case,
+    simple_best_case,
+    sound_best_case,
+)
+from repro.analysis.scenarios import count_scenarios_system
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.paper import sensor_fusion_system
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+
+
+def single_platform_system(specs, platform=None):
+    """specs: list of (wcet, period, priority) single-task transactions."""
+    txns = [
+        Transaction(
+            period=p, tasks=[Task(wcet=c, platform=0, priority=prio)],
+            name=f"G{k}",
+        )
+        for k, (c, p, prio) in enumerate(specs)
+    ]
+    return TransactionSystem(
+        transactions=txns,
+        platforms=[platform or DedicatedPlatform()],
+    )
+
+
+class TestClassicalSpecialCase:
+    """On (1, 0, 0) platforms the machinery must reproduce textbook RTA."""
+
+    def test_two_task_example(self):
+        # hp: C=1, T=4; analyzed: C=2, T=10 -> R = 2 + 2*1 = 4? Textbook:
+        # w = 2 + ceil(w/4)*1: w=3 -> ceil(3/4)=1 -> 3. R = 3.
+        s = single_platform_system([(1.0, 4.0, 2), (2.0, 10.0, 1)])
+        r = response_time_reduced(s, 1, 0)
+        assert r.wcrt == pytest.approx(3.0)
+
+    def test_three_task_liu_layland(self):
+        s = single_platform_system([
+            (1.0, 4.0, 3), (2.0, 6.0, 2), (3.0, 12.0, 1),
+        ])
+        # w3 = 3 + ceil(w/4)*1 + ceil(w/6)*2; w=3: 3+1+2*... step through:
+        # 0->3+1+2=6; 6->3+2+2=7; 7->3+2+4=9; 9->3+3+4=10; 10->3+3+4=10.
+        r = response_time_reduced(s, 2, 0)
+        assert r.wcrt == pytest.approx(10.0)
+
+    def test_exact_equals_reduced_for_singleton_transactions(self):
+        s = single_platform_system([
+            (1.0, 5.0, 3), (1.5, 7.0, 2), (2.0, 16.0, 1),
+        ])
+        for i in range(3):
+            e = response_time_exact(s, i, 0).wcrt
+            r = response_time_reduced(s, i, 0).wcrt
+            assert e == pytest.approx(r)
+
+
+class TestPlatformEffects:
+    def test_rate_scaling(self):
+        slow = single_platform_system(
+            [(1.0, 10.0, 1)], platform=LinearSupplyPlatform(0.5)
+        )
+        r = response_time_reduced(slow, 0, 0)
+        assert r.wcrt == pytest.approx(2.0)
+
+    def test_delay_added_once(self):
+        s = single_platform_system(
+            [(1.0, 10.0, 1)], platform=LinearSupplyPlatform(0.5, delay=3.0)
+        )
+        assert response_time_reduced(s, 0, 0).wcrt == pytest.approx(5.0)
+
+    def test_dedicated_identity(self):
+        s = single_platform_system([(2.5, 10.0, 1)])
+        assert response_time_reduced(s, 0, 0).wcrt == pytest.approx(2.5)
+
+    def test_other_platform_does_not_interfere(self):
+        t1 = Transaction(period=10.0, tasks=[Task(wcet=5.0, platform=0, priority=9)])
+        t2 = Transaction(period=10.0, tasks=[Task(wcet=1.0, platform=1, priority=1)])
+        s = TransactionSystem(
+            transactions=[t1, t2],
+            platforms=[DedicatedPlatform(), DedicatedPlatform()],
+        )
+        assert response_time_reduced(s, 1, 0).wcrt == pytest.approx(1.0)
+
+
+class TestDivergence:
+    def test_overutilized_platform_reports_inf(self):
+        s = single_platform_system([(6.0, 10.0, 2), (6.0, 10.0, 1)])
+        r = response_time_reduced(s, 1, 0, config=AnalysisConfig(busy_bound_factor=50))
+        assert math.isinf(r.wcrt)
+
+    def test_holistic_marks_unschedulable(self):
+        s = single_platform_system([(6.0, 10.0, 2), (6.0, 10.0, 1)])
+        result = analyze(s, config=AnalysisConfig(busy_bound_factor=50))
+        assert not result.schedulable
+        assert math.isinf(result.transaction_wcrt[1])
+
+    def test_divergence_propagates_down_chain(self):
+        t1 = Transaction(
+            period=10.0,
+            tasks=[
+                Task(wcet=6.0, platform=0, priority=1),
+                Task(wcet=1.0, platform=1, priority=1),
+            ],
+        )
+        t2 = Transaction(period=10.0, tasks=[Task(wcet=6.0, platform=0, priority=2)])
+        s = TransactionSystem(
+            transactions=[t1, t2],
+            platforms=[DedicatedPlatform(), DedicatedPlatform()],
+        )
+        result = analyze(s, config=AnalysisConfig(busy_bound_factor=50))
+        assert math.isinf(result.wcrt(0, 0))
+        assert math.isinf(result.wcrt(0, 1))  # successor poisoned too
+
+
+class TestScenarioCounts:
+    def test_eq12_on_paper_example(self):
+        s = sensor_fusion_system()
+        # tau_4_1: own transaction singleton (N_a = 0 -> factor 1), Gamma_1
+        # contributes 2 interferers on Pi3 -> N = 1 * 2 = 2.
+        assert count_scenarios_exact(s, 3, 0) == 2
+        assert count_scenarios_reduced(s, 3, 0) == 1
+
+    def test_counts_match_evaluated_scenarios(self):
+        s = sensor_fusion_system()
+        for i, tr in enumerate(s.transactions):
+            for j in range(len(tr.tasks)):
+                ex = response_time_exact(s, i, j)
+                assert ex.scenarios_evaluated == count_scenarios_exact(s, i, j)
+
+    def test_exact_guard_raises(self):
+        s = sensor_fusion_system()
+        cfg = AnalysisConfig(max_exact_scenarios=1)
+        with pytest.raises(ValueError, match="exceeding max_exact_scenarios"):
+            response_time_exact(s, 3, 0, config=cfg)
+
+    def test_system_wide_counter(self):
+        s = sensor_fusion_system()
+        counts = count_scenarios_system(s, exact=True)
+        assert counts[(3, 0)] == 2
+        assert all(v >= 1 for v in counts.values())
+
+
+class TestBestCase:
+    def test_simple_matches_paper_offsets(self):
+        s = sensor_fusion_system()
+        assert simple_best_case(s, 0, 0) == pytest.approx(3.0)
+        assert simple_best_case(s, 0, 1) == pytest.approx(4.0)
+        assert simple_best_case(s, 0, 2) == pytest.approx(5.0)
+        assert simple_best_case(s, 0, 3) == pytest.approx(8.0)
+
+    def test_burstiness_clamps_at_zero(self):
+        s = sensor_fusion_system()
+        # tau_2_1: 0.25/0.4 - 1 < 0 -> 0.
+        assert simple_best_case(s, 1, 0) == 0.0
+
+    def test_sound_never_exceeds_paper_formula(self):
+        """(C-beta)/alpha <= C/alpha - beta for alpha <= 1: the published
+        bound is the optimistic... pessimistic one -- it is LARGER, hence
+        unsound as a lower bound (see EXPERIMENTS.md)."""
+        s = sensor_fusion_system()
+        for i, tr in enumerate(s.transactions):
+            for j in range(len(tr.tasks)):
+                assert sound_best_case(s, i, j) <= simple_best_case(s, i, j) + 1e-12
+
+    def test_sound_values_on_example(self):
+        s = sensor_fusion_system()
+        # tau_1_1 on Pi3: (0.8 - 1)/0.2 < 0 -> 0 (vs the paper's 3).
+        assert sound_best_case(s, 0, 0) == 0.0
+        # tau_4_1 on Pi3: (5 - 1)/0.2 = 20.
+        assert sound_best_case(s, 3, 0) == pytest.approx(20.0)
+
+    def test_iterative_at_least_sound(self):
+        s = sensor_fusion_system()
+        for i, tr in enumerate(s.transactions):
+            for j in range(len(tr.tasks)):
+                assert iterative_best_case(s, i, j) >= sound_best_case(s, i, j) - 1e-12
+
+    def test_iterative_below_worst_case(self):
+        s = sensor_fusion_system()
+        result = analyze(s)
+        for key, ta in result.tasks.items():
+            assert iterative_best_case(s, *key) <= ta.wcrt + 1e-9
+
+    def test_full_map(self):
+        s = sensor_fusion_system()
+        bc = best_case_response_times(s)
+        assert set(bc) == {(i, j) for i, tr in enumerate(s.transactions)
+                           for j in range(len(tr.tasks))}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            best_case_response_times(sensor_fusion_system(), method="psychic")

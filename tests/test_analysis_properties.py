@@ -1,0 +1,194 @@
+"""Property-based tests on the analysis invariants.
+
+The big four:
+
+1. the reduced analysis upper-bounds the exact analysis;
+2. response times are monotone in execution time, platform delay and
+   (inversely) platform rate;
+3. worst case dominates best case;
+4. the classical special case (1,0,0) never reports larger response times
+   than any degraded platform.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.analysis.reduced import response_time_reduced
+from repro.analysis.static_offsets import response_time_exact
+from repro.gen import RandomSystemSpec, random_system
+from repro.model.system import TransactionSystem
+from repro.model.transaction import Transaction
+from repro.platforms.linear import LinearSupplyPlatform
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def small_system(seed, utilization=0.35):
+    spec = RandomSystemSpec(
+        n_platforms=2,
+        n_transactions=3,
+        tasks_per_transaction=(1, 3),
+        utilization=utilization,
+        delay_range=(0.0, 2.0),
+    )
+    return random_system(spec, seed=seed)
+
+
+def rescale(system: TransactionSystem, factor: float) -> TransactionSystem:
+    return TransactionSystem(
+        transactions=[
+            Transaction(
+                period=tr.period,
+                deadline=tr.deadline,
+                tasks=[
+                    t.with_updates(wcet=t.wcet * factor, bcet=t.bcet * factor)
+                    for t in tr.tasks
+                ],
+            )
+            for tr in system.transactions
+        ],
+        platforms=list(system.platforms),
+    )
+
+
+def with_platform_delay(system: TransactionSystem, extra: float) -> TransactionSystem:
+    platforms = [
+        LinearSupplyPlatform(
+            p.rate, p.delay + extra, p.burstiness, allow_superunit=True
+        )
+        for p in system.platforms
+    ]
+    return TransactionSystem(transactions=system.transactions, platforms=platforms)
+
+
+class TestReducedDominatesExact:
+    @given(st.integers(min_value=0, max_value=40))
+    @SETTINGS
+    def test_reduced_upper_bounds_exact(self, seed):
+        system = small_system(seed)
+        # Static-offset comparison (fixed jitters) - inject some jitter to
+        # make scenarios non-trivial.
+        for tr in system.transactions:
+            for k, t in enumerate(tr.tasks):
+                t.jitter = (seed % 5) * 0.7 * k
+                t.offset = 0.5 * k
+        for i, tr in enumerate(system.transactions):
+            for j in range(len(tr.tasks)):
+                exact = response_time_exact(system, i, j).wcrt
+                reduced = response_time_reduced(system, i, j).wcrt
+                assert reduced >= exact - 1e-9, (
+                    f"reduced {reduced} < exact {exact} for task ({i},{j})"
+                )
+
+
+class TestMonotonicity:
+    @given(st.integers(min_value=0, max_value=30))
+    @SETTINGS
+    def test_wcet_monotone(self, seed):
+        base = small_system(seed)
+        bigger = rescale(base, 1.3)
+        ra = analyze(base)
+        rb = analyze(bigger)
+        for key in ra.tasks:
+            if math.isinf(ra.tasks[key].wcrt):
+                continue
+            assert rb.tasks[key].wcrt >= ra.tasks[key].wcrt - 1e-9
+
+    @given(st.integers(min_value=0, max_value=30))
+    @SETTINGS
+    def test_delay_monotone(self, seed):
+        base = small_system(seed)
+        slower = with_platform_delay(base, 1.5)
+        ra = analyze(base)
+        rb = analyze(slower)
+        for key in ra.tasks:
+            if math.isinf(ra.tasks[key].wcrt):
+                continue
+            assert rb.tasks[key].wcrt >= ra.tasks[key].wcrt - 1e-9
+
+    @given(st.integers(min_value=0, max_value=30))
+    @SETTINGS
+    def test_rate_monotone(self, seed):
+        base = small_system(seed)
+        faster_platforms = [
+            LinearSupplyPlatform(
+                min(1.0, p.rate * 1.5), p.delay, p.burstiness
+            )
+            for p in base.platforms
+        ]
+        faster = TransactionSystem(
+            transactions=base.transactions, platforms=faster_platforms
+        )
+        ra = analyze(base)
+        rb = analyze(faster)
+        for key in ra.tasks:
+            if math.isinf(ra.tasks[key].wcrt):
+                continue
+            assert rb.tasks[key].wcrt <= ra.tasks[key].wcrt + 1e-9
+
+
+class TestWorstDominatesBest:
+    @given(st.integers(min_value=0, max_value=40))
+    @SETTINGS
+    def test_bcrt_leq_wcrt(self, seed):
+        result = analyze(small_system(seed))
+        for key, ta in result.tasks.items():
+            assert ta.bcrt <= ta.wcrt + 1e-9
+
+
+class TestTraceShape:
+    @given(st.integers(min_value=0, max_value=20))
+    @SETTINGS
+    def test_jitters_nondecreasing_over_iterations(self, seed):
+        result = analyze(small_system(seed), trace=True)
+        for key in result.tasks:
+            prev = -1.0
+            for row in result.iterations:
+                assert row.jitters[key] >= prev - 1e-9
+                prev = row.jitters[key]
+
+    @given(st.integers(min_value=0, max_value=20))
+    @SETTINGS
+    def test_responses_nondecreasing_over_iterations(self, seed):
+        result = analyze(small_system(seed), trace=True)
+        for key in result.tasks:
+            prev = -1.0
+            for row in result.iterations:
+                r = row.responses[key]
+                if math.isinf(r):
+                    continue
+                assert r >= prev - 1e-9
+                prev = r
+
+
+class TestVerdictConsistency:
+    @given(st.integers(min_value=0, max_value=40))
+    @SETTINGS
+    def test_verdict_matches_responses(self, seed):
+        result = analyze(small_system(seed, utilization=0.6))
+        expect = all(
+            r <= d + 1e-9
+            for r, d in zip(result.transaction_wcrt, result.transaction_deadline)
+        )
+        assert result.schedulable == expect
+
+    @given(st.integers(min_value=0, max_value=20))
+    @SETTINGS
+    def test_exact_method_consistent_with_reduced_verdict(self, seed):
+        system = small_system(seed)
+        red = analyze(system)
+        exa = analyze(system, config=AnalysisConfig(method="exact"))
+        # exact <= reduced responses => exact schedulable whenever reduced is.
+        if red.schedulable:
+            assert exa.schedulable
+        for key in red.tasks:
+            if math.isinf(red.tasks[key].wcrt):
+                continue
+            assert exa.tasks[key].wcrt <= red.tasks[key].wcrt + 1e-9

@@ -1,0 +1,67 @@
+"""Tests for the text report generator."""
+
+import pytest
+
+from repro.analysis import analyze, text_report
+from repro.analysis.report import _fmt
+from repro.cli import main
+from repro.io import save_system
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.paper import sensor_fusion_system
+from repro.platforms.linear import DedicatedPlatform
+
+
+class TestTextReport:
+    def test_schedulable_headline(self):
+        report = text_report(sensor_fusion_system())
+        assert "SCHEDULABLE" in report.splitlines()[0]
+        assert "NOT SCHEDULABLE" not in report
+
+    def test_contains_all_sections(self):
+        report = text_report(sensor_fusion_system())
+        assert "Platforms" in report
+        assert "End-to-end responses" in report
+        assert "Per-task results" in report
+        assert "tau_1_4" in report
+
+    def test_reuses_precomputed_result(self):
+        system = sensor_fusion_system()
+        result = analyze(system, trace=True)
+        report = text_report(system, result, include_trace=True)
+        assert "iteration trace" in report
+
+    def test_include_trace_requires_trace(self):
+        system = sensor_fusion_system()
+        result = analyze(system, trace=False)
+        with pytest.raises(ValueError, match="iteration trace"):
+            text_report(system, result, include_trace=True)
+
+    def test_miss_reported(self):
+        t1 = Transaction(
+            period=10.0, deadline=1.0, name="tight",
+            tasks=[Task(wcet=2.0, platform=0, priority=1)],
+        )
+        s = TransactionSystem(transactions=[t1], platforms=[DedicatedPlatform()])
+        report = text_report(s)
+        assert "NOT SCHEDULABLE" in report
+        assert "Deadline misses: tight" in report
+        assert "MISS" in report
+
+    def test_fmt_inf(self):
+        assert _fmt(float("inf")) == "inf"
+
+
+class TestReportCli:
+    def test_report_flag(self, tmp_path, capsys):
+        path = save_system(sensor_fusion_system(), tmp_path / "s.json")
+        assert main(["analyze", str(path), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Schedulability report" in out
+        assert "Per-task results" in out
+
+    def test_report_with_trace(self, tmp_path, capsys):
+        path = save_system(sensor_fusion_system(), tmp_path / "s.json")
+        assert main(["analyze", str(path), "--report", "--trace"]) == 0
+        assert "iteration trace" in capsys.readouterr().out

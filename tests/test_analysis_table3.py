@@ -1,0 +1,101 @@
+"""The flagship reproduction test: Table 3 of the paper, cell by cell.
+
+Every (J, R) pair of the published iteration trace must be reproduced
+exactly, except the two R = 39 cells of tau_1_4, where the paper's own
+equations give 31 (see DESIGN.md Sec. 4 and EXPERIMENTS.md): tau_1_4 is the
+highest-priority task on Pi3, so w = Delta + C/alpha = 7 and
+R = w + phi + J = 7 + 5 + 19 = 31.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.paper import (
+    PAPER_TABLE3_CORRECTED,
+    paper_table3_rows,
+    sensor_fusion_system,
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return analyze(sensor_fusion_system(), trace=True)
+
+
+class TestIterationTrace:
+    def test_converges_in_four_iterations(self, traced):
+        assert traced.converged
+        assert len(traced.iterations) == 4
+
+    @pytest.mark.parametrize("j,expected", [
+        (0, [(0, 12), (0, 12), (0, 12), (0, 12)]),
+        (1, [(0, 9), (9, 18), (9, 18), (9, 18)]),
+        (2, [(0, 10), (5, 15), (14, 24), (14, 24)]),
+        (3, [(0, 12), (5, 17), (10, 22), (19, 31)]),
+    ])
+    def test_gamma1_cells(self, traced, j, expected):
+        for n, (jit, resp) in enumerate(expected):
+            row = traced.iterations[n]
+            assert row.jitters[(0, j)] == pytest.approx(jit), f"J({n}) of task {j}"
+            assert row.responses[(0, j)] == pytest.approx(resp), f"R({n}) of task {j}"
+
+    def test_published_cells_match_except_documented_discrepancy(self, traced):
+        rows = paper_table3_rows()
+        mismatches = []
+        for j, row in enumerate(rows):
+            for n, (jp, rp) in enumerate(zip(row["J"], row["R"])):
+                if jp is None or n >= len(traced.iterations):
+                    continue
+                it = traced.iterations[n]
+                ours_j = it.jitters[(0, j)]
+                ours_r = it.responses[(0, j)]
+                if abs(ours_j - jp) > 1e-9 or abs(ours_r - rp) > 1e-9:
+                    mismatches.append((j, n, (jp, rp), (ours_j, ours_r)))
+        # The only mismatching cells are the R=39 entries of tau_1_4
+        # (iterations 3 and 4 in the paper; we converge at 3).
+        for (j, n, paper_cell, ours) in mismatches:
+            assert j == 3, f"unexpected mismatch in task {j}: {paper_cell} vs {ours}"
+            assert paper_cell[1] == 39.0
+            assert ours[1] == pytest.approx(PAPER_TABLE3_CORRECTED)
+        assert len(mismatches) == 1
+
+
+class TestFinalResults:
+    def test_schedulable_verdict(self, traced):
+        assert traced.schedulable
+
+    def test_gamma1_end_to_end(self, traced):
+        assert traced.wcrt(0, 3) == pytest.approx(31.0)
+        assert traced.slack(0) == pytest.approx(19.0)
+
+    def test_sensor_polls(self, traced):
+        # tau_2_1/tau_3_1: Delta + C/alpha = 1 + 2.5 = 3.5, no interference
+        # above priority 3 on Pi1/Pi2.
+        assert traced.wcrt(1, 0) == pytest.approx(3.5)
+        assert traced.wcrt(2, 0) == pytest.approx(3.5)
+
+    def test_background_meets_deadline(self, traced):
+        assert traced.wcrt(3, 0) <= 70.0
+
+    def test_best_cases_match_table1_offsets(self, traced):
+        # phi_min column of Table 1: 0, 3, 4, 5.
+        for j, phi in [(0, 0.0), (1, 3.0), (2, 4.0), (3, 5.0)]:
+            assert traced.tasks[(0, j)].offset == pytest.approx(phi)
+
+    def test_final_jitters(self, traced):
+        for j, jit in [(0, 0.0), (1, 9.0), (2, 14.0), (3, 19.0)]:
+            assert traced.tasks[(0, j)].jitter == pytest.approx(jit)
+
+
+class TestExactMethodAgrees:
+    def test_exact_gives_same_trace_on_example(self):
+        """The example is small enough for the exact analysis; Tindell's
+        W* maximization introduces no pessimism here because every foreign
+        transaction has a single interfering task."""
+        exact = analyze(
+            sensor_fusion_system(),
+            config=AnalysisConfig(method="exact"),
+            trace=True,
+        )
+        reduced = analyze(sensor_fusion_system(), trace=True)
+        assert exact.transaction_wcrt == pytest.approx(reduced.transaction_wcrt)

@@ -1,0 +1,200 @@
+"""Unit tests for SystemAssembly wiring, placement and validation."""
+
+import pytest
+
+from repro.components.assembly import Binding, SystemAssembly
+from repro.components.component import Component
+from repro.components.interface import ProvidedMethod, RequiredMethod
+from repro.components.threads import CallStep, EventThread, PeriodicThread, TaskStep
+from repro.components.validation import validate_assembly
+from repro.platforms.linear import DedicatedPlatform
+from repro.platforms.network import Message
+
+
+def server(mit=5.0):
+    return Component(
+        name="Server",
+        provided=[ProvidedMethod("serve", mit=mit)],
+        threads=[
+            EventThread(
+                name="h", realizes="serve", priority=1,
+                body=[TaskStep("work", wcet=1.0)],
+            )
+        ],
+    )
+
+
+def client(period=50.0, calls=1):
+    body = [TaskStep("pre", wcet=1.0)]
+    body += [CallStep("svc")] * calls
+    return Component(
+        name="Client",
+        required=[RequiredMethod("svc", mit=period / max(calls, 1))],
+        threads=[
+            PeriodicThread(name="main", priority=2, period=period, body=body)
+        ],
+    )
+
+
+def wired_assembly(period=50.0, mit=5.0, calls=1):
+    asm = SystemAssembly(name="t")
+    asm.add_instance("S", server(mit=mit))
+    asm.add_instance("C", client(period=period, calls=calls))
+    asm.add_platform("P0", DedicatedPlatform())
+    asm.add_platform("P1", DedicatedPlatform())
+    asm.place("S", platform="P0")
+    asm.place("C", platform="P1")
+    asm.bind("C", "svc", "S", "serve")
+    return asm
+
+
+class TestConstruction:
+    def test_duplicate_instance_rejected(self):
+        asm = SystemAssembly()
+        asm.add_instance("A", server())
+        with pytest.raises(ValueError, match="already exists"):
+            asm.add_instance("A", server())
+
+    def test_duplicate_platform_rejected(self):
+        asm = SystemAssembly()
+        asm.add_platform("P", DedicatedPlatform())
+        with pytest.raises(ValueError, match="already exists"):
+            asm.add_platform("P", DedicatedPlatform())
+
+    def test_duplicate_binding_rejected(self):
+        asm = wired_assembly()
+        with pytest.raises(ValueError, match="already bound"):
+            asm.bind("C", "svc", "S", "serve")
+
+    def test_platform_index_order(self):
+        asm = wired_assembly()
+        assert asm.platform_index("P0") == 0
+        assert asm.platform_index("P1") == 1
+        with pytest.raises(KeyError):
+            asm.platform_index("P9")
+
+    def test_platform_of_instance(self):
+        asm = wired_assembly()
+        assert asm.platform_of("S") == 0
+        with pytest.raises(KeyError, match="no placement"):
+            asm.platform_of("ghost")
+
+    def test_binding_messages_require_network(self):
+        with pytest.raises(ValueError, match="without a network"):
+            Binding(
+                caller="C", required="svc", callee="S", provided="serve",
+                request=Message(payload=10.0),
+            )
+
+
+class TestValidation:
+    def test_clean_assembly(self):
+        assert validate_assembly(wired_assembly()) == []
+
+    def test_missing_placement_is_fatal(self):
+        asm = wired_assembly()
+        del asm.placements["C"]
+        problems = validate_assembly(asm)
+        assert any(p.kind == "placement" and p.fatal for p in problems)
+
+    def test_unknown_platform_is_fatal(self):
+        asm = wired_assembly()
+        asm.placements["C"] = "Nowhere"
+        problems = validate_assembly(asm)
+        assert any("unknown platform" in p.message for p in problems)
+
+    def test_unbound_call_is_fatal(self):
+        asm = wired_assembly()
+        del asm.bindings[("C", "svc")]
+        problems = validate_assembly(asm)
+        assert any(p.kind == "binding" and "not bound" in p.message for p in problems)
+
+    def test_binding_to_missing_provider(self):
+        asm = wired_assembly()
+        asm.bindings[("C", "svc")] = Binding("C", "svc", "S", "ghost")
+        problems = validate_assembly(asm)
+        assert any("does not provide" in p.message for p in problems)
+
+    def test_unrealized_provided_method(self):
+        unrealized = Component(
+            name="Lazy", provided=[ProvidedMethod("serve", mit=5.0)], threads=[]
+        )
+        asm = SystemAssembly()
+        asm.add_instance("S", unrealized)
+        asm.add_instance("C", client())
+        asm.add_platform("P", DedicatedPlatform())
+        asm.place("S", platform="P")
+        asm.place("C", platform="P")
+        asm.bind("C", "svc", "S", "serve")
+        problems = validate_assembly(asm)
+        assert any("no thread realizes" in p.message for p in problems)
+
+    def test_mit_violation_is_fatal(self):
+        # Client calls every 50; server sustains one call per 100 -> violation.
+        asm = wired_assembly(period=50.0, mit=100.0)
+        problems = validate_assembly(asm)
+        assert any(p.kind == "mit" and p.fatal for p in problems)
+
+    def test_multiple_call_sites_aggregate(self):
+        # 2 calls per 50 time units = rate 1/25; MIT 30 can't sustain it.
+        asm = wired_assembly(period=50.0, mit=30.0, calls=2)
+        problems = validate_assembly(asm)
+        assert any(p.kind == "mit" and p.fatal for p in problems)
+
+    def test_caller_declaration_warning_not_fatal(self):
+        # Caller declares MIT 50 but calls twice per period (actual 25).
+        srv = server(mit=1.0)
+        cl = Component(
+            name="Client",
+            required=[RequiredMethod("svc", mit=50.0)],
+            threads=[
+                PeriodicThread(
+                    name="main", priority=1, period=50.0,
+                    body=[TaskStep("a", wcet=1.0), CallStep("svc"), CallStep("svc")],
+                )
+            ],
+        )
+        asm = SystemAssembly()
+        asm.add_instance("S", srv)
+        asm.add_instance("C", cl)
+        asm.add_platform("P", DedicatedPlatform())
+        asm.place("S", platform="P")
+        asm.place("C", platform="P")
+        asm.bind("C", "svc", "S", "serve")
+        problems = validate_assembly(asm)
+        warnings = [p for p in problems if not p.fatal]
+        assert any("declares MIT" in p.message for p in warnings)
+
+    def test_rpc_cycle_detected(self):
+        a = Component(
+            name="A",
+            provided=[ProvidedMethod("pa", mit=10.0)],
+            required=[RequiredMethod("rb", mit=10.0)],
+            threads=[
+                EventThread(
+                    name="h", realizes="pa", priority=1,
+                    body=[TaskStep("w", wcet=0.1), CallStep("rb")],
+                )
+            ],
+        )
+        b = Component(
+            name="B",
+            provided=[ProvidedMethod("pb", mit=10.0)],
+            required=[RequiredMethod("ra", mit=10.0)],
+            threads=[
+                EventThread(
+                    name="h", realizes="pb", priority=1,
+                    body=[TaskStep("w", wcet=0.1), CallStep("ra")],
+                )
+            ],
+        )
+        asm = SystemAssembly()
+        asm.add_instance("A", a)
+        asm.add_instance("B", b)
+        asm.add_platform("P", DedicatedPlatform())
+        asm.place("A", platform="P")
+        asm.place("B", platform="P")
+        asm.bind("A", "rb", "B", "pb")
+        asm.bind("B", "ra", "A", "pa")
+        problems = validate_assembly(asm)
+        assert any(p.kind == "cycle" and p.fatal for p in problems)

@@ -1,0 +1,187 @@
+"""Unit tests for interfaces, threads, schedulers and the Component class."""
+
+import pytest
+
+from repro.components.component import Component
+from repro.components.interface import ProvidedMethod, RequiredMethod
+from repro.components.scheduler import EDFScheduler, FixedPriorityScheduler
+from repro.components.threads import (
+    CallStep,
+    EventThread,
+    PeriodicThread,
+    TaskStep,
+)
+
+
+class TestInterface:
+    def test_provided_method(self):
+        m = ProvidedMethod("read", mit=50.0)
+        assert m.name == "read"
+        assert m.mit == 50.0
+
+    def test_rejects_nonpositive_mit(self):
+        with pytest.raises(ValueError):
+            ProvidedMethod("read", mit=0.0)
+        with pytest.raises(ValueError):
+            RequiredMethod("write", mit=-1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ProvidedMethod("", mit=1.0)
+
+
+class TestSteps:
+    def test_task_step_bcet_bounds(self):
+        with pytest.raises(ValueError):
+            TaskStep("t", wcet=1.0, bcet=2.0)
+
+    def test_task_step_priority_override(self):
+        assert TaskStep("t", wcet=1.0, priority=5).priority == 5
+
+    def test_call_step_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CallStep("")
+
+
+class TestThreads:
+    def test_periodic_defaults_deadline(self):
+        t = PeriodicThread(
+            name="T", priority=1, period=10.0, body=[TaskStep("a", wcet=1.0)]
+        )
+        assert t.deadline == 10.0
+
+    def test_periodic_rejects_empty_body(self):
+        with pytest.raises(ValueError, match="empty body"):
+            PeriodicThread(name="T", priority=1, period=10.0, body=[])
+
+    def test_event_requires_realizes(self):
+        with pytest.raises(ValueError, match="realize"):
+            EventThread(name="T", priority=1, body=[TaskStep("a", wcet=1.0)])
+
+    def test_body_type_checked(self):
+        with pytest.raises(TypeError):
+            PeriodicThread(name="T", priority=1, period=5.0, body=["nope"])
+
+    def test_step_filters(self):
+        t = PeriodicThread(
+            name="T",
+            priority=1,
+            period=10.0,
+            body=[TaskStep("a", wcet=1.0), CallStep("m"), TaskStep("b", wcet=1.0)],
+        )
+        assert [s.name for s in t.task_steps()] == ["a", "b"]
+        assert [s.method for s in t.call_steps()] == ["m"]
+
+
+class TestSchedulers:
+    def test_fixed_priority_is_analyzable(self):
+        assert FixedPriorityScheduler().analyzable
+
+    def test_edf_is_not_analyzable(self):
+        assert not EDFScheduler().analyzable
+
+
+def sensor_component():
+    return Component(
+        name="SensorReading",
+        provided=[ProvidedMethod("read", mit=50.0)],
+        threads=[
+            PeriodicThread(
+                name="poll", priority=2, period=15.0, body=[TaskStep("p", wcet=1.0)]
+            ),
+            EventThread(
+                name="serve",
+                realizes="read",
+                priority=1,
+                body=[TaskStep("s", wcet=1.0)],
+            ),
+        ],
+    )
+
+
+class TestComponent:
+    def test_valid_component(self):
+        c = sensor_component()
+        assert c.provided_method("read").mit == 50.0
+        assert c.realizer_of("read").name == "serve"
+        assert len(c.periodic_threads()) == 1
+        assert len(c.event_threads()) == 1
+
+    def test_unknown_provided_method(self):
+        with pytest.raises(KeyError):
+            sensor_component().provided_method("nope")
+
+    def test_unknown_realizer(self):
+        c = Component(
+            name="C",
+            provided=[ProvidedMethod("read", mit=10.0)],
+            threads=[],
+        )
+        with pytest.raises(KeyError, match="no thread realizes"):
+            c.realizer_of("read")
+
+    def test_rejects_event_thread_for_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown provided method"):
+            Component(
+                name="C",
+                threads=[
+                    EventThread(
+                        name="e",
+                        realizes="ghost",
+                        priority=1,
+                        body=[TaskStep("a", wcet=1.0)],
+                    )
+                ],
+            )
+
+    def test_rejects_duplicate_realizers(self):
+        with pytest.raises(ValueError, match="more than one thread"):
+            Component(
+                name="C",
+                provided=[ProvidedMethod("read", mit=10.0)],
+                threads=[
+                    EventThread(
+                        name="e1", realizes="read", priority=1,
+                        body=[TaskStep("a", wcet=1.0)],
+                    ),
+                    EventThread(
+                        name="e2", realizes="read", priority=2,
+                        body=[TaskStep("b", wcet=1.0)],
+                    ),
+                ],
+            )
+
+    def test_rejects_call_to_undeclared_method(self):
+        with pytest.raises(ValueError, match="not in the required interface"):
+            Component(
+                name="C",
+                threads=[
+                    PeriodicThread(
+                        name="t", priority=1, period=5.0, body=[CallStep("ghost")]
+                    )
+                ],
+            )
+
+    def test_rejects_method_both_provided_and_required(self):
+        with pytest.raises(ValueError, match="both provided and required"):
+            Component(
+                name="C",
+                provided=[ProvidedMethod("m", mit=1.0)],
+                required=[RequiredMethod("m", mit=1.0)],
+            )
+
+    def test_rejects_duplicate_thread_names(self):
+        with pytest.raises(ValueError, match="duplicate thread names"):
+            Component(
+                name="C",
+                threads=[
+                    PeriodicThread(
+                        name="t", priority=1, period=5.0,
+                        body=[TaskStep("a", wcet=1.0)],
+                    ),
+                    PeriodicThread(
+                        name="t", priority=2, period=7.0,
+                        body=[TaskStep("b", wcet=1.0)],
+                    ),
+                ],
+            )

@@ -1,0 +1,221 @@
+"""Unit tests for the Sec. 2.4 component-to-transaction transform."""
+
+import pytest
+
+from repro.components.assembly import SystemAssembly
+from repro.components.component import Component
+from repro.components.interface import ProvidedMethod, RequiredMethod
+from repro.components.scheduler import EDFScheduler
+from repro.components.threads import CallStep, EventThread, PeriodicThread, TaskStep
+from repro.components.validation import AssemblyError
+from repro.paper import sensor_fusion_components, sensor_fusion_system
+from repro.platforms.linear import DedicatedPlatform
+from repro.platforms.network import Message, NetworkLinkPlatform
+
+
+class TestPaperExample:
+    def test_transaction_count(self):
+        system = sensor_fusion_components().derive_transactions()
+        assert len(system.transactions) == 4
+
+    def test_gamma1_chain_structure(self):
+        system = sensor_fusion_components().derive_transactions()
+        g1 = next(tr for tr in system if "Integrator" in tr.name)
+        names = [t.meta.get("step") for t in g1.tasks]
+        assert names == ["init", "serve_read", "serve_read", "compute"]
+        platforms = [t.platform for t in g1.tasks]
+        assert platforms == [2, 0, 1, 2]  # Pi3, Pi1, Pi2, Pi3
+
+    def test_priority_override_applied(self):
+        system = sensor_fusion_components().derive_transactions()
+        g1 = next(tr for tr in system if "Integrator" in tr.name)
+        assert g1.tasks[0].priority == 2  # init at thread priority
+        assert g1.tasks[3].priority == 3  # compute overridden to 3
+
+    def test_equivalent_to_direct_system(self):
+        """Component-derived and hand-built systems analyze identically."""
+        from repro.analysis import analyze
+
+        derived = sensor_fusion_components().derive_transactions()
+        direct = sensor_fusion_system()
+        ra = analyze(derived)
+        rb = analyze(direct)
+        assert sorted(ra.transaction_wcrt) == pytest.approx(
+            sorted(rb.transaction_wcrt)
+        )
+
+
+def minimal_assembly(*, edf=False):
+    comp = Component(
+        name="C",
+        threads=[
+            PeriodicThread(
+                name="t", priority=1, period=10.0, body=[TaskStep("a", wcet=1.0)]
+            )
+        ],
+        scheduler=EDFScheduler() if edf else Component.__dataclass_fields__["scheduler"].default_factory(),
+    )
+    asm = SystemAssembly(name="m")
+    asm.add_instance("I", comp)
+    asm.add_platform("P", DedicatedPlatform())
+    asm.place("I", platform="P")
+    return asm
+
+
+class TestTransformMechanics:
+    def test_task_metadata(self):
+        system = minimal_assembly().derive_transactions()
+        task = system.transactions[0].tasks[0]
+        assert task.meta["instance"] == "I"
+        assert task.meta["kind"] == "code"
+        assert task.name == "I.t.a"
+
+    def test_edf_rejected_for_analysis(self):
+        asm = minimal_assembly(edf=True)
+        with pytest.raises(AssemblyError, match="edf"):
+            asm.derive_transactions()
+
+    def test_edf_allowed_for_simulation(self):
+        asm = minimal_assembly(edf=True)
+        system = asm.derive_transactions(require_analyzable=False)
+        assert len(system.transactions) == 1
+
+    def test_validation_failure_aborts(self):
+        asm = minimal_assembly()
+        del asm.placements["I"]
+        with pytest.raises(AssemblyError, match="validation failed"):
+            asm.derive_transactions()
+
+    def test_validation_can_be_skipped(self):
+        # With validation off, the transform hits the missing placement itself.
+        asm = minimal_assembly()
+        del asm.placements["I"]
+        with pytest.raises(KeyError):
+            asm.derive_transactions(validate=False)
+
+
+class TestMessageInsertion:
+    def build(self):
+        srv = Component(
+            name="S",
+            provided=[ProvidedMethod("serve", mit=10.0)],
+            threads=[
+                EventThread(
+                    name="h", realizes="serve", priority=2,
+                    body=[TaskStep("work", wcet=1.0)],
+                )
+            ],
+        )
+        cl = Component(
+            name="C",
+            required=[RequiredMethod("svc", mit=50.0)],
+            threads=[
+                PeriodicThread(
+                    name="main", priority=1, period=50.0,
+                    body=[TaskStep("pre", wcet=1.0), CallStep("svc"),
+                          TaskStep("post", wcet=1.0)],
+                )
+            ],
+        )
+        asm = SystemAssembly(name="net")
+        asm.add_instance("S", srv)
+        asm.add_instance("C", cl)
+        asm.add_platform("PC", DedicatedPlatform())
+        asm.add_platform("PS", DedicatedPlatform())
+        asm.add_platform(
+            "NET", NetworkLinkPlatform(100.0, frame_overhead=4.0, name="bus")
+        )
+        asm.place("C", platform="PC")
+        asm.place("S", platform="PS")
+        asm.bind(
+            "C", "svc", "S", "serve",
+            request=Message(payload=16.0, priority=3),
+            reply=Message(payload=8.0, priority=3),
+            network="NET",
+        )
+        return asm
+
+    def test_message_tasks_inserted_in_order(self):
+        system = self.build().derive_transactions()
+        tr = system.transactions[0]
+        kinds = [t.meta.get("kind") for t in tr.tasks]
+        assert kinds == ["code", "message", "code", "message", "code"]
+        assert tr.tasks[1].meta["direction"] == "request"
+        assert tr.tasks[3].meta["direction"] == "reply"
+
+    def test_message_task_parameters(self):
+        system = self.build().derive_transactions()
+        req = system.transactions[0].tasks[1]
+        assert req.platform == 2  # the NET platform index
+        assert req.wcet == 20.0  # 16 payload + 4 overhead
+        assert req.priority == 3
+
+    def test_network_platform_must_be_a_link(self):
+        asm = self.build()
+        # Rebind the network to a CPU platform: transform must refuse.
+        from repro.components.assembly import Binding
+
+        b = asm.bindings[("C", "svc")]
+        asm.bindings[("C", "svc")] = Binding(
+            caller=b.caller, required=b.required, callee=b.callee,
+            provided=b.provided, request=b.request, reply=b.reply,
+            network="PC",
+        )
+        with pytest.raises(AssemblyError, match="not a NetworkLinkPlatform"):
+            asm.derive_transactions()
+
+    def test_network_system_analyzes(self):
+        from repro.analysis import analyze
+
+        system = self.build().derive_transactions()
+        result = analyze(system)
+        assert result.schedulable
+
+
+class TestRecursiveExpansion:
+    def test_three_level_chain(self):
+        leaf = Component(
+            name="Leaf",
+            provided=[ProvidedMethod("pl", mit=1.0)],
+            threads=[
+                EventThread(
+                    name="h", realizes="pl", priority=1,
+                    body=[TaskStep("leafwork", wcet=0.5)],
+                )
+            ],
+        )
+        mid = Component(
+            name="Mid",
+            provided=[ProvidedMethod("pm", mit=1.0)],
+            required=[RequiredMethod("rl", mit=1.0)],
+            threads=[
+                EventThread(
+                    name="h", realizes="pm", priority=1,
+                    body=[TaskStep("pre", wcet=0.5), CallStep("rl"),
+                          TaskStep("post", wcet=0.5)],
+                )
+            ],
+        )
+        top = Component(
+            name="Top",
+            required=[RequiredMethod("rm", mit=1.0)],
+            threads=[
+                PeriodicThread(
+                    name="main", priority=1, period=100.0,
+                    body=[CallStep("rm")],
+                )
+            ],
+        )
+        asm = SystemAssembly()
+        for n, c in [("L", leaf), ("M", mid), ("T", top)]:
+            asm.add_instance(n, c)
+            asm.add_platform(f"P{n}", DedicatedPlatform())
+            asm.place(n, platform=f"P{n}")
+        asm.bind("T", "rm", "M", "pm")
+        asm.bind("M", "rl", "L", "pl")
+        system = asm.derive_transactions()
+        steps = [t.meta["step"] for t in system.transactions[0].tasks]
+        assert steps == ["pre", "leafwork", "post"]
+        platforms = [t.platform for t in system.transactions[0].tasks]
+        # Mid on platform 1, Leaf on 0 (registration order L, M, T).
+        assert platforms == [1, 0, 1]

@@ -1,0 +1,18 @@
+"""Doctest smoke: the executable examples in the public docstrings."""
+
+import doctest
+
+import repro
+import repro.analysis.schedulability
+
+
+class TestDoctests:
+    def test_package_quickstart(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 2  # the quickstart is actually executed
+
+    def test_analyze_docstring(self):
+        results = doctest.testmod(repro.analysis.schedulability, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1

@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run and print their headlines.
+
+Each example is executed as a subprocess (the way a user runs it); the
+slowest batch-study example is exercised through its module import path
+only when explicitly requested.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "schedulable: True" in out
+        assert "slack" in out
+
+    def test_sensor_fusion(self):
+        out = run_example("sensor_fusion.py")
+        assert "Table 3" in out
+        assert "sound = True" in out
+        assert "Gantt" in out
+
+    def test_multilevel_hierarchy(self):
+        out = run_example("multilevel_hierarchy.py")
+        assert "schedulable: True" in out
+        assert "nested" in out
+
+    def test_component_workflow(self):
+        out = run_example("component_workflow.py")
+        assert "Schedulability report" in out
+        assert "SCHEDULABLE" in out
+        assert "Gantt" in out
+
+    def test_distributed_pipeline(self):
+        out = run_example("distributed_pipeline.py")
+        assert "schedulable: True" in out
+        assert "bus utilization" in out
+
+    def test_platform_dimensioning(self):
+        out = run_example("platform_dimensioning.py")
+        assert "bandwidth-minimal design" in out
+        assert "composition on one CPU: feasible=True" in out

@@ -1,0 +1,148 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.gen import (
+    RandomAssemblySpec,
+    RandomSystemSpec,
+    random_assembly,
+    random_system,
+    uunifast,
+    uunifast_discard,
+)
+
+
+class TestUUniFast:
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=0.05, max_value=4.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sums_to_total(self, n, total, seed):
+        u = uunifast(n, total, np.random.default_rng(seed))
+        assert len(u) == n
+        assert float(np.sum(u)) == pytest.approx(total, rel=1e-9)
+        assert np.all(u >= -1e-12)
+
+    def test_single_task(self):
+        assert uunifast(1, 0.7).tolist() == [0.7]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5)
+        with pytest.raises(ValueError):
+            uunifast(3, 0.0)
+
+    def test_mean_is_uniform(self):
+        """Each share has expectation total/n (symmetry of the simplex)."""
+        rng = np.random.default_rng(0)
+        acc = np.zeros(4)
+        n_draws = 3000
+        for _ in range(n_draws):
+            acc += uunifast(4, 1.0, rng)
+        means = acc / n_draws
+        assert np.allclose(means, 0.25, atol=0.02)
+
+
+class TestUUniFastDiscard:
+    def test_respects_cap(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            u = uunifast_discard(4, 2.0, cap=0.8, rng=rng)
+            assert np.all(u <= 0.8 + 1e-12)
+            assert float(np.sum(u)) == pytest.approx(2.0)
+
+    def test_impossible_request_rejected(self):
+        with pytest.raises(ValueError):
+            uunifast_discard(2, 3.0, cap=1.0)
+
+
+class TestRandomSystem:
+    def test_reproducible(self):
+        a = random_system(seed=5)
+        b = random_system(seed=5)
+        for tra, trb in zip(a.transactions, b.transactions):
+            assert tra.period == trb.period
+            for x, y in zip(tra.tasks, trb.tasks):
+                assert x.wcet == y.wcet
+                assert x.platform == y.platform
+
+    def test_utilization_respected(self):
+        spec = RandomSystemSpec(utilization=0.5, n_platforms=2, n_transactions=6)
+        s = random_system(spec, seed=3)
+        for m in range(2):
+            if s.tasks_on(m):
+                # Utilization relative to the platform rate is 0.5 by
+                # construction: demand/rate/period summed == 0.5.
+                assert s.utilization(m) == pytest.approx(0.5, abs=1e-9)
+
+    def test_deadline_factor(self):
+        spec = RandomSystemSpec(deadline_factor=2.0)
+        s = random_system(spec, seed=1)
+        for tr in s.transactions:
+            assert tr.deadline == pytest.approx(2.0 * tr.period)
+
+    def test_bcet_ratio(self):
+        s = random_system(RandomSystemSpec(bcet_ratio=0.5), seed=2)
+        for tr in s.transactions:
+            for t in tr.tasks:
+                assert t.bcet == pytest.approx(0.5 * t.wcet)
+
+    def test_task_counts_in_range(self):
+        spec = RandomSystemSpec(tasks_per_transaction=(2, 3))
+        s = random_system(spec, seed=4)
+        for tr in s.transactions:
+            assert 2 <= len(tr.tasks) <= 3
+
+    def test_analyzable(self):
+        result = analyze(random_system(RandomSystemSpec(utilization=0.3), seed=8))
+        assert result.schedulable
+
+    def test_periods_within_range(self):
+        spec = RandomSystemSpec(period_range=(100.0, 200.0))
+        s = random_system(spec, seed=6)
+        for tr in s.transactions:
+            assert 100.0 <= tr.period <= 200.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RandomSystemSpec(n_platforms=0)
+        with pytest.raises(ValueError):
+            RandomSystemSpec(tasks_per_transaction=(3, 1))
+        with pytest.raises(ValueError):
+            RandomSystemSpec(bcet_ratio=0.0)
+
+
+class TestRandomAssembly:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_validates_cleanly(self, seed):
+        asm = random_assembly(seed=seed)
+        fatal = [p for p in asm.validate() if p.fatal]
+        assert fatal == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_derives_and_analyzes(self, seed):
+        system = random_assembly(seed=seed).derive_transactions()
+        assert system.total_tasks() >= 2
+        analyze(system)  # must not raise
+
+    def test_layer_count_controls_depth(self):
+        spec = RandomAssemblySpec(n_layers=3, clients_per_layer=1)
+        asm = random_assembly(spec, seed=1)
+        assert len(asm.instances) == 3
+
+    def test_reproducible(self):
+        a = random_assembly(seed=7).derive_transactions()
+        b = random_assembly(seed=7).derive_transactions()
+        assert [tr.name for tr in a] == [tr.name for tr in b]
+        assert [len(tr.tasks) for tr in a] == [len(tr.tasks) for tr in b]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RandomAssemblySpec(n_layers=0)
+        with pytest.raises(ValueError):
+            RandomAssemblySpec(calls_per_thread=(2, 1))

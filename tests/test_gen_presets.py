@@ -1,0 +1,85 @@
+"""Tests for the canonical workload presets."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.gen import automotive_cluster, avionics_partitions
+from repro.io import assembly_from_dict, assembly_to_dict
+from repro.sim import validate_against_analysis
+
+
+class TestAutomotiveCluster:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return automotive_cluster().derive_transactions()
+
+    def test_validates(self):
+        asm = automotive_cluster()
+        assert not [p for p in asm.validate() if p.fatal]
+
+    def test_structure(self, system):
+        names = [tr.name for tr in system]
+        assert "Dash.refresh" in names
+        assert "Diag.obd" in names
+        dash = next(tr for tr in system if tr.name == "Dash.refresh")
+        kinds = [t.meta.get("kind") for t in dash.tasks]
+        # req msg, engine snapshot, rep msg, render
+        assert kinds == ["message", "code", "message", "code"]
+
+    def test_schedulable(self, system):
+        result = analyze(system)
+        assert result.schedulable
+
+    def test_bus_utilization_reasonable(self, system):
+        bus = 3  # platform registration order
+        assert 0.0 < system.utilization(bus) < 0.5
+
+    def test_sim_sound(self, system):
+        report = validate_against_analysis(
+            system, seeds=(0,), placements=("late",),
+            release_modes=("synchronous",), horizon=2000.0,
+        )
+        assert report.sound
+
+    def test_round_trips_through_json(self):
+        asm = automotive_cluster()
+        back = assembly_from_dict(assembly_to_dict(asm))
+        ra = analyze(asm.derive_transactions())
+        rb = analyze(back.derive_transactions())
+        assert ra.transaction_wcrt == pytest.approx(rb.transaction_wcrt)
+
+
+class TestAvionicsPartitions:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return avionics_partitions().derive_transactions()
+
+    def test_validates(self):
+        asm = avionics_partitions()
+        assert not [p for p in asm.validate() if p.fatal]
+
+    def test_server_platforms(self, system):
+        from repro.platforms import PeriodicServer
+
+        assert all(isinstance(p, PeriodicServer) for p in system.platforms)
+        assert sum(p.rate for p in system.platforms) <= 1.0
+
+    def test_schedulable(self, system):
+        assert analyze(system).schedulable
+
+    def test_cross_partition_chain(self, system):
+        nav = next(tr for tr in system if tr.name == "NAV.fusion")
+        platforms = [t.platform for t in nav.tasks]
+        # predict on p.nav, attitude served on p.fc, correct on p.nav.
+        assert platforms == [1, 0, 1]
+
+    def test_sim_sound(self, system):
+        report = validate_against_analysis(
+            system, seeds=(1,), placements=("late", "random"),
+            release_modes=("synchronous",), horizon=4000.0,
+        )
+        assert report.sound
+
+    def test_exact_analysis_feasible_size(self, system):
+        result = analyze(system, config=AnalysisConfig(method="exact"))
+        assert result.schedulable

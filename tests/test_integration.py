@@ -1,0 +1,118 @@
+"""End-to-end integration tests crossing every package boundary.
+
+Each test exercises a full user workflow: spec -> validate -> transform ->
+analyze -> (serialize ->) simulate -> compare, the way a downstream user
+would chain the library.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.cli import main
+from repro.gen import RandomAssemblySpec, random_assembly
+from repro.io import load_system, save_system
+from repro.opt import minimize_bandwidth
+from repro.paper import sensor_fusion_components, sensor_fusion_system
+from repro.sim import SimulationConfig, simulate, validate_against_analysis
+
+
+class TestPaperPipeline:
+    """Component spec -> transactions -> analysis -> sim, on the example."""
+
+    def test_full_chain(self, tmp_path):
+        # 1. spec and validation
+        assembly = sensor_fusion_components()
+        assert not [p for p in assembly.validate() if p.fatal]
+
+        # 2. transform
+        system = assembly.derive_transactions()
+        assert system.total_tasks() == 7
+
+        # 3. analysis
+        result = analyze(system, trace=True)
+        assert result.schedulable
+
+        # 4. serialize / reload
+        path = save_system(system, tmp_path / "sys.json")
+        reloaded = load_system(path)
+        again = analyze(reloaded)
+        assert again.transaction_wcrt == pytest.approx(result.transaction_wcrt)
+
+        # 5. simulate the reloaded system; observed <= bound (sound config).
+        report = validate_against_analysis(
+            reloaded, seeds=(0,), placements=("late",),
+            release_modes=("synchronous",), horizon=2000.0,
+        )
+        assert report.sound
+
+    def test_cli_mirrors_api(self, tmp_path, capsys):
+        path = save_system(sensor_fusion_system(), tmp_path / "sys.json")
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "31" in out  # Gamma_1 wcrt visible in the table
+
+
+class TestDesignLoop:
+    """Optimize, re-host, re-analyze, re-simulate."""
+
+    def test_designed_system_survives_simulation(self):
+        system = sensor_fusion_system()
+        design = minimize_bandwidth(system, rate_tol=5e-3)
+        assert design.feasible
+        designed = design.designed_system(system)
+
+        result = analyze(designed)
+        assert result.schedulable
+
+        report = validate_against_analysis(
+            designed, seeds=(0,), placements=("late", "random"),
+            release_modes=("synchronous",), horizon=2500.0,
+        )
+        assert report.sound
+
+
+class TestGeneratedAssemblies:
+    """Random component topologies through the whole stack."""
+
+    @pytest.mark.parametrize("seed", [0, 2, 4])
+    def test_generated_assembly_end_to_end(self, seed):
+        spec = RandomAssemblySpec(n_layers=2, clients_per_layer=2)
+        assembly = random_assembly(spec, seed=seed)
+        system = assembly.derive_transactions()
+        result = analyze(system, config=AnalysisConfig(best_case="sound"))
+        trace = simulate(
+            system,
+            config=SimulationConfig(
+                horizon=20.0 * max(tr.period for tr in system.transactions),
+                placement="late",
+                seed=seed,
+            ),
+        )
+        for key, st in trace.tasks.items():
+            bound = result.tasks[key].wcrt
+            if bound != float("inf"):
+                assert st.max_response <= bound + 1e-6
+
+
+class TestExactReducedEndToEnd:
+    def test_methods_agree_on_verdict_for_example(self):
+        system = sensor_fusion_system()
+        reduced = analyze(system)
+        exact = analyze(system, config=AnalysisConfig(method="exact"))
+        assert reduced.schedulable == exact.schedulable
+        for key in reduced.tasks:
+            assert exact.tasks[key].wcrt <= reduced.tasks[key].wcrt + 1e-9
+
+
+class TestJsonSchemaStability:
+    def test_documented_schema_fields(self, tmp_path):
+        """The on-disk schema is a public contract; pin its shape."""
+        path = save_system(sensor_fusion_system(), tmp_path / "sys.json")
+        data = json.loads(path.read_text())
+        assert set(data) == {"version", "name", "platforms", "transactions"}
+        assert {p["kind"] for p in data["platforms"]} == {"linear"}
+        task0 = data["transactions"][0]["tasks"][0]
+        assert {"wcet", "bcet", "platform", "priority", "offset",
+                "jitter", "blocking", "name"} <= set(task0)

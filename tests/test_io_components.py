@@ -1,0 +1,130 @@
+"""Tests for component/assembly serialization and the derive CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze
+from repro.cli import main
+from repro.components.scheduler import EDFScheduler
+from repro.gen import random_assembly
+from repro.io import (
+    assembly_from_dict,
+    assembly_to_dict,
+    component_from_dict,
+    component_to_dict,
+    load_assembly,
+    save_assembly,
+)
+from repro.paper import sensor_fusion_components
+
+
+class TestComponentRoundTrip:
+    def test_sensor_component(self):
+        asm = sensor_fusion_components()
+        comp = asm.instances["Sensor1"]
+        d = component_to_dict(comp)
+        back = component_from_dict(comp.name, d)
+        assert back.name == comp.name
+        assert [m.name for m in back.provided] == [m.name for m in comp.provided]
+        assert len(back.threads) == len(comp.threads)
+        assert back.scheduler.policy == "fixed_priority"
+
+    def test_priority_override_preserved(self):
+        asm = sensor_fusion_components()
+        comp = asm.instances["Integrator"]
+        back = component_from_dict(comp.name, component_to_dict(comp))
+        periodic = back.periodic_threads()[0]
+        task_steps = periodic.task_steps()
+        assert task_steps[-1].priority == 3  # compute override
+
+    def test_edf_scheduler_round_trip(self):
+        from repro.components import Component, PeriodicThread, TaskStep
+
+        comp = Component(
+            name="E",
+            threads=[PeriodicThread(name="t", priority=1, period=5.0,
+                                    body=[TaskStep("a", wcet=1.0)])],
+            scheduler=EDFScheduler(),
+        )
+        back = component_from_dict("E", component_to_dict(comp))
+        assert back.scheduler.policy == "edf"
+
+    def test_unknown_scheduler_rejected(self):
+        asm = sensor_fusion_components()
+        d = component_to_dict(asm.instances["Sensor1"])
+        d["scheduler"] = "lottery"
+        with pytest.raises(ValueError, match="scheduler"):
+            component_from_dict("X", d)
+
+    def test_unknown_step_kind_rejected(self):
+        asm = sensor_fusion_components()
+        d = component_to_dict(asm.instances["Sensor1"])
+        d["threads"][0]["body"][0]["kind"] = "teleport"
+        with pytest.raises(ValueError, match="step kind"):
+            component_from_dict("X", d)
+
+
+class TestAssemblyRoundTrip:
+    def test_paper_assembly(self):
+        asm = sensor_fusion_components()
+        back = assembly_from_dict(assembly_to_dict(asm))
+        assert set(back.instances) == set(asm.instances)
+        assert back.platform_names == asm.platform_names
+        assert set(back.bindings) == set(asm.bindings)
+        # Equivalent analysis results after the transform.
+        ra = analyze(asm.derive_transactions())
+        rb = analyze(back.derive_transactions())
+        assert sorted(ra.transaction_wcrt) == pytest.approx(
+            sorted(rb.transaction_wcrt)
+        )
+
+    def test_random_assembly_round_trip(self):
+        asm = random_assembly(seed=5)
+        back = assembly_from_dict(assembly_to_dict(asm))
+        ra = analyze(asm.derive_transactions())
+        rb = analyze(back.derive_transactions())
+        assert ra.transaction_wcrt == pytest.approx(rb.transaction_wcrt)
+
+    def test_messages_round_trip(self, tmp_path):
+        import sys
+        sys.path.insert(0, "benchmarks")
+        from bench_e11_network import build
+
+        asm = build(share=0.8)
+        path = save_assembly(asm, tmp_path / "net.json")
+        back = load_assembly(path)
+        b = back.binding_for("Integrator", "readSensor1")
+        assert b.request is not None and b.request.payload == 2.0
+        assert b.network == "bus"
+        ra = analyze(asm.derive_transactions())
+        rb = analyze(back.derive_transactions())
+        assert ra.transaction_wcrt == pytest.approx(rb.transaction_wcrt)
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="schema version"):
+            assembly_from_dict({"version": 9})
+
+    def test_dangling_instance_class(self):
+        d = assembly_to_dict(sensor_fusion_components())
+        d["instances"]["Ghost"] = "NoSuchClass"
+        with pytest.raises(ValueError, match="unknown class"):
+            assembly_from_dict(d)
+
+
+class TestDeriveCli:
+    def test_derive_then_analyze(self, tmp_path, capsys):
+        asm_path = save_assembly(sensor_fusion_components(), tmp_path / "asm.json")
+        sys_path = tmp_path / "sys.json"
+        assert main(["derive", str(asm_path), "--out", str(sys_path)]) == 0
+        out = capsys.readouterr().out
+        assert "derived 4 transactions / 7 tasks" in out
+        assert main(["analyze", str(sys_path)]) == 0
+
+    def test_derive_invalid_assembly_exit_two(self, tmp_path, capsys):
+        asm = sensor_fusion_components()
+        d = assembly_to_dict(asm)
+        d["placements"].pop("Sensor1")
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(d))
+        assert main(["derive", str(path), "--out", str(tmp_path / "o.json")]) == 2

@@ -1,0 +1,86 @@
+"""Unit tests for priority-assignment policies."""
+
+import pytest
+
+from repro.model.priorities import (
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+    normalize_priorities,
+)
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.linear import DedicatedPlatform
+
+
+def build(periods_deadlines, platform_count=1):
+    """One single-task transaction per (period, deadline) pair, all on platform 0."""
+    txns = [
+        Transaction(
+            period=p,
+            deadline=d,
+            tasks=[Task(wcet=0.1, platform=0, priority=1)],
+            name=f"G{k}",
+        )
+        for k, (p, d) in enumerate(periods_deadlines)
+    ]
+    platforms = [DedicatedPlatform() for _ in range(platform_count)]
+    return TransactionSystem(transactions=txns, platforms=platforms)
+
+
+class TestRateMonotonic:
+    def test_shortest_period_highest_priority(self):
+        s = build([(10.0, 10.0), (5.0, 5.0), (20.0, 20.0)])
+        assign_rate_monotonic(s)
+        prios = [tr.tasks[0].priority for tr in s]
+        # periods 10, 5, 20 -> priorities 2, 3, 1 (greater = higher).
+        assert prios == [2, 3, 1]
+
+    def test_ties_broken_deterministically(self):
+        s = build([(10.0, 10.0), (10.0, 10.0)])
+        assign_rate_monotonic(s)
+        prios = [tr.tasks[0].priority for tr in s]
+        assert sorted(prios) == [1, 2]
+        assert prios[0] > prios[1]  # earlier transaction wins the tie
+
+    def test_per_platform_priority_spaces(self):
+        t1 = Transaction(period=10.0, tasks=[Task(wcet=1, platform=0, priority=1)])
+        t2 = Transaction(period=5.0, tasks=[Task(wcet=1, platform=1, priority=1)])
+        s = TransactionSystem(
+            transactions=[t1, t2],
+            platforms=[DedicatedPlatform(), DedicatedPlatform()],
+        )
+        assign_rate_monotonic(s)
+        # Each platform has one task -> both get top priority 1 of their space.
+        assert t1.tasks[0].priority == 1
+        assert t2.tasks[0].priority == 1
+
+
+class TestDeadlineMonotonic:
+    def test_orders_by_deadline_not_period(self):
+        s = build([(10.0, 9.0), (10.0, 3.0), (10.0, 6.0)])
+        assign_deadline_monotonic(s)
+        prios = [tr.tasks[0].priority for tr in s]
+        assert prios == [1, 3, 2]
+
+
+class TestNormalize:
+    def test_dense_remap_preserves_order(self):
+        s = build([(10.0, 10.0), (5.0, 5.0), (20.0, 20.0)])
+        for tr, p in zip(s, [10, 70, 3]):
+            tr.tasks[0].priority = p
+        normalize_priorities(s)
+        prios = [tr.tasks[0].priority for tr in s]
+        assert prios == [2, 3, 1]
+
+    def test_preserves_ties(self):
+        s = build([(10.0, 10.0), (5.0, 5.0)])
+        for tr in s:
+            tr.tasks[0].priority = 42
+        normalize_priorities(s)
+        assert [tr.tasks[0].priority for tr in s] == [1, 1]
+
+    def test_empty_platform_is_fine(self):
+        s = build([(10.0, 10.0)], platform_count=2)
+        normalize_priorities(s)  # platform 1 has no tasks; must not raise
+        assert s.transactions[0].tasks[0].priority == 1

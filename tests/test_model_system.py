@@ -1,0 +1,85 @@
+"""Unit tests for TransactionSystem."""
+
+import pytest
+
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+
+
+def simple_system(n_platforms=2):
+    platforms = [DedicatedPlatform() for _ in range(n_platforms)]
+    t1 = Transaction(
+        period=10.0,
+        tasks=[
+            Task(wcet=1.0, platform=0, priority=2),
+            Task(wcet=2.0, platform=1, priority=1),
+        ],
+        name="G1",
+    )
+    t2 = Transaction(
+        period=20.0, tasks=[Task(wcet=4.0, platform=0, priority=1)], name="G2"
+    )
+    return TransactionSystem(transactions=[t1, t2], platforms=platforms)
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = simple_system()
+        assert len(s) == 2
+        assert s.total_tasks() == 3
+
+    def test_rejects_out_of_range_platform(self):
+        with pytest.raises(ValueError, match="platform"):
+            simple_system(n_platforms=1)
+
+    def test_rejects_platform_without_triple(self):
+        t = Transaction(period=1.0, tasks=[Task(wcet=0.5, platform=0, priority=1)])
+        with pytest.raises(TypeError, match="rate"):
+            TransactionSystem(transactions=[t], platforms=[object()])
+
+    def test_rejects_non_transaction(self):
+        with pytest.raises(TypeError):
+            TransactionSystem(transactions=[42], platforms=[DedicatedPlatform()])
+
+
+class TestQueries:
+    def test_tasks_on(self):
+        s = simple_system()
+        on0 = s.tasks_on(0)
+        assert [(i, j) for i, j, _ in on0] == [(0, 0), (1, 0)]
+        assert all(t.platform == 0 for _, _, t in on0)
+
+    def test_utilization_dedicated(self):
+        s = simple_system()
+        # platform 0: 1/10 + 4/20 = 0.3; platform 1: 2/10 = 0.2
+        assert s.utilization(0) == pytest.approx(0.3)
+        assert s.utilization(1) == pytest.approx(0.2)
+        assert s.utilizations() == pytest.approx([0.3, 0.2])
+
+    def test_utilization_scales_with_rate(self):
+        platforms = [LinearSupplyPlatform(0.5), DedicatedPlatform()]
+        t = Transaction(period=10.0, tasks=[Task(wcet=1.0, platform=0, priority=1)])
+        s = TransactionSystem(transactions=[t], platforms=platforms)
+        assert s.utilization(0) == pytest.approx(0.2)
+
+    def test_iteration_and_indexing(self):
+        s = simple_system()
+        assert s[0].name == "G1"
+        assert [tr.name for tr in s] == ["G1", "G2"]
+
+    def test_hyperperiod_hint_positive(self):
+        assert simple_system().hyperperiod_hint() >= 20.0
+
+
+class TestCopy:
+    def test_copy_with_jitters_reset(self):
+        s = simple_system()
+        s.transactions[0].tasks[0].jitter = 4.0
+        s.transactions[0].tasks[0].offset = 2.0
+        c = s.copy_with_jitters_reset()
+        assert c.transactions[0].tasks[0].jitter == 0.0
+        assert c.transactions[0].tasks[0].offset == 0.0
+        # original untouched
+        assert s.transactions[0].tasks[0].jitter == 4.0

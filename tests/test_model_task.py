@@ -1,0 +1,89 @@
+"""Unit tests for the Task model."""
+
+import pytest
+
+from repro.model.task import Task
+
+
+def make(**kw):
+    base = dict(wcet=2.0, platform=0, priority=1)
+    base.update(kw)
+    return Task(**base)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        t = make()
+        assert t.bcet == 2.0  # defaults to wcet
+        assert t.offset == 0.0
+        assert t.jitter == 0.0
+        assert t.blocking == 0.0
+
+    def test_explicit_bcet(self):
+        assert make(bcet=1.0).bcet == 1.0
+
+    def test_rejects_bcet_above_wcet(self):
+        with pytest.raises(ValueError, match="bcet"):
+            make(bcet=3.0)
+
+    def test_rejects_nonpositive_wcet(self):
+        with pytest.raises(ValueError):
+            make(wcet=0.0)
+
+    def test_rejects_negative_platform(self):
+        with pytest.raises(ValueError):
+            make(platform=-1)
+
+    def test_rejects_bool_platform(self):
+        with pytest.raises(TypeError):
+            make(platform=True)
+
+    def test_rejects_float_priority(self):
+        with pytest.raises(TypeError):
+            make(priority=1.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            make(jitter=-0.1)
+
+    def test_coerces_to_float(self):
+        t = make(wcet=2, offset=1, jitter=3)
+        assert isinstance(t.wcet, float)
+        assert isinstance(t.offset, float)
+        assert isinstance(t.jitter, float)
+
+
+class TestWithUpdates:
+    def test_returns_modified_copy(self):
+        t = make()
+        t2 = t.with_updates(jitter=5.0)
+        assert t.jitter == 0.0
+        assert t2.jitter == 5.0
+        assert t2.wcet == t.wcet
+
+    def test_revalidates(self):
+        with pytest.raises(ValueError):
+            make().with_updates(wcet=-1.0)
+
+
+class TestScaling:
+    def test_scaled_wcet(self):
+        assert make().scaled_wcet(0.5) == 4.0
+
+    def test_scaled_wcet_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            make().scaled_wcet(0.0)
+
+    def test_scaled_bcet_paper_formula(self):
+        # C=0.8, alpha=0.2, beta=1: 0.8/0.2 - 1 = 3 (Table 1 of the paper).
+        t = make(wcet=1.0, bcet=0.8)
+        assert t.scaled_bcet(0.2, 1.0) == pytest.approx(3.0)
+
+    def test_scaled_bcet_clamps_at_zero(self):
+        t = make(wcet=1.0, bcet=0.25)
+        # 0.25/0.4 - 1 < 0 -> 0 (tau_2_1 in the paper).
+        assert t.scaled_bcet(0.4, 1.0) == 0.0
+
+    def test_scaled_bcet_rejects_negative_burst(self):
+        with pytest.raises(ValueError):
+            make().scaled_bcet(0.5, -1.0)

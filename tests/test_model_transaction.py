@@ -1,0 +1,77 @@
+"""Unit tests for the Transaction model."""
+
+import pytest
+
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+
+
+def chain(*wcets, period=10.0, deadline=None, offsets=None):
+    offsets = offsets or [0.0] * len(wcets)
+    tasks = [
+        Task(wcet=c, platform=0, priority=1, offset=o)
+        for c, o in zip(wcets, offsets)
+    ]
+    return Transaction(period=period, deadline=deadline, tasks=tasks)
+
+
+class TestConstruction:
+    def test_deadline_defaults_to_period(self):
+        assert chain(1.0).deadline == 10.0
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            Transaction(period=10.0, tasks=[])
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            chain(1.0, period=0.0)
+
+    def test_rejects_non_task_members(self):
+        with pytest.raises(TypeError):
+            Transaction(period=10.0, tasks=[object()])
+
+    def test_rejects_string_tasks(self):
+        with pytest.raises(TypeError):
+            Transaction(period=10.0, tasks="abc")
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        tr = chain(1.0, 2.0, 3.0)
+        assert len(tr) == 3
+        assert [t.wcet for t in tr] == [1.0, 2.0, 3.0]
+        assert tr[1].wcet == 2.0
+        assert tr.last.wcet == 3.0
+
+
+class TestDerived:
+    def test_totals(self):
+        tr = chain(1.0, 2.0)
+        assert tr.total_wcet() == 3.0
+        assert tr.total_bcet() == 3.0  # bcet defaults to wcet
+
+    def test_reduced_offset(self):
+        tr = chain(1.0, offsets=[25.0], period=10.0)
+        assert tr.reduced_offset(0) == 5.0
+
+    def test_utilization_on(self):
+        tr = chain(2.0, 3.0, period=10.0)
+        # all on platform 0: (2+3)/0.5/10 = 1.0
+        assert tr.utilization_on(0, 0.5) == pytest.approx(1.0)
+        assert tr.utilization_on(1, 0.5) == 0.0
+
+    def test_platforms_used(self):
+        tasks = [
+            Task(wcet=1.0, platform=0, priority=1),
+            Task(wcet=1.0, platform=2, priority=1),
+        ]
+        tr = Transaction(period=5.0, tasks=tasks)
+        assert tr.platforms_used() == {0, 2}
+
+    def test_validate_chain_accepts_monotone_offsets(self):
+        chain(1.0, 1.0, offsets=[0.0, 3.0]).validate_chain()
+
+    def test_validate_chain_rejects_decreasing_offsets(self):
+        with pytest.raises(ValueError, match="precedes"):
+            chain(1.0, 1.0, offsets=[3.0, 1.0]).validate_chain()

@@ -1,0 +1,116 @@
+"""Tests for platform-parameter optimization (the paper's future work)."""
+
+import math
+
+import pytest
+
+from repro.analysis import analyze
+from repro.opt import (
+    minimize_bandwidth,
+    pareto_front,
+    rate_delay_frontier,
+    server_for_triple,
+    triple_for_server,
+)
+from repro.paper import sensor_fusion_system
+
+
+class TestServerParams:
+    def test_round_trip(self):
+        srv = server_for_triple(0.4, 1.0)
+        a, d, b = triple_for_server(srv)
+        assert a == pytest.approx(0.4)
+        assert d == pytest.approx(1.0)
+
+    def test_paper_pi3(self):
+        srv = server_for_triple(0.2, 2.0)
+        assert srv.period == pytest.approx(1.25)
+        assert srv.budget == pytest.approx(0.25)
+
+    def test_rejects_full_rate(self):
+        with pytest.raises(ValueError):
+            server_for_triple(1.0, 1.0)
+
+    def test_rejects_zero_delay(self):
+        with pytest.raises(ValueError):
+            server_for_triple(0.5, 0.0)
+
+
+class TestMinimizeBandwidth:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return minimize_bandwidth(sensor_fusion_system(), rate_tol=5e-3)
+
+    def test_feasible(self, design):
+        assert design.feasible
+
+    def test_strict_improvement(self, design):
+        assert design.total_bandwidth < design.initial_bandwidth
+        assert design.savings > 0.1  # >10% savings on the paper example
+
+    def test_designed_system_schedulable(self, design):
+        system = design.designed_system(sensor_fusion_system())
+        assert analyze(system).schedulable
+
+    def test_rates_never_increase(self, design):
+        original = sensor_fusion_system().platforms
+        for new, old in zip(design.platforms, original):
+            assert new.rate <= old.rate + 1e-9
+
+    def test_rates_above_utilization_floor(self, design):
+        system = design.designed_system(sensor_fusion_system())
+        for m in range(len(system.platforms)):
+            assert system.utilization(m) <= 1.0 + 1e-9
+
+    def test_infeasible_input_reported(self):
+        from repro.model.system import TransactionSystem
+        from repro.model.task import Task
+        from repro.model.transaction import Transaction
+        from repro.platforms.linear import LinearSupplyPlatform
+
+        t = Transaction(period=10.0, tasks=[Task(wcet=9.0, platform=0, priority=1)])
+        s = TransactionSystem(
+            transactions=[t], platforms=[LinearSupplyPlatform(0.5, 0.0, 0.0)]
+        )
+        design = minimize_bandwidth(s)
+        assert not design.feasible
+        assert design.total_bandwidth == design.initial_bandwidth
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError, match="one entry per platform"):
+            minimize_bandwidth(sensor_fusion_system(), delays=[1.0])
+
+
+class TestPareto:
+    def test_front_filters_dominated(self):
+        pts = [(1.0, 5.0), (2.0, 3.0), (3.0, 3.0), (4.0, 1.0), (2.5, 6.0)]
+        front = pareto_front(pts)
+        assert front == [(1.0, 5.0), (2.0, 3.0), (4.0, 1.0)]
+
+    def test_front_of_empty(self):
+        assert pareto_front([]) == []
+
+    def test_rate_delay_frontier_monotone(self):
+        system = sensor_fusion_system()
+        frontier = rate_delay_frontier(system, 2, [0.5, 2.0, 6.0], rate_tol=5e-3)
+        rates = [r for _, r in frontier]
+        # Larger permissible delay never *reduces* the required rate.
+        assert all(b >= a - 5e-3 for a, b in zip(rates, rates[1:]))
+
+    def test_frontier_points_feasible(self):
+        from repro.model.system import TransactionSystem
+        from repro.platforms.linear import LinearSupplyPlatform
+
+        system = sensor_fusion_system()
+        frontier = rate_delay_frontier(system, 2, [2.0], rate_tol=2e-3)
+        delay, rate = frontier[0]
+        assert not math.isinf(rate)
+        platforms = list(system.platforms)
+        platforms[2] = LinearSupplyPlatform(rate + 2e-3, delay, 1.0)
+        assert analyze(
+            TransactionSystem(transactions=system.transactions, platforms=platforms)
+        ).schedulable
+
+    def test_frontier_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            rate_delay_frontier(sensor_fusion_system(), 2, [-1.0])

@@ -1,0 +1,105 @@
+"""Tests for component interface generation and composition."""
+
+import math
+
+import pytest
+
+from repro.analysis.compositional import LocalTask, fp_component_schedulable
+from repro.opt import (
+    component_interface,
+    compose_interfaces,
+)
+from repro.platforms.linear import LinearSupplyPlatform
+
+
+def small_component(scale=1.0):
+    return [
+        LocalTask(wcet=1.0 * scale, period=10.0, priority=2, name="a"),
+        LocalTask(wcet=2.0 * scale, period=25.0, priority=1, name="b"),
+    ]
+
+
+class TestComponentInterface:
+    def test_curve_nondecreasing_in_delay(self):
+        iface = component_interface(small_component(), [0.0, 1.0, 2.0, 4.0])
+        rates = [p.rate for p in iface.points]
+        assert all(b >= a - 1e-3 for a, b in zip(rates, rates[1:]))
+
+    def test_rate_at_least_utilization(self):
+        iface = component_interface(small_component(), [0.0, 2.0])
+        for p in iface.points:
+            assert p.rate >= iface.utilization - 1e-6
+
+    def test_points_are_feasible(self):
+        tasks = small_component()
+        iface = component_interface(tasks, [0.0, 1.0, 3.0], rate_tol=1e-3)
+        for p in iface.points:
+            platform = LinearSupplyPlatform(min(1.0, p.rate + 2e-3), p.delay, 0.0)
+            assert fp_component_schedulable(tasks, platform)
+
+    def test_points_are_tight(self):
+        tasks = small_component()
+        iface = component_interface(tasks, [1.0], rate_tol=1e-3)
+        p = iface.points[0]
+        below = LinearSupplyPlatform(max(1e-6, p.rate - 5e-3), p.delay, 0.0)
+        assert not fp_component_schedulable(tasks, below)
+
+    def test_impossible_delay_reports_inf(self):
+        # Deadline 5, delay 10: no rate helps.
+        tasks = [LocalTask(wcet=1.0, period=20.0, deadline=5.0)]
+        iface = component_interface(tasks, [10.0])
+        assert math.isinf(iface.points[0].rate)
+
+    def test_edf_interface_no_larger_than_fp(self):
+        """EDF dominates FP for independent tasks: its min rates are <=."""
+        tasks = [
+            LocalTask(wcet=2.0, period=10.0, priority=2),
+            LocalTask(wcet=4.0, period=15.0, priority=1),
+        ]
+        fp = component_interface(tasks, [0.0, 2.0], scheduler="fp")
+        edf = component_interface(tasks, [0.0, 2.0], scheduler="edf")
+        for a, b in zip(edf.points, fp.points):
+            assert a.rate <= b.rate + 1e-3
+
+    def test_rejects_bad_scheduler(self):
+        with pytest.raises(ValueError):
+            component_interface(small_component(), [0.0], scheduler="rr")
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            component_interface(small_component(), [-1.0])
+
+    def test_min_rate_at(self):
+        iface = component_interface(small_component(), [0.0, 2.0, 4.0])
+        assert iface.min_rate_at(0.0) <= iface.points[0].rate + 1e-9
+        assert math.isinf(iface.min_rate_at(99.0))
+
+
+class TestComposition:
+    def test_two_light_components_fit(self):
+        a = component_interface(small_component(0.5), [1.0, 4.0], name="A")
+        b = component_interface(small_component(0.5), [1.0, 4.0], name="B")
+        comp = compose_interfaces([a, b])
+        assert comp.feasible
+        assert comp.total_bandwidth <= 1.0 + 1e-9
+        assert len(comp.selection) == 2
+
+    def test_heavy_components_rejected(self):
+        a = component_interface(small_component(3.0), [0.5], name="A")
+        b = component_interface(small_component(3.0), [0.5], name="B")
+        comp = compose_interfaces([a, b])
+        assert not comp.feasible
+        assert comp.total_bandwidth > 1.0
+
+    def test_infeasible_component_rejected(self):
+        impossible = component_interface(
+            [LocalTask(wcet=1.0, period=20.0, deadline=5.0)], [10.0], name="X"
+        )
+        comp = compose_interfaces([impossible])
+        assert not comp.feasible
+
+    def test_delay_filter(self):
+        a = component_interface(small_component(0.5), [1.0, 4.0], name="A")
+        comp = compose_interfaces([a], delays=[4.0])
+        assert comp.feasible
+        assert comp.selection[0].delay == 4.0

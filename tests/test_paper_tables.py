@@ -1,0 +1,85 @@
+"""Tests for the paper-table renderers and reference data."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.paper import (
+    paper_table1_rows,
+    paper_table2_rows,
+    paper_table3_rows,
+    render_table1,
+    render_table2,
+    render_table3,
+    sensor_fusion_system,
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return analyze(sensor_fusion_system(), trace=True)
+
+
+class TestReferenceData:
+    def test_table1_shape(self):
+        rows = paper_table1_rows()
+        assert len(rows) == 7
+        assert rows[3]["phi_min"] == 5.0
+
+    def test_table2_shape(self):
+        rows = paper_table2_rows()
+        assert len(rows) == 3
+        assert rows[2]["alpha"] == 0.2
+
+    def test_table3_shape(self):
+        rows = paper_table3_rows()
+        assert len(rows) == 4
+        assert rows[3]["R"][-1] == 39  # the published (erroneous) value
+
+
+class TestSystemMatchesTables:
+    def test_platform_triples_match_table2(self):
+        system = sensor_fusion_system()
+        for platform, row in zip(system.platforms, paper_table2_rows()):
+            assert platform.rate == row["alpha"]
+            assert platform.delay == row["delta"]
+            assert platform.burstiness == row["beta"]
+
+    def test_task_parameters_match_table1(self):
+        system = sensor_fusion_system()
+        rows = iter(paper_table1_rows())
+        for tr in system.transactions:
+            for task in tr.tasks:
+                row = next(rows)
+                assert task.wcet == row["wcet"]
+                assert task.bcet == row["bcet"]
+                assert tr.period == row["period"]
+                assert task.priority == row["priority"]
+
+    def test_derived_offsets_match_table1(self, traced):
+        for j, row in enumerate(paper_table1_rows()[:4]):
+            assert traced.tasks[(0, j)].offset == pytest.approx(row["phi_min"])
+
+
+class TestRenderers:
+    def test_render_table1(self, traced):
+        out = render_table1(sensor_fusion_system(), traced)
+        assert "tau_1_4" in out
+        assert "phi_min" in out
+
+    def test_render_table2(self):
+        out = render_table2(sensor_fusion_system())
+        assert "Pi3" in out
+        assert "0.2" in out
+
+    def test_render_table3_layout(self, traced):
+        out = render_table3(traced)
+        lines = out.splitlines()
+        assert any("J(0)" in ln and "R(3)" in ln for ln in lines)
+        # tau_1_1 row converges after iteration 1: later cells blank.
+        row11 = next(ln for ln in lines if "init" in ln)
+        assert "12" in row11
+
+    def test_render_table3_requires_trace(self):
+        res = analyze(sensor_fusion_system(), trace=False)
+        with pytest.raises(ValueError, match="trace=True"):
+            render_table3(res)

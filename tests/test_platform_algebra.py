@@ -1,0 +1,97 @@
+"""Unit tests for numeric supply-bound extraction and verification."""
+
+import pytest
+
+from repro.platforms.algebra import (
+    as_linear,
+    extract_linear_bounds,
+    verify_linear_bounds,
+    verify_supply_sanity,
+)
+from repro.platforms.linear import LinearSupplyPlatform
+from repro.platforms.partition import StaticPartitionPlatform
+from repro.platforms.periodic_server import PeriodicServer
+from repro.platforms.pfair import PFairPlatform
+
+
+class TestExtractLinearBounds:
+    def test_recovers_periodic_server_triple(self):
+        s = PeriodicServer(2.0, 5.0)
+        est = extract_linear_bounds(s, horizon=20 * 5.0, rate=s.rate)
+        assert est.rate == pytest.approx(0.4)
+        assert est.delay == pytest.approx(s.delay, abs=0.05)
+        assert est.burstiness == pytest.approx(s.burstiness, abs=0.05)
+
+    def test_rate_estimated_when_not_given(self):
+        s = PeriodicServer(2.0, 5.0)
+        est = extract_linear_bounds(s, horizon=200 * 5.0)
+        assert est.rate == pytest.approx(0.4, rel=0.02)
+
+    def test_linear_platform_is_its_own_bounds(self):
+        p = LinearSupplyPlatform(0.3, 2.0, 0.5)
+        est = extract_linear_bounds(p, horizon=100.0, rate=0.3)
+        assert est.delay == pytest.approx(2.0, abs=1e-6)
+        assert est.burstiness == pytest.approx(0.5, abs=1e-6)
+
+    def test_as_platform(self):
+        est = extract_linear_bounds(PeriodicServer(1.0, 4.0), horizon=80.0, rate=0.25)
+        p = est.as_platform(name="est")
+        assert p.rate == est.rate
+        assert p.name == "est"
+
+    def test_rejects_tiny_sample_count(self):
+        with pytest.raises(ValueError):
+            extract_linear_bounds(PeriodicServer(1.0, 4.0), horizon=10.0, samples=4)
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            extract_linear_bounds(PeriodicServer(1.0, 4.0), horizon=0.0)
+
+
+class TestVerify:
+    @pytest.mark.parametrize("platform", [
+        PeriodicServer(2.0, 5.0),
+        PFairPlatform(0.3),
+        StaticPartitionPlatform([(0.0, 1.0), (4.0, 1.0)], cycle=8.0),
+        LinearSupplyPlatform(0.5, 1.0, 1.0),
+    ])
+    def test_advertised_triples_are_valid(self, platform):
+        assert verify_linear_bounds(platform, horizon=100.0)
+
+    def test_detects_lying_platform(self):
+        class Liar(LinearSupplyPlatform):
+            @property
+            def delay(self):
+                return 0.0  # claims no delay but zmin says otherwise
+
+        liar = Liar.__new__(Liar)
+        LinearSupplyPlatform.__init__(liar, 0.5, 2.0, 0.0)
+        liar.__class__ = Liar
+        assert not verify_linear_bounds(liar, horizon=50.0)
+
+    @pytest.mark.parametrize("platform", [
+        PeriodicServer(2.0, 5.0),
+        PFairPlatform(0.3),
+        StaticPartitionPlatform([(1.0, 2.0)], cycle=6.0),
+    ])
+    def test_sanity_unit_speed(self, platform):
+        assert verify_supply_sanity(platform, horizon=60.0, unit_speed=True)
+
+    def test_sanity_rejects_decreasing_supply(self):
+        class Bad(LinearSupplyPlatform):
+            def zmin(self, t):
+                return max(0.0, 5.0 - t)  # decreasing: nonsense
+
+        bad = Bad(0.5, 0.0, 0.0)
+        assert not verify_supply_sanity(bad, horizon=20.0)
+
+
+class TestAsLinear:
+    def test_flattens_server(self):
+        s = PeriodicServer(2.0, 5.0, name="srv")
+        lin = as_linear(s)
+        assert lin.triple() == s.triple()
+        assert lin.name == "srv"
+        # The flattening is pessimistic: linear zmin <= exact zmin.
+        for t in (1.0, 6.5, 9.0, 14.0):
+            assert lin.zmin(t) <= s.zmin(t) + 1e-12

@@ -1,0 +1,129 @@
+"""Unit tests for multi-level (nested) platforms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.algebra import verify_linear_bounds, verify_supply_sanity
+from repro.platforms.hierarchy import NestedPlatform, nest
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+from repro.platforms.periodic_server import PeriodicServer
+
+
+class TestClosedTriple:
+    def test_rates_multiply(self):
+        n = NestedPlatform(LinearSupplyPlatform(0.5), LinearSupplyPlatform(0.4))
+        assert n.rate == pytest.approx(0.2)
+
+    def test_delay_stretched_by_outer_rate(self):
+        outer = LinearSupplyPlatform(0.5, delay=2.0)
+        inner = LinearSupplyPlatform(0.4, delay=1.0)
+        n = NestedPlatform(outer, inner)
+        # Delta = 2 + 1/0.5 = 4.
+        assert n.delay == pytest.approx(4.0)
+
+    def test_burstiness_composition(self):
+        outer = LinearSupplyPlatform(0.5, burstiness=2.0)
+        inner = LinearSupplyPlatform(0.4, burstiness=1.0)
+        n = NestedPlatform(outer, inner)
+        # beta = 1 + 0.4*2 = 1.8.
+        assert n.burstiness == pytest.approx(1.8)
+
+    def test_identity_outer_is_transparent(self):
+        inner = PeriodicServer(2.0, 5.0)
+        n = NestedPlatform(DedicatedPlatform(), inner)
+        assert n.triple() == pytest.approx(inner.triple())
+        for t in (0.0, 3.0, 6.5, 12.0):
+            assert n.zmin(t) == inner.zmin(t)
+            assert n.zmax(t) == inner.zmax(t)
+
+
+class TestExactComposition:
+    def test_composed_supply_monotone_and_sandwiched(self):
+        n = NestedPlatform(PeriodicServer(3.0, 5.0), PeriodicServer(1.0, 2.0))
+        assert verify_supply_sanity(n, horizon=100.0)
+
+    def test_closed_triple_envelopes_exact_curves(self):
+        """The closed-form triple is a valid bound of the composition."""
+        combos = [
+            (PeriodicServer(3.0, 5.0), PeriodicServer(1.0, 2.0)),
+            (LinearSupplyPlatform(0.6, 1.0, 0.5), PeriodicServer(1.0, 3.0)),
+            (PeriodicServer(4.0, 6.0), LinearSupplyPlatform(0.5, 0.5, 0.2)),
+        ]
+        for outer, inner in combos:
+            n = NestedPlatform(outer, inner)
+            assert verify_linear_bounds(n, horizon=200.0), (outer, inner)
+
+    def test_composition_never_exceeds_either_layer(self):
+        outer = PeriodicServer(3.0, 5.0)
+        inner = PeriodicServer(1.0, 2.0)
+        n = NestedPlatform(outer, inner)
+        for t in np.linspace(0.1, 50.0, 100):
+            t = float(t)
+            assert n.zmin(t) <= outer.zmin(t) + 1e-9
+            # Inner consumes outer time: cycles <= inner's own best curve.
+            assert n.zmax(t) <= inner.zmax(t) + 1e-9
+
+
+class TestNestHelper:
+    def test_single_platform_unchanged(self):
+        p = DedicatedPlatform()
+        assert nest(p) is p
+
+    def test_three_levels(self):
+        n = nest(
+            LinearSupplyPlatform(0.8),
+            LinearSupplyPlatform(0.5),
+            LinearSupplyPlatform(0.5),
+            name="deep",
+        )
+        assert isinstance(n, NestedPlatform)
+        assert n.rate == pytest.approx(0.2)
+        assert n.depth() == 3
+        assert n.name == "deep"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nest()
+
+    def test_rejects_non_platform(self):
+        with pytest.raises(TypeError):
+            NestedPlatform(object(), DedicatedPlatform())
+
+
+class TestAnalysisOnNestedPlatforms:
+    def test_analyzes_like_equivalent_flat_triple(self):
+        """The analysis only reads the triple, so a nested platform and its
+        flattened triple give identical response times."""
+        nested = NestedPlatform(
+            LinearSupplyPlatform(0.5, 1.0, 0.0), LinearSupplyPlatform(0.8, 0.5, 0.0)
+        )
+        flat = LinearSupplyPlatform(
+            nested.rate, nested.delay, nested.burstiness, allow_superunit=True
+        )
+        txn = Transaction(
+            period=50.0, tasks=[Task(wcet=2.0, platform=0, priority=1)]
+        )
+        ra = analyze(TransactionSystem(transactions=[txn], platforms=[nested]))
+        rb = analyze(TransactionSystem(transactions=[txn], platforms=[flat]))
+        assert ra.transaction_wcrt == pytest.approx(rb.transaction_wcrt)
+
+    def test_deeper_nesting_is_worse(self):
+        base = LinearSupplyPlatform(0.9, 0.5, 0.0)
+        two = nest(base, LinearSupplyPlatform(0.9, 0.5, 0.0))
+        three = nest(base, LinearSupplyPlatform(0.9, 0.5, 0.0),
+                     LinearSupplyPlatform(0.9, 0.5, 0.0))
+        txn = lambda: Transaction(  # noqa: E731
+            period=100.0, tasks=[Task(wcet=2.0, platform=0, priority=1)]
+        )
+        r1 = analyze(TransactionSystem(transactions=[txn()], platforms=[base]))
+        r2 = analyze(TransactionSystem(transactions=[txn()], platforms=[two]))
+        r3 = analyze(TransactionSystem(transactions=[txn()], platforms=[three]))
+        assert (
+            r1.transaction_wcrt[0]
+            < r2.transaction_wcrt[0]
+            < r3.transaction_wcrt[0]
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for linear and dedicated platforms."""
+
+import pytest
+
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+
+
+class TestLinearSupplyPlatform:
+    def test_triple_round_trip(self):
+        p = LinearSupplyPlatform(0.4, 1.0, 1.0)
+        assert p.triple() == (0.4, 1.0, 1.0)
+
+    def test_zmin_shape(self):
+        p = LinearSupplyPlatform(0.5, 2.0, 0.0)
+        assert p.zmin(0.0) == 0.0
+        assert p.zmin(2.0) == 0.0  # still inside the delay
+        assert p.zmin(4.0) == pytest.approx(1.0)
+
+    def test_zmax_jump_at_zero(self):
+        p = LinearSupplyPlatform(0.5, 0.0, 2.0)
+        assert p.zmax(0.0) == 0.0
+        assert p.zmax(1e-9) == pytest.approx(2.0, abs=1e-6)
+
+    def test_zmax_negative_time_is_zero(self):
+        assert LinearSupplyPlatform(0.5).zmax(-1.0) == 0.0
+
+    def test_rejects_rate_above_one_by_default(self):
+        with pytest.raises(ValueError):
+            LinearSupplyPlatform(1.5)
+
+    def test_superunit_opt_in(self):
+        p = LinearSupplyPlatform(125000.0, allow_superunit=True)
+        assert p.rate == 125000.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            LinearSupplyPlatform(0.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            LinearSupplyPlatform(0.5, -1.0)
+
+    def test_min_service_time(self):
+        p = LinearSupplyPlatform(0.2, 2.0, 1.0)
+        # Delta + C/alpha: 2 + 1/0.2 = 7 (the tau_1_4 term in the paper).
+        assert p.min_service_time(1.0) == pytest.approx(7.0)
+        assert p.min_service_time(0.0) == 0.0
+
+    def test_best_service_time(self):
+        p = LinearSupplyPlatform(0.2, 2.0, 1.0)
+        # max(0, C/alpha - beta): 0.8/0.2 - 1 = 3 (Table 1 phi_1_2).
+        assert p.best_service_time(0.8) == pytest.approx(3.0)
+        assert p.best_service_time(0.0) == 0.0
+
+    def test_linear_envelopes_equal_supply(self):
+        p = LinearSupplyPlatform(0.3, 1.5, 0.7)
+        for t in (0.0, 0.5, 1.5, 3.0, 10.0):
+            assert p.zmin(t) == p.linear_lower(t)
+            assert p.zmax(t) == p.linear_upper(t)
+
+    def test_sample_vectorized(self):
+        p = LinearSupplyPlatform(0.5, 1.0, 0.5)
+        zs = p.sample_zmin([0.0, 1.0, 3.0])
+        assert zs.tolist() == [0.0, 0.0, 1.0]
+
+
+class TestDedicatedPlatform:
+    def test_is_identity_triple(self):
+        assert DedicatedPlatform().triple() == (1.0, 0.0, 0.0)
+
+    def test_supply_is_time(self):
+        p = DedicatedPlatform()
+        assert p.zmin(5.0) == 5.0
+        assert p.zmax(5.0) == 5.0
+
+    def test_heterogeneous_speed(self):
+        p = DedicatedPlatform(speed=0.5)
+        assert p.rate == 0.5
+        assert p.zmin(4.0) == 2.0
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            DedicatedPlatform(speed=0.0)

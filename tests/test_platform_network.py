@@ -1,0 +1,66 @@
+"""Unit tests for network-link platforms and message tasks."""
+
+import pytest
+
+from repro.platforms.network import Message, NetworkLinkPlatform, message_to_task
+
+
+class TestNetworkLinkPlatform:
+    def test_rate_is_bandwidth_times_share(self):
+        link = NetworkLinkPlatform(1000.0, share=0.5)
+        assert link.rate == 500.0
+
+    def test_delay_aggregates(self):
+        link = NetworkLinkPlatform(
+            1000.0, arbitration_delay=0.002, propagation_delay=0.001
+        )
+        assert link.delay == pytest.approx(0.003)
+
+    def test_rejects_zero_share(self):
+        with pytest.raises(ValueError):
+            NetworkLinkPlatform(1000.0, share=0.0)
+
+    def test_rejects_share_above_one(self):
+        with pytest.raises(ValueError):
+            NetworkLinkPlatform(1000.0, share=1.1)
+
+    def test_wire_cycles_adds_overhead(self):
+        link = NetworkLinkPlatform(1000.0, frame_overhead=8.0)
+        assert link.wire_cycles(100.0) == 108.0
+
+    def test_transmission_time(self):
+        link = NetworkLinkPlatform(100.0, arbitration_delay=0.5, frame_overhead=10.0)
+        # delta + bytes/rate = 0.5 + 110/100
+        assert link.transmission_time(100.0) == pytest.approx(1.6)
+
+
+class TestMessage:
+    def test_best_defaults_to_worst(self):
+        m = Message(payload=64.0)
+        assert m.payload_best == 64.0
+
+    def test_rejects_best_above_worst(self):
+        with pytest.raises(ValueError):
+            Message(payload=64.0, payload_best=100.0)
+
+    def test_rejects_zero_payload(self):
+        with pytest.raises(ValueError):
+            Message(payload=0.0)
+
+
+class TestMessageToTask:
+    def test_conversion(self):
+        link = NetworkLinkPlatform(1000.0, frame_overhead=8.0, name="bus")
+        m = Message(payload=100.0, payload_best=50.0, priority=4, name="req")
+        task = message_to_task(m, link, platform_index=3)
+        assert task.wcet == 108.0
+        assert task.bcet == 58.0
+        assert task.platform == 3
+        assert task.priority == 4
+        assert task.name == "req"
+        assert task.meta["kind"] == "message"
+
+    def test_unnamed_message_gets_default_name(self):
+        link = NetworkLinkPlatform(1000.0)
+        task = message_to_task(Message(payload=10.0), link, 0)
+        assert task.name == "msg"

@@ -1,0 +1,113 @@
+"""Unit tests for static TDM partitions."""
+
+import pytest
+
+from repro.platforms.partition import StaticPartitionPlatform
+
+
+class TestConstruction:
+    def test_rate(self):
+        p = StaticPartitionPlatform([(0.0, 2.0), (5.0, 1.0)], cycle=10.0)
+        assert p.rate == pytest.approx(0.3)
+
+    def test_rejects_overlapping_slots(self):
+        with pytest.raises(ValueError, match="overlap"):
+            StaticPartitionPlatform([(0.0, 3.0), (2.0, 2.0)], cycle=10.0)
+
+    def test_touching_slots_allowed(self):
+        p = StaticPartitionPlatform([(0.0, 2.0), (2.0, 2.0)], cycle=10.0)
+        assert p.rate == pytest.approx(0.4)
+
+    def test_rejects_slot_outside_cycle(self):
+        with pytest.raises(ValueError):
+            StaticPartitionPlatform([(8.0, 3.0)], cycle=10.0)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            StaticPartitionPlatform([], cycle=10.0)
+
+    def test_rejects_zero_length_slot(self):
+        with pytest.raises(ValueError):
+            StaticPartitionPlatform([(0.0, 0.0)], cycle=10.0)
+
+
+class TestCumulativeSupply:
+    def test_within_first_cycle(self):
+        p = StaticPartitionPlatform([(1.0, 2.0)], cycle=5.0)
+        assert p.cumulative_supply(0.5) == 0.0
+        assert p.cumulative_supply(2.0) == 1.0
+        assert p.cumulative_supply(4.0) == 2.0
+
+    def test_across_cycles(self):
+        p = StaticPartitionPlatform([(1.0, 2.0)], cycle=5.0)
+        assert p.cumulative_supply(7.0) == 3.0  # 2 + 1
+
+
+class TestSupplyFunctions:
+    def test_single_slot_blackout_is_gap(self):
+        """Fixed slots cannot float: the worst blackout is P - Q, not 2(P-Q)."""
+        p = StaticPartitionPlatform([(0.0, 2.0)], cycle=5.0)
+        assert p.zmin(3.0) == 0.0  # window [2, 5) misses the slot entirely
+        assert p.zmin(4.0) == pytest.approx(1.0)
+        assert p.zmin(5.0) == pytest.approx(2.0)
+
+    def test_zmax_window_anchored_at_slot_start(self):
+        p = StaticPartitionPlatform([(3.0, 2.0)], cycle=5.0)
+        # Slots sit at [3,5), [8,10), ...: a window of length 4 catches at
+        # most one full slot; length 7 (e.g. [3,10)) catches two.
+        assert p.zmax(4.0) == pytest.approx(2.0)
+        assert p.zmax(7.0) == pytest.approx(4.0)
+
+    def test_zmin_leq_zmax(self):
+        p = StaticPartitionPlatform([(0.0, 1.0), (4.0, 2.0)], cycle=10.0)
+        for t in (0.5, 1.0, 3.0, 7.0, 12.0, 25.0):
+            assert p.zmin(t) <= p.zmax(t) + 1e-12
+
+    def test_supply_periodicity(self):
+        p = StaticPartitionPlatform([(0.0, 1.0), (4.0, 2.0)], cycle=10.0)
+        for t in (1.0, 3.5, 7.0):
+            assert p.zmin(t + 10.0) == pytest.approx(p.zmin(t) + 3.0)
+            assert p.zmax(t + 10.0) == pytest.approx(p.zmax(t) + 3.0)
+
+    def test_negative_time(self):
+        p = StaticPartitionPlatform([(0.0, 1.0)], cycle=4.0)
+        assert p.zmin(-1.0) == 0.0
+        assert p.zmax(0.0) == 0.0
+
+
+class TestLinearBounds:
+    def test_envelopes_hold(self):
+        p = StaticPartitionPlatform([(1.0, 1.5), (6.0, 1.0)], cycle=8.0)
+        import numpy as np
+
+        for t in np.linspace(0.01, 40.0, 300):
+            t = float(t)
+            assert p.zmin(t) >= p.linear_lower(t) - 1e-9
+            assert p.zmax(t) <= p.linear_upper(t) + 1e-9
+
+    def test_delay_of_single_slot_table(self):
+        # Fixed slot: the worst window waits out the P-Q gap, then the
+        # linear bound alpha*(t - delta) touches zmin at slot boundaries.
+        p = StaticPartitionPlatform([(0.0, 2.0)], cycle=5.0)
+        assert p.delay == pytest.approx(3.0)  # P - Q
+
+    def test_burstiness_of_single_slot_table(self):
+        p = StaticPartitionPlatform([(0.0, 2.0)], cycle=5.0)
+        # Best window covers one slot of length Q=2 immediately:
+        # sup(zmax - alpha t) at t = Q: 2 - 0.4*2 = 1.2.
+        assert p.burstiness == pytest.approx(1.2)
+
+    def test_fixed_slot_beats_floating_server(self):
+        """A fixed slot is *better* (smaller delay) than a floating budget."""
+        from repro.platforms.periodic_server import PeriodicServer
+
+        part = StaticPartitionPlatform([(0.0, 2.0)], cycle=5.0)
+        server = PeriodicServer(2.0, 5.0)
+        assert part.rate == pytest.approx(server.rate)
+        assert part.delay < server.delay
+
+    def test_denser_table_has_smaller_delay(self):
+        sparse = StaticPartitionPlatform([(0.0, 2.0)], cycle=10.0)
+        dense = StaticPartitionPlatform([(0.0, 1.0), (5.0, 1.0)], cycle=10.0)
+        assert dense.rate == pytest.approx(sparse.rate)
+        assert dense.delay < sparse.delay

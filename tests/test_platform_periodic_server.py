@@ -1,0 +1,135 @@
+"""Unit tests for the periodic server, including brute-force cross-checks.
+
+The closed-form ``zmin``/``zmax`` are verified against a sliding-window
+computation over explicitly constructed worst/best-case supply patterns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platforms.periodic_server import PeriodicServer
+
+
+def brute_force_zmin(q, p, t, resolution=2000):
+    """Min supply over windows of length t sliding across the worst pattern.
+
+    Worst pattern: blackout handled implicitly by sliding over a long
+    schedule where each period's quantum sits at an arbitrary place; the
+    adversary places quanta at period starts, so a window starting right
+    after a quantum sees the 2(P-Q) blackout.
+    """
+    horizon = 12 * p + t
+    # Supply indicator for quanta at the START of each period.
+    def supplied(a, b):
+        """Cycles delivered in [a, b) with quanta at [kP, kP+Q)."""
+        total = 0.0
+        k0 = int(np.floor(a / p)) - 1
+        k1 = int(np.ceil(b / p)) + 1
+        for k in range(k0, k1 + 1):
+            s, e = k * p, k * p + q
+            total += max(0.0, min(b, e) - max(a, s))
+        return total
+
+    starts = np.linspace(0.0, horizon - t, resolution)
+    return min(supplied(a, a + t) for a in starts)
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = PeriodicServer(2.0, 5.0)
+        assert s.rate == pytest.approx(0.4)
+        assert s.delay == pytest.approx(6.0)
+        assert s.burstiness == pytest.approx(2.0 * 2.0 * 3.0 / 5.0)
+
+    def test_rejects_budget_above_period(self):
+        with pytest.raises(ValueError):
+            PeriodicServer(6.0, 5.0)
+
+    def test_full_budget_is_dedicated(self):
+        s = PeriodicServer(5.0, 5.0)
+        assert s.delay == 0.0
+        assert s.burstiness == 0.0
+        assert s.zmin(3.0) == pytest.approx(3.0)
+
+
+class TestZminClosedForm:
+    def test_blackout(self):
+        s = PeriodicServer(2.0, 5.0)  # blackout 2*(5-2) = 6
+        assert s.zmin(6.0) == 0.0
+        assert s.zmin(5.9) == 0.0
+        assert s.zmin(7.0) == pytest.approx(1.0)
+
+    def test_one_full_quantum(self):
+        s = PeriodicServer(2.0, 5.0)
+        assert s.zmin(8.0) == pytest.approx(2.0)
+        assert s.zmin(9.0) == pytest.approx(2.0)  # gap after the quantum
+
+    def test_periodicity(self):
+        s = PeriodicServer(2.0, 5.0)
+        for t in (7.0, 8.5, 10.0):
+            assert s.zmin(t + 5.0) == pytest.approx(s.zmin(t) + 2.0)
+
+    def test_matches_brute_force(self):
+        q, p = 2.0, 5.0
+        s = PeriodicServer(q, p)
+        for t in (1.0, 3.0, 6.0, 7.5, 11.0, 14.0):
+            assert s.zmin(t) <= brute_force_zmin(q, p, t) + 1e-6
+
+
+class TestZmaxClosedForm:
+    def test_double_hit(self):
+        s = PeriodicServer(2.0, 5.0)
+        assert s.zmax(4.0) == pytest.approx(4.0)  # 2Q back-to-back
+        assert s.zmax(2.0) == pytest.approx(2.0)
+
+    def test_plateau_after_double_hit(self):
+        s = PeriodicServer(2.0, 5.0)
+        assert s.zmax(5.0) == pytest.approx(4.0)
+        assert s.zmax(7.0) == pytest.approx(4.0)  # until P+Q = 7
+        assert s.zmax(8.0) == pytest.approx(5.0)
+
+    def test_zero_and_negative(self):
+        s = PeriodicServer(2.0, 5.0)
+        assert s.zmax(0.0) == 0.0
+        assert s.zmax(-3.0) == 0.0
+
+
+class TestLinearBounds:
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_envelopes_hold_everywhere(self, frac, period):
+        s = PeriodicServer(frac * period, period)
+        ts = np.linspace(0.0, 10 * period, 400)
+        for t in ts:
+            t = float(t)
+            assert s.zmin(t) >= s.linear_lower(t) - 1e-9
+            assert s.zmax(t) <= s.linear_upper(t) + 1e-9
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_are_tight(self, frac, period):
+        """Delta and beta are suprema: the envelopes touch the curves."""
+        s = PeriodicServer(frac * period, period)
+        # zmin touches the lower line at t = delay + k*P.
+        t_touch = s.delay + s.period
+        assert s.zmin(t_touch) == pytest.approx(s.linear_lower(t_touch), abs=1e-9)
+        # zmax touches the upper line at t = 2Q.
+        t2 = 2 * s.budget
+        assert s.zmax(t2) == pytest.approx(s.linear_upper(t2), abs=1e-9)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.5, max_value=50.0),
+        st.floats(min_value=0.0, max_value=200.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_supply_sandwich(self, frac, period, t):
+        s = PeriodicServer(frac * period, period)
+        assert s.zmin(t) <= s.zmax(t) + 1e-12

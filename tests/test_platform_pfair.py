@@ -1,0 +1,59 @@
+"""Unit tests for the p-fair platform."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platforms.pfair import PFairPlatform
+
+
+class TestConstruction:
+    def test_triple(self):
+        p = PFairPlatform(0.25, quantum=1.0)
+        assert p.rate == 0.25
+        assert p.delay == pytest.approx(4.0)  # q/w
+        assert p.burstiness == 1.0
+
+    def test_rejects_weight_above_one(self):
+        with pytest.raises(ValueError):
+            PFairPlatform(1.5)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            PFairPlatform(0.0)
+
+    def test_rejects_zero_quantum(self):
+        with pytest.raises(ValueError):
+            PFairPlatform(0.5, quantum=0.0)
+
+
+class TestSupply:
+    def test_zmin_lag_bound(self):
+        p = PFairPlatform(0.5, quantum=1.0)
+        assert p.zmin(1.0) == 0.0  # 0.5 - 1 < 0
+        assert p.zmin(4.0) == pytest.approx(1.0)
+
+    def test_zmax_capped_by_wall_clock(self):
+        p = PFairPlatform(0.5, quantum=1.0)
+        assert p.zmax(1.0) == 1.0  # min(t, wt + q) = min(1, 1.5)
+        assert p.zmax(4.0) == pytest.approx(3.0)
+
+    def test_smaller_delay_than_equal_bandwidth_server(self):
+        """The paper's point about pfair: same rate, very different shape."""
+        from repro.platforms.periodic_server import PeriodicServer
+
+        pf = PFairPlatform(0.4, quantum=1.0)
+        ps = PeriodicServer(4.0, 10.0)  # same rate 0.4
+        assert pf.rate == pytest.approx(ps.rate)
+        assert pf.delay < ps.delay
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.1, max_value=4.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_envelopes_and_sandwich(self, w, q, t):
+        p = PFairPlatform(w, quantum=q)
+        assert p.zmin(t) <= p.zmax(t) + 1e-12
+        assert p.zmin(t) >= p.linear_lower(t) - 1e-9
+        assert p.zmax(t) <= p.linear_upper(t) + 1e-9

@@ -1,0 +1,42 @@
+"""Unit tests for reservation-server variants."""
+
+import pytest
+
+from repro.platforms.periodic_server import PeriodicServer
+from repro.platforms.servers import (
+    CBSServer,
+    DeferrableServer,
+    PollingServer,
+    ReservationServer,
+)
+
+
+class TestReservationServer:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown reservation policy"):
+            ReservationServer(1.0, 4.0, "magic")
+
+    @pytest.mark.parametrize("cls,policy", [
+        (PollingServer, "polling"),
+        (DeferrableServer, "deferrable"),
+        (CBSServer, "cbs"),
+    ])
+    def test_policy_tags(self, cls, policy):
+        s = cls(1.0, 4.0)
+        assert s.policy == policy
+
+    @pytest.mark.parametrize("cls", [PollingServer, DeferrableServer, CBSServer])
+    def test_supply_envelope_matches_periodic(self, cls):
+        """All reservation policies share the periodic-server envelope."""
+        s = cls(2.0, 5.0)
+        ref = PeriodicServer(2.0, 5.0)
+        assert s.triple() == ref.triple()
+        for t in (0.0, 1.0, 6.0, 7.5, 13.0):
+            assert s.zmin(t) == ref.zmin(t)
+            assert s.zmax(t) == ref.zmax(t)
+
+    def test_is_a_periodic_server(self):
+        assert isinstance(CBSServer(1.0, 3.0), PeriodicServer)
+
+    def test_repr_mentions_policy(self):
+        assert "deferrable" in repr(DeferrableServer(1.0, 3.0))

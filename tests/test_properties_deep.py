@@ -1,0 +1,172 @@
+"""Deep property-based suites crossing module boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.analysis.busy import build_views, phase, w_task
+from repro.gen import RandomAssemblySpec, RandomSystemSpec, random_assembly, random_system
+from repro.io import (
+    assembly_from_dict,
+    assembly_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.platforms.periodic_server import PeriodicServer
+from repro.sim.supply import ServerSupply
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestIoProperties:
+    @given(st.integers(min_value=0, max_value=200))
+    @SETTINGS
+    def test_system_round_trip_preserves_analysis(self, seed):
+        system = random_system(
+            RandomSystemSpec(n_platforms=2, n_transactions=3), seed=seed
+        )
+        back = system_from_dict(system_to_dict(system))
+        ra = analyze(system)
+        rb = analyze(back)
+        assert ra.transaction_wcrt == pytest.approx(rb.transaction_wcrt)
+        assert ra.schedulable == rb.schedulable
+
+    @given(st.integers(min_value=0, max_value=50))
+    @SETTINGS
+    def test_assembly_round_trip_preserves_structure(self, seed):
+        asm = random_assembly(RandomAssemblySpec(), seed=seed)
+        back = assembly_from_dict(assembly_to_dict(asm))
+        a = asm.derive_transactions()
+        b = back.derive_transactions()
+        assert [tr.name for tr in a] == [tr.name for tr in b]
+        assert [len(tr.tasks) for tr in a] == [len(tr.tasks) for tr in b]
+        for ta, tb in zip(a.transactions, b.transactions):
+            for x, y in zip(ta.tasks, tb.tasks):
+                assert x.wcet == pytest.approx(y.wcet)
+                assert x.platform == y.platform
+                assert x.priority == y.priority
+
+
+class TestTransformProperties:
+    @given(st.integers(min_value=0, max_value=50))
+    @SETTINGS
+    def test_one_transaction_per_periodic_thread(self, seed):
+        asm = random_assembly(RandomAssemblySpec(), seed=seed)
+        n_periodic = sum(
+            len(comp.periodic_threads()) for comp in asm.instances.values()
+        )
+        system = asm.derive_transactions()
+        assert len(system.transactions) == n_periodic
+
+    @given(st.integers(min_value=0, max_value=50))
+    @SETTINGS
+    def test_every_task_platform_valid_and_named(self, seed):
+        asm = random_assembly(RandomAssemblySpec(n_layers=3), seed=seed)
+        system = asm.derive_transactions()
+        for tr in system:
+            for task in tr.tasks:
+                assert 0 <= task.platform < len(system.platforms)
+                assert task.name
+                assert task.meta.get("instance") in asm.instances
+
+    @given(st.integers(min_value=0, max_value=50))
+    @SETTINGS
+    def test_chain_cycles_match_thread_bodies(self, seed):
+        """Total derived cycles = cycles of the root thread plus all callee
+        bodies, once per call site."""
+        asm = random_assembly(RandomAssemblySpec(), seed=seed)
+        system = asm.derive_transactions()
+
+        def body_cycles(instance, thread):
+            from repro.components.threads import CallStep, TaskStep
+
+            total = 0.0
+            for step in thread.body:
+                if isinstance(step, TaskStep):
+                    total += step.wcet
+                else:
+                    b = asm.bindings[(instance, step.method)]
+                    callee = asm.instances[b.callee]
+                    total += body_cycles(b.callee, callee.realizer_of(b.provided))
+            return total
+
+        idx = 0
+        for iname, comp in asm.instances.items():
+            for thread in comp.periodic_threads():
+                expected = body_cycles(iname, thread)
+                got = system.transactions[idx].total_wcet()
+                assert got == pytest.approx(expected)
+                idx += 1
+
+
+class TestSupplyCompliance:
+    @given(
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=1.0, max_value=20.0),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_server_supply_within_envelopes(self, frac, period, seed):
+        """Any placement sequence stays inside [zmin, zmax] of the server."""
+        budget = frac * period
+        platform = PeriodicServer(budget, period)
+        supply = ServerSupply(
+            budget, period, placement="random",
+            rng=np.random.default_rng(seed),
+        )
+
+        def delivered(a, b, steps=600):
+            ts = np.linspace(a, b, steps, endpoint=False)
+            dt = (b - a) / steps
+            return sum(supply.rate_at(float(x)) for x in ts) * dt
+
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(5):
+            t0 = float(rng.uniform(0.0, 3 * period))
+            t = float(rng.uniform(0.2 * period, 3 * period))
+            got = delivered(t0, t0 + t)
+            slack = 0.02 * period  # integration resolution
+            assert got >= platform.zmin(t) - slack
+            assert got <= platform.zmax(t) + slack
+
+
+class TestBusyFunctionProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=60.0),
+        st.floats(min_value=0.0, max_value=60.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_phase_in_half_open_period(self, phi_k, j_k, phi_j, period):
+        ph = phase(phi_k, j_k, phi_j, period)
+        assert 0.0 < ph <= period
+
+    @given(
+        st.floats(min_value=0.1, max_value=50.0),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=1.0, max_value=60.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_w_task_nonnegative_and_superadditive_in_jitter(
+        self, phi, t, cost, period
+    ):
+        ph = phase(0.0, 0.0, phi, period)
+        base = w_task(ph, 0.0, cost, period, t)
+        jittered = w_task(ph, period / 2, cost, period, t)
+        assert base >= 0.0
+        assert jittered >= base
+
+    def test_views_symmetric_for_equal_systems(self):
+        a = random_system(RandomSystemSpec(), seed=42)
+        b = random_system(RandomSystemSpec(), seed=42)
+        va = build_views(a, 0, 0)
+        vb = build_views(b, 0, 0)
+        assert va[0] == vb[0]
+        assert va[1] == vb[1]

@@ -1,0 +1,184 @@
+"""Unit tests for the simulator core."""
+
+import pytest
+
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+from repro.sim import ReleasePolicy, SimulationConfig, Simulator, simulate
+
+
+def one_task_system(wcet=2.0, period=10.0, platform=None):
+    t = Transaction(
+        period=period, tasks=[Task(wcet=wcet, platform=0, priority=1)], name="G"
+    )
+    return TransactionSystem(
+        transactions=[t], platforms=[platform or DedicatedPlatform()]
+    )
+
+
+class TestBasics:
+    def test_single_task_response(self):
+        trace = simulate(one_task_system(), config=SimulationConfig(horizon=100.0))
+        st = trace.tasks[(0, 0)]
+        assert st.count == 10
+        assert st.max_response == pytest.approx(2.0)
+        assert st.min_response == pytest.approx(2.0)
+        assert st.misses == 0
+
+    def test_fluid_platform_scales_execution(self):
+        trace = simulate(
+            one_task_system(platform=LinearSupplyPlatform(0.5)),
+            config=SimulationConfig(horizon=100.0),
+        )
+        assert trace.tasks[(0, 0)].max_response == pytest.approx(4.0)
+
+    def test_simulator_single_use(self):
+        sim = Simulator(one_task_system(), SimulationConfig(horizon=50.0))
+        sim.run()
+        with pytest.raises(RuntimeError, match="single-use"):
+            sim.run()
+
+    def test_event_log_recorded(self):
+        cfg = SimulationConfig(horizon=25.0, record_events=True)
+        trace = simulate(one_task_system(), config=cfg)
+        kinds = {k for _, k, _ in trace.events}
+        assert kinds == {"ready", "done"}
+
+    def test_release_counts(self):
+        trace = simulate(one_task_system(period=10.0),
+                         config=SimulationConfig(horizon=95.0))
+        assert trace.released == [10]
+
+
+class TestPreemption:
+    def test_high_priority_preempts(self):
+        hi = Transaction(
+            period=4.0, tasks=[Task(wcet=1.0, platform=0, priority=2)], name="hi"
+        )
+        lo = Transaction(
+            period=20.0, tasks=[Task(wcet=3.0, platform=0, priority=1)], name="lo"
+        )
+        s = TransactionSystem(transactions=[hi, lo], platforms=[DedicatedPlatform()])
+        trace = simulate(s, config=SimulationConfig(horizon=200.0))
+        # lo: 3 own + 1 hi (released together) = 4 at the synchronous instant.
+        assert trace.tasks[(1, 0)].max_response == pytest.approx(4.0)
+        assert trace.tasks[(0, 0)].max_response == pytest.approx(1.0)
+
+    def test_edf_orders_by_deadline(self):
+        a = Transaction(
+            period=10.0, deadline=3.0,
+            tasks=[Task(wcet=1.0, platform=0, priority=1)], name="tight",
+        )
+        b = Transaction(
+            period=10.0, deadline=9.0,
+            tasks=[Task(wcet=1.0, platform=0, priority=99)], name="loose",
+        )
+        s = TransactionSystem(transactions=[a, b], platforms=[DedicatedPlatform()])
+        # Under EDF the tight-deadline job runs first despite lower priority.
+        trace = simulate(
+            s, config=SimulationConfig(horizon=50.0, scheduler="edf")
+        )
+        assert trace.tasks[(0, 0)].max_response == pytest.approx(1.0)
+        assert trace.tasks[(1, 0)].max_response == pytest.approx(2.0)
+
+
+class TestChains:
+    def test_two_stage_pipeline(self):
+        tr = Transaction(
+            period=10.0,
+            tasks=[
+                Task(wcet=1.0, platform=0, priority=1),
+                Task(wcet=2.0, platform=1, priority=1),
+            ],
+            name="chain",
+        )
+        s = TransactionSystem(
+            transactions=[tr],
+            platforms=[DedicatedPlatform(), DedicatedPlatform()],
+        )
+        trace = simulate(s, config=SimulationConfig(horizon=100.0))
+        assert trace.tasks[(0, 0)].max_response == pytest.approx(1.0)
+        assert trace.tasks[(0, 1)].max_response == pytest.approx(3.0)
+
+    def test_precedence_respected(self):
+        """Second task never completes before the first."""
+        tr = Transaction(
+            period=5.0,
+            tasks=[
+                Task(wcet=1.0, platform=0, priority=1),
+                Task(wcet=1.0, platform=0, priority=2),
+            ],
+        )
+        s = TransactionSystem(transactions=[tr], platforms=[DedicatedPlatform()])
+        trace = simulate(s, config=SimulationConfig(horizon=50.0))
+        assert trace.tasks[(0, 1)].min_response >= trace.tasks[(0, 0)].min_response
+
+
+class TestDeadlineAccounting:
+    def test_misses_counted(self):
+        t1 = Transaction(period=10.0, deadline=1.0,
+                         tasks=[Task(wcet=2.0, platform=0, priority=1)])
+        s = TransactionSystem(transactions=[t1], platforms=[DedicatedPlatform()])
+        trace = simulate(s, config=SimulationConfig(horizon=95.0))
+        assert trace.tasks[(0, 0)].misses == 10
+        assert trace.total_misses() == 10
+
+    def test_observed_end_to_end(self):
+        tr = Transaction(
+            period=10.0,
+            tasks=[
+                Task(wcet=1.0, platform=0, priority=1),
+                Task(wcet=1.0, platform=0, priority=1),
+            ],
+        )
+        s = TransactionSystem(transactions=[tr], platforms=[DedicatedPlatform()])
+        trace = simulate(s, config=SimulationConfig(horizon=50.0))
+        e2e = trace.observed_end_to_end()
+        assert e2e[0] == trace.tasks[(0, 1)].max_response
+
+
+class TestReleasePolicies:
+    def test_phased_releases(self):
+        cfg = SimulationConfig(
+            horizon=50.0, release=ReleasePolicy(mode="phased", phases=[3.0])
+        )
+        trace = simulate(one_task_system(period=10.0), config=cfg)
+        # Releases at 3, 13, ..., 43 -> 5 within the horizon.
+        assert trace.released == [5]
+
+    def test_phase_count_mismatch_raises(self):
+        cfg = SimulationConfig(
+            horizon=10.0, release=ReleasePolicy(mode="phased", phases=[1.0, 2.0])
+        )
+        with pytest.raises(ValueError, match="phases"):
+            simulate(one_task_system(), config=cfg)
+
+    def test_random_phases_reproducible(self):
+        cfg = lambda: SimulationConfig(  # noqa: E731
+            horizon=100.0, release=ReleasePolicy(mode="random", seed=9)
+        )
+        a = simulate(one_task_system(), config=cfg())
+        b = simulate(one_task_system(), config=cfg())
+        assert a.tasks[(0, 0)].max_response == b.tasks[(0, 0)].max_response
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ReleasePolicy(mode="chaotic")
+
+
+class TestConfigValidation:
+    def test_bad_scheduler(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(scheduler="fifo")
+
+    def test_bad_placement(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(placement="center")
+
+    def test_supply_count_mismatch(self):
+        from repro.sim.supply import AlwaysOnSupply
+
+        with pytest.raises(ValueError, match="supplies"):
+            Simulator(one_task_system(), supplies=[AlwaysOnSupply(), AlwaysOnSupply()])

@@ -1,0 +1,124 @@
+"""Edge-case tests for the simulator engine."""
+
+import pytest
+
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+from repro.platforms.periodic_server import PeriodicServer
+from repro.sim import SimulationConfig, simulate
+from repro.sim.supply import ServerSupply
+
+
+def sys_of(*txns, platforms=None):
+    return TransactionSystem(
+        transactions=list(txns),
+        platforms=platforms or [DedicatedPlatform()],
+    )
+
+
+class TestHorizonEdges:
+    def test_job_spanning_horizon_counted_in_flight(self):
+        tr = Transaction(period=100.0, tasks=[Task(wcet=50.0, platform=0, priority=1)])
+        trace = simulate(sys_of(tr), config=SimulationConfig(horizon=30.0))
+        assert trace.in_flight == 1
+        assert (0, 0) not in trace.tasks  # never completed
+
+    def test_completion_exactly_at_horizon(self):
+        tr = Transaction(period=100.0, tasks=[Task(wcet=10.0, platform=0, priority=1)])
+        trace = simulate(sys_of(tr), config=SimulationConfig(horizon=10.0))
+        # Completion at t=10 == horizon: the loop breaks before retiring.
+        assert trace.tasks.get((0, 0)) is None or trace.tasks[(0, 0)].count <= 1
+
+    def test_default_horizon_scales_with_period(self):
+        tr = Transaction(period=7.0, tasks=[Task(wcet=1.0, platform=0, priority=1)])
+        trace = simulate(sys_of(tr))
+        assert trace.horizon == pytest.approx(350.0)  # 50x max period
+
+
+class TestStarvation:
+    def test_task_starved_by_supply_never_completes(self):
+        # Budget 1 per 10 at rate 1; task needs 20 cycles per period 100:
+        # it completes eventually (10 periods) but not within 50.
+        tr = Transaction(period=1000.0, tasks=[Task(wcet=20.0, platform=0, priority=1)])
+        system = TransactionSystem(
+            transactions=[tr], platforms=[PeriodicServer(1.0, 10.0)]
+        )
+        trace = simulate(system, config=SimulationConfig(horizon=50.0, placement="early"))
+        assert (0, 0) not in trace.tasks
+        assert trace.in_flight == 1
+
+    def test_task_eventually_completes_across_windows(self):
+        tr = Transaction(period=1000.0, tasks=[Task(wcet=20.0, platform=0, priority=1)])
+        system = TransactionSystem(
+            transactions=[tr], platforms=[PeriodicServer(1.0, 10.0)]
+        )
+        trace = simulate(system, config=SimulationConfig(horizon=400.0, placement="early"))
+        st = trace.tasks[(0, 0)]
+        assert st.count == 1
+        # 20 cycles at 1 per 10 time units: finishes in the 20th window.
+        assert st.max_response == pytest.approx(191.0, abs=1.0)
+
+
+class TestPriorityTies:
+    def test_equal_priority_fifo_by_ready_time(self):
+        a = Transaction(period=100.0, name="a",
+                        tasks=[Task(wcet=5.0, platform=0, priority=1)])
+        b = Transaction(period=100.0, name="b",
+                        tasks=[Task(wcet=5.0, platform=0, priority=1)])
+        system = sys_of(a, b)
+        from repro.sim.workload import ReleasePolicy
+
+        trace = simulate(system, config=SimulationConfig(
+            horizon=50.0,
+            release=ReleasePolicy(mode="phased", phases=[0.0, 1.0]),
+        ))
+        # a released first -> runs to completion first.
+        assert trace.tasks[(0, 0)].max_response == pytest.approx(5.0)
+        assert trace.tasks[(1, 0)].max_response == pytest.approx(9.0)
+
+    def test_same_ready_time_breaks_by_uid(self):
+        a = Transaction(period=100.0, tasks=[Task(wcet=2.0, platform=0, priority=1)])
+        b = Transaction(period=100.0, tasks=[Task(wcet=2.0, platform=0, priority=1)])
+        trace = simulate(sys_of(a, b), config=SimulationConfig(horizon=50.0))
+        # Deterministic: transaction 0's job was created first.
+        assert trace.tasks[(0, 0)].max_response == pytest.approx(2.0)
+        assert trace.tasks[(1, 0)].max_response == pytest.approx(4.0)
+
+
+class TestCustomSupplies:
+    def test_explicit_supplies_override_platforms(self):
+        tr = Transaction(period=20.0, tasks=[Task(wcet=2.0, platform=0, priority=1)])
+        # Platform says fluid 0.5, but we hand the simulator a full-speed
+        # early server: response 2.0, not 4.0.
+        system = TransactionSystem(
+            transactions=[tr], platforms=[LinearSupplyPlatform(0.5)]
+        )
+        from repro.sim import Simulator
+
+        sim = Simulator(
+            system,
+            SimulationConfig(horizon=100.0),
+            supplies=[ServerSupply(10.0, 10.0, placement="early")],
+        )
+        trace = sim.run()
+        assert trace.tasks[(0, 0)].max_response == pytest.approx(2.0)
+
+
+class TestChainsAcrossSupplies:
+    def test_chain_waits_for_second_platform_window(self):
+        tr = Transaction(
+            period=50.0,
+            tasks=[
+                Task(wcet=1.0, platform=0, priority=1),
+                Task(wcet=1.0, platform=1, priority=1),
+            ],
+        )
+        system = TransactionSystem(
+            transactions=[tr],
+            platforms=[DedicatedPlatform(), PeriodicServer(1.0, 10.0)],
+        )
+        trace = simulate(system, config=SimulationConfig(horizon=200.0, placement="late"))
+        # Task 0 done at 1; task 1 waits for the late window [9, 10): ends 10.
+        assert trace.tasks[(0, 1)].max_response == pytest.approx(10.0)

@@ -1,0 +1,117 @@
+"""Tests for execution-time variation and Gantt rendering."""
+
+import pytest
+
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.paper import sensor_fusion_system
+from repro.platforms.linear import DedicatedPlatform
+from repro.sim import SimulationConfig, simulate
+from repro.viz import render_gantt
+
+
+def varied_system():
+    tr = Transaction(
+        period=10.0,
+        tasks=[Task(wcet=4.0, bcet=1.0, platform=0, priority=1, name="t")],
+    )
+    return TransactionSystem(transactions=[tr], platforms=[DedicatedPlatform()])
+
+
+class TestExecutionPolicies:
+    def test_wcet_policy_constant(self):
+        trace = simulate(
+            varied_system(), config=SimulationConfig(horizon=100.0)
+        )
+        st = trace.tasks[(0, 0)]
+        assert st.min_response == pytest.approx(4.0)
+        assert st.max_response == pytest.approx(4.0)
+
+    def test_bcet_policy_constant(self):
+        trace = simulate(
+            varied_system(),
+            config=SimulationConfig(horizon=100.0, execution="bcet"),
+        )
+        st = trace.tasks[(0, 0)]
+        assert st.max_response == pytest.approx(1.0)
+
+    def test_uniform_policy_within_bounds(self):
+        trace = simulate(
+            varied_system(),
+            config=SimulationConfig(horizon=400.0, execution="uniform", seed=3),
+        )
+        st = trace.tasks[(0, 0)]
+        assert 1.0 - 1e-9 <= st.min_response
+        assert st.max_response <= 4.0 + 1e-9
+        assert st.max_response > st.min_response  # actually varies
+
+    def test_uniform_reproducible(self):
+        cfg = lambda: SimulationConfig(  # noqa: E731
+            horizon=200.0, execution="uniform", seed=7
+        )
+        a = simulate(varied_system(), config=cfg())
+        b = simulate(varied_system(), config=cfg())
+        assert a.tasks[(0, 0)].max_response == b.tasks[(0, 0)].max_response
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(execution="psychic")
+
+    def test_uniform_observed_within_analytic_interval(self):
+        """Observed responses stay inside [sound bcrt, wcrt] for any policy."""
+        from repro.analysis import AnalysisConfig, analyze
+
+        system = sensor_fusion_system()
+        result = analyze(system, config=AnalysisConfig(best_case="sound"))
+        trace = simulate(
+            system,
+            config=SimulationConfig(
+                horizon=3000.0, execution="uniform", seed=1, placement="late"
+            ),
+        )
+        for key, st in trace.tasks.items():
+            assert st.max_response <= result.tasks[key].wcrt + 1e-6
+            assert st.min_response >= result.tasks[key].bcrt - 1e-6
+
+
+class TestGantt:
+    def test_requires_intervals(self):
+        trace = simulate(varied_system(), config=SimulationConfig(horizon=20.0))
+        with pytest.raises(ValueError, match="record_intervals"):
+            render_gantt(varied_system(), trace)
+
+    def test_renders_expected_occupancy(self):
+        system = varied_system()
+        trace = simulate(
+            system,
+            config=SimulationConfig(horizon=20.0, record_intervals=True),
+        )
+        chart = render_gantt(system, trace, end=20.0, width=20)
+        lines = chart.splitlines()
+        row = next(ln for ln in lines if "|" in ln)
+        cells = row.split("|")[1]
+        # Task runs [0,4) and [10,14): columns 0-3 and 10-13 busy.
+        assert cells[0:4] == "1111"
+        assert cells[4:10].strip() == ""
+        assert cells[10:14] == "1111"
+
+    def test_paper_example_renders_all_platforms(self):
+        system = sensor_fusion_system()
+        trace = simulate(
+            system,
+            config=SimulationConfig(horizon=150.0, record_intervals=True),
+        )
+        chart = render_gantt(system, trace, end=150.0, width=75)
+        assert "Pi1" in chart and "Pi3" in chart
+        # Gamma_4 (glyph 4) must appear on the Pi3 row.
+        pi3_row = next(ln for ln in chart.splitlines() if "Pi3" in ln)
+        assert "4" in pi3_row
+
+    def test_empty_window_rejected(self):
+        system = varied_system()
+        trace = simulate(
+            system, config=SimulationConfig(horizon=20.0, record_intervals=True)
+        )
+        with pytest.raises(ValueError, match="empty window"):
+            render_gantt(system, trace, start=5.0, end=5.0)

@@ -1,0 +1,92 @@
+"""Property tests for the global scheduler (random server sets)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.platforms.periodic_server import PeriodicServer
+from repro.sim import schedule_servers
+
+
+def random_server_set(seed: int, total_util: float, n: int):
+    rng = np.random.default_rng(seed)
+    from repro.gen import uunifast
+
+    utils = uunifast(n, total_util, rng)
+    servers = []
+    for u in utils:
+        period = float(rng.uniform(2.0, 20.0))
+        budget = max(1e-3, float(u) * period)
+        servers.append(PeriodicServer(min(budget, period), period))
+    return servers
+
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGlobalEdfProperties:
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=0.2, max_value=1.0),
+        st.integers(min_value=1, max_value=4),
+    )
+    @SETTINGS
+    def test_edf_delivers_every_budget(self, seed, total_util, n):
+        servers = random_server_set(seed, total_util, n)
+        horizon = 8.0 * max(s.period for s in servers)
+        res = schedule_servers(servers, horizon=horizon, policy="edf")
+        assert res.feasible
+        for srv, sup in zip(servers, res.supplies):
+            k = 0
+            while (k + 1) * srv.period <= horizon:
+                got = sup.delivered(k * srv.period, (k + 1) * srv.period)
+                assert got == pytest.approx(srv.budget, abs=1e-6)
+                k += 1
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=0.2, max_value=0.95),
+        st.integers(min_value=2, max_value=4),
+    )
+    @SETTINGS
+    def test_no_two_servers_run_simultaneously(self, seed, total_util, n):
+        servers = random_server_set(seed, total_util, n)
+        horizon = 5.0 * max(s.period for s in servers)
+        res = schedule_servers(servers, horizon=horizon, policy="edf")
+        events = sorted(w for sup in res.supplies for w in sup.windows)
+        for (s0, e0), (s1, _) in zip(events, events[1:]):
+            assert e0 <= s1 + 1e-9
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=0.2, max_value=0.9),
+    )
+    @SETTINGS
+    def test_idle_fraction_complements_utilization(self, seed, total_util):
+        servers = random_server_set(seed, total_util, 3)
+        # Use a horizon that is a common multiple-ish window: idle fraction
+        # approaches 1 - total utilization for long horizons.
+        horizon = 60.0 * max(s.period for s in servers)
+        res = schedule_servers(servers, horizon=horizon, policy="edf")
+        expected = 1.0 - sum(s.rate for s in servers)
+        assert res.idle_fraction == pytest.approx(expected, abs=0.05)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @SETTINGS
+    def test_supply_within_server_envelope(self, seed):
+        """Each derived supply respects the advertised supply bounds."""
+        servers = random_server_set(seed, 0.7, 2)
+        horizon = 10.0 * max(s.period for s in servers)
+        res = schedule_servers(servers, horizon=horizon, policy="edf")
+        rng = np.random.default_rng(seed + 1)
+        for srv, sup in zip(servers, res.supplies):
+            for _ in range(4):
+                t0 = float(rng.uniform(0.0, horizon / 2))
+                t = float(rng.uniform(0.1, horizon / 2 - 1e-9))
+                got = sup.delivered(t0, t0 + t)
+                assert got >= srv.zmin(t) - 1e-6
+                assert got <= srv.zmax(t) + 1e-6

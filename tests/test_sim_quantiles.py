@@ -1,0 +1,49 @@
+"""Tests for retained response samples and quantiles."""
+
+import pytest
+
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.platforms.linear import DedicatedPlatform
+from repro.sim import SimulationConfig, simulate
+from repro.sim.trace import TaskStats
+
+
+def system():
+    hi = Transaction(period=4.0, tasks=[Task(wcet=1.0, platform=0, priority=2)])
+    lo = Transaction(period=10.0, tasks=[Task(wcet=2.0, platform=0, priority=1)])
+    return TransactionSystem(transactions=[hi, lo], platforms=[DedicatedPlatform()])
+
+
+class TestSamples:
+    def test_disabled_by_default(self):
+        trace = simulate(system(), config=SimulationConfig(horizon=100.0))
+        assert trace.tasks[(1, 0)].samples == []
+        with pytest.raises(ValueError, match="keep_samples"):
+            trace.tasks[(1, 0)].quantile(0.5)
+
+    def test_samples_recorded(self):
+        trace = simulate(
+            system(), config=SimulationConfig(horizon=100.0, keep_samples=True)
+        )
+        st = trace.tasks[(1, 0)]
+        assert len(st.samples) == st.count
+        assert max(st.samples) == st.max_response
+        assert min(st.samples) == st.min_response
+
+    def test_quantiles_ordered(self):
+        trace = simulate(
+            system(), config=SimulationConfig(horizon=400.0, keep_samples=True)
+        )
+        st = trace.tasks[(1, 0)]
+        q = [st.quantile(x) for x in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert q == sorted(q)
+        assert q[0] == st.min_response
+        assert q[-1] == st.max_response
+
+    def test_quantile_argument_checked(self):
+        st = TaskStats(keep_samples=True)
+        st.record(1.0, 10.0, True)
+        with pytest.raises(ValueError, match="quantile"):
+            st.quantile(1.5)

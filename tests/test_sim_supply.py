@@ -1,0 +1,143 @@
+"""Unit tests for concrete supply processes."""
+
+import numpy as np
+import pytest
+
+from repro.platforms.linear import DedicatedPlatform, LinearSupplyPlatform
+from repro.platforms.partition import StaticPartitionPlatform
+from repro.platforms.periodic_server import PeriodicServer
+from repro.sim.supply import (
+    AlwaysOnSupply,
+    FluidSupply,
+    PartitionSupply,
+    ServerSupply,
+    supply_for_platform,
+)
+
+
+def delivered(supply, a, b, steps=4000):
+    """Numerically integrate the supply rate over [a, b)."""
+    ts = np.linspace(a, b, steps, endpoint=False)
+    dt = (b - a) / steps
+    return sum(supply.rate_at(float(t)) for t in ts) * dt
+
+
+class TestAlwaysOn:
+    def test_constant_rate(self):
+        s = AlwaysOnSupply(speed=0.5)
+        assert s.rate_at(0.0) == 0.5
+        assert s.rate_at(1000.0) == 0.5
+        assert s.next_change(3.0) == float("inf")
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            AlwaysOnSupply(0.0)
+
+
+class TestServerSupply:
+    def test_early_placement_window(self):
+        s = ServerSupply(2.0, 5.0, placement="early")
+        assert s.rate_at(0.5) == 1.0
+        assert s.rate_at(2.5) == 0.0
+        assert s.rate_at(5.5) == 1.0
+
+    def test_late_placement_window(self):
+        s = ServerSupply(2.0, 5.0, placement="late")
+        assert s.rate_at(0.5) == 0.0
+        assert s.rate_at(3.5) == 1.0
+        assert s.rate_at(4.9) == 1.0
+
+    def test_next_change_progresses(self):
+        s = ServerSupply(2.0, 5.0, placement="early")
+        t = 0.0
+        seen = []
+        for _ in range(6):
+            t = s.next_change(t)
+            seen.append(t)
+        assert seen == sorted(seen)
+        assert seen[0] == pytest.approx(2.0)
+        assert seen[1] == pytest.approx(5.0)
+
+    def test_random_placement_deterministic_per_rng(self):
+        a = ServerSupply(2.0, 5.0, placement="random", rng=np.random.default_rng(5))
+        b = ServerSupply(2.0, 5.0, placement="random", rng=np.random.default_rng(5))
+        for t in np.linspace(0, 30, 100):
+            assert a.rate_at(float(t)) == b.rate_at(float(t))
+
+    @pytest.mark.parametrize("placement", ["early", "late", "random"])
+    def test_budget_per_period_respected(self, placement):
+        s = ServerSupply(2.0, 5.0, placement=placement, rng=np.random.default_rng(1))
+        for k in range(5):
+            got = delivered(s, k * 5.0, (k + 1) * 5.0)
+            assert got == pytest.approx(2.0, abs=0.02)
+
+    @pytest.mark.parametrize("placement", ["early", "late", "random"])
+    def test_supply_within_platform_envelopes(self, placement):
+        """Any placement yields cycles within [zmin, zmax] of the platform."""
+        platform = PeriodicServer(2.0, 5.0)
+        s = ServerSupply(2.0, 5.0, placement=placement, rng=np.random.default_rng(2))
+        for t0 in (0.0, 1.3, 4.0, 7.7):
+            for t in (1.0, 3.0, 6.0, 11.0):
+                got = delivered(s, t0, t0 + t)
+                assert got >= platform.zmin(t) - 0.05
+                assert got <= platform.zmax(t) + 0.05
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ServerSupply(6.0, 5.0)
+        with pytest.raises(ValueError):
+            ServerSupply(1.0, 5.0, placement="sideways")
+
+
+class TestPartitionSupply:
+    def test_rate_pattern(self):
+        s = PartitionSupply([(1.0, 2.0)], cycle=5.0)
+        assert s.rate_at(0.5) == 0.0
+        assert s.rate_at(1.5) == 1.0
+        assert s.rate_at(6.5) == 1.0  # next cycle
+
+    def test_next_change(self):
+        s = PartitionSupply([(1.0, 2.0)], cycle=5.0)
+        assert s.next_change(0.0) == pytest.approx(1.0)
+        assert s.next_change(1.5) == pytest.approx(3.0)
+        assert s.next_change(3.5) == pytest.approx(6.0)
+
+
+class TestFactory:
+    def test_periodic_server_mapping(self):
+        sup = supply_for_platform(PeriodicServer(2.0, 5.0))
+        assert isinstance(sup, ServerSupply)
+        assert sup.budget == 2.0
+
+    def test_partition_mapping(self):
+        platform = StaticPartitionPlatform([(0.0, 1.0)], cycle=4.0)
+        sup = supply_for_platform(platform)
+        assert isinstance(sup, PartitionSupply)
+
+    def test_dedicated_mapping(self):
+        sup = supply_for_platform(DedicatedPlatform())
+        assert isinstance(sup, AlwaysOnSupply)
+        assert sup.speed == 1.0
+
+    def test_linear_with_delay_synthesizes_server(self):
+        platform = LinearSupplyPlatform(0.4, 1.0, 1.0)
+        sup = supply_for_platform(platform)
+        assert isinstance(sup, ServerSupply)
+        # P = delta / (2 (1 - alpha)) = 1 / 1.2; Q = 0.4 P.
+        assert sup.period == pytest.approx(1.0 / 1.2)
+        assert sup.budget / sup.period == pytest.approx(0.4)
+
+    def test_linear_without_delay_is_fluid(self):
+        sup = supply_for_platform(LinearSupplyPlatform(0.3))
+        assert isinstance(sup, FluidSupply)
+        assert sup.speed == 0.3
+
+    def test_synthesized_server_respects_platform_zmin(self):
+        """The synthesized server supplies at least the linear zmin."""
+        platform = LinearSupplyPlatform(0.4, 1.0, 1.0)
+        sup = supply_for_platform(platform, placement="late")
+        # worst placement, many windows
+        for t0 in (0.0, 0.4, 1.1):
+            for t in (0.5, 1.0, 2.0, 5.0):
+                got = delivered(sup, t0, t0 + t, steps=3000)
+                assert got >= platform.zmin(t) - 0.05

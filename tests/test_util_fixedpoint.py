@@ -1,0 +1,68 @@
+"""Unit tests for the fixed-point iteration drivers."""
+
+import pytest
+
+from repro.util.fixedpoint import (
+    FixedPointDiverged,
+    iterate_fixed_point,
+    iterate_monotone,
+)
+
+
+class TestIterateFixedPoint:
+    def test_constant_map(self):
+        res = iterate_fixed_point(lambda x: 5.0, 0.0)
+        assert res.value == 5.0
+        assert res.iterations >= 1
+
+    def test_identity_converges_immediately(self):
+        res = iterate_fixed_point(lambda x: x, 7.0)
+        assert res.value == 7.0
+        assert res.iterations == 1
+
+    def test_rta_style_recurrence(self):
+        # w = 1 + ceil(w/5) * 2 has least fixed point 5:
+        # w=1 -> 3 -> 3? ceil(3/5)=1 -> 3; fixed point 3.
+        import math
+
+        res = iterate_fixed_point(lambda w: 1 + math.ceil(w / 5) * 2, 0.0)
+        assert res.value == 3.0
+
+    def test_divergence_by_bound(self):
+        with pytest.raises(FixedPointDiverged) as exc:
+            iterate_fixed_point(lambda x: x + 1.0, 0.0, bound=10.0)
+        assert exc.value.last_value > 10.0
+        assert exc.value.iterations > 0
+
+    def test_divergence_by_iteration_cap(self):
+        with pytest.raises(FixedPointDiverged):
+            iterate_fixed_point(lambda x: x + 1e-3, 0.0, max_iterations=10)
+
+    def test_tolerance_controls_convergence(self):
+        # Geometric approach to 1: with a loose tolerance it stops early.
+        res = iterate_fixed_point(lambda x: 0.5 * x + 0.5, 0.0, tol=0.25)
+        assert res.value < 1.0
+        res2 = iterate_fixed_point(lambda x: 0.5 * x + 0.5, 0.0, tol=1e-12)
+        assert res2.value == pytest.approx(1.0, abs=1e-10)
+
+    def test_float_conversion(self):
+        res = iterate_fixed_point(lambda x: 2.0, 0.0)
+        assert float(res) == 2.0
+
+
+class TestIterateMonotone:
+    def test_accepts_monotone_map(self):
+        res = iterate_monotone(lambda x: min(x + 1.0, 4.0), 0.0)
+        assert res.value == 4.0
+
+    def test_rejects_decreasing_map(self):
+        with pytest.raises(AssertionError, match="not monotone"):
+            iterate_monotone(lambda x: -x - 1.0, 0.0)
+
+    def test_divergence_by_bound(self):
+        with pytest.raises(FixedPointDiverged):
+            iterate_monotone(lambda x: x + 2.0, 0.0, bound=5.0)
+
+    def test_divergence_by_cap(self):
+        with pytest.raises(FixedPointDiverged):
+            iterate_monotone(lambda x: x + 1e-4, 0.0, max_iterations=5)

@@ -1,0 +1,82 @@
+"""Unit tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        assert check_type(3, int, "x") == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(3.5, (int, float), "x") == 3.5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("3", int, "x")
+
+    def test_tuple_message_lists_alternatives(self):
+        with pytest.raises(TypeError, match=r"int \| float"):
+            check_type("3", (int, float), "x")
+
+
+class TestCheckFinite:
+    def test_accepts_float_and_int(self):
+        assert check_finite(2, "x") == 2.0
+        assert check_finite(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(bad, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_finite(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_finite("1.0", "x")
+
+
+class TestCheckSign:
+    def test_positive_accepts(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(0.0, "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_closed_bounds(self):
+        assert check_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert check_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_open_low(self):
+        with pytest.raises(ValueError, match=r"\(0.0, 1.0\]"):
+            check_in_range(0.0, 0.0, 1.0, "x", low_open=True)
+
+    def test_open_high(self):
+        with pytest.raises(ValueError, match=r"\[0.0, 1.0\)"):
+            check_in_range(1.0, 0.0, 1.0, "x", high_open=True)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.0, 0.0, 1.0, "x")

@@ -1,0 +1,82 @@
+"""Tests for text-based visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    ascii_plot,
+    ascii_step_plot,
+    format_table,
+    series_to_rows,
+    write_csv,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["A", "Blong"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["A"], [["1", "2"]])
+
+    def test_width_adapts(self):
+        out = format_table(["x"], [["very-long-cell"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) >= len("very-long-cell")
+
+
+class TestAsciiPlot:
+    def test_contains_series_markers_and_legend(self):
+        xs = np.linspace(0, 10, 50)
+        out = ascii_plot(
+            [("lin", xs, xs), ("quad", xs, xs**2 / 10)],
+            width=40,
+            height=10,
+            title="demo",
+        )
+        assert "demo" in out
+        assert "* lin" in out
+        assert "o quad" in out
+        assert "*" in out.split("\n", 2)[2]
+
+    def test_axis_labels_present(self):
+        xs = [0.0, 5.0]
+        out = ascii_plot([("s", xs, [1.0, 2.0])], width=30, height=8)
+        assert "2" in out  # y max label
+        assert "0" in out  # x min label
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+
+    def test_constant_series_ok(self):
+        out = ascii_plot([("c", [0, 1, 2], [3, 3, 3])], width=20, height=5)
+        assert "c" in out
+
+    def test_step_plot_runs(self):
+        out = ascii_step_plot(
+            [("steps", [0, 1, 2, 3], [0, 1, 1, 4])], width=30, height=8
+        )
+        assert "steps" in out
+
+
+class TestCsv:
+    def test_series_to_rows(self):
+        header, rows = series_to_rows({"t": [1, 2], "y": [3, 4]})
+        assert header == ["t", "y"]
+        assert rows == [[1.0, 3.0], [2.0, 4.0]]
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            series_to_rows({"a": [1], "b": [1, 2]})
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "a" / "b.csv", ["x"], [[1.5]])
+        assert path.exists()
+        assert path.read_text().splitlines() == ["x", "1.5"]
