@@ -1,71 +1,75 @@
-"""E16 (study) -- acceptance ratio vs utilization.
+"""E16 (study) -- acceptance ratio vs utilization, on the campaign engine.
 
 The canonical schedulability-paper figure the 2006 paper did not have room
 for: the fraction of random systems deemed schedulable as per-platform
 utilization grows, for (a) the reduced analysis on shared platforms,
 (b) the exact analysis, and (c) the dedicated-processor upper baseline.
 
+Since ISSUE 1 this bench is a declarative config over
+:mod:`repro.batch`: one :class:`CampaignSpec` replaces the hand-rolled
+triple loop, and the per-system method comparisons read off the engine's
+paired cells (every method analyzes the *same* generated system).
+
 Shape claims checked: all curves decrease with load; exact accepts at least
 as much as reduced; dedicated accepts at least as much as both.
 """
 
-import pytest
-
-from repro.analysis import AnalysisConfig, analyze, analyze_dedicated
+from repro.analysis import analyze
+from repro.batch import Campaign, CampaignSpec
 from repro.gen import RandomSystemSpec, random_system
 from repro.viz import format_table, write_csv
 
 LEVELS = (0.3, 0.5, 0.7, 0.85, 0.95)
-SEEDS = tuple(range(12))
+SEEDS = 12
 
-
-def _spec(util: float) -> RandomSystemSpec:
-    return RandomSystemSpec(
-        n_platforms=2,
-        n_transactions=3,
-        tasks_per_transaction=(1, 3),
-        utilization=util,
-        delay_range=(0.0, 1.5),
-        deadline_factor=1.5,
-    )
+SPEC = CampaignSpec(
+    grid={"utilization": LEVELS},
+    base={
+        "n_platforms": 2,
+        "n_transactions": 3,
+        "tasks_per_transaction": (1, 3),
+        "delay_range": (0.0, 1.5),
+        "deadline_factor": 1.5,
+    },
+    methods=("reduced", "exact", "dedicated"),
+    systems_per_cell=SEEDS,
+    seed=0,
+)
 
 
 def test_acceptance_ratio(benchmark, output_dir, write_artifact):
+    result = Campaign(SPEC).run(workers=1)
+
+    # Per-system dominance: the engine pairs methods on identical systems.
+    verdicts: dict[tuple, dict[str, bool]] = {}
+    for cell in result.cells:
+        key = (cell.params["utilization"], cell.replicate)
+        verdicts.setdefault(key, {})[cell.method] = cell.schedulable
+    for key, v in verdicts.items():
+        if v["reduced"]:
+            assert v["exact"], f"exact must accept whatever reduced accepts ({key})"
+        if v["exact"]:
+            assert v["dedicated"], f"dedicated platforms dominate shared ones ({key})"
+
+    # Aggregate acceptance table straight from the engine.
+    ratios: dict[float, dict[str, float]] = {}
+    for row in result.acceptance():
+        ratios.setdefault(row["utilization"], {})[row["method"]] = row["ratio"]
+
     rows = []
     csv_rows = []
-    prev = (1.1, 1.1, 1.1)
     for util in LEVELS:
-        accepted = {"reduced": 0, "exact": 0, "dedicated": 0}
-        for seed in SEEDS:
-            system = random_system(_spec(util), seed=seed)
-            red = analyze(system)
-            if red.schedulable:
-                accepted["reduced"] += 1
-            exa = analyze(system, config=AnalysisConfig(method="exact"))
-            if exa.schedulable:
-                accepted["exact"] += 1
-            if red.schedulable:
-                assert exa.schedulable, "exact must accept whatever reduced accepts"
-            ded = analyze_dedicated(system)
-            if ded.schedulable:
-                accepted["dedicated"] += 1
-            if exa.schedulable:
-                assert ded.schedulable, "dedicated platforms dominate shared ones"
-        n = len(SEEDS)
-        ratios = (
-            accepted["reduced"] / n,
-            accepted["exact"] / n,
-            accepted["dedicated"] / n,
-        )
-        assert ratios[0] <= ratios[1] <= ratios[2] + 1e-9
-        rows.append([f"{util:.2f}"] + [f"{r:.2f}" for r in ratios])
-        csv_rows.append([util, *ratios])
-        prev = ratios
+        r = ratios[util]
+        assert r["reduced"] <= r["exact"] <= r["dedicated"] + 1e-9
+        rows.append([f"{util:.2f}"] + [
+            f"{r[m]:.2f}" for m in ("reduced", "exact", "dedicated")
+        ])
+        csv_rows.append([util, r["reduced"], r["exact"], r["dedicated"]])
 
     table = format_table(
         ["utilization", "reduced", "exact", "dedicated"],
         rows,
-        title=f"E16: acceptance ratio over {len(SEEDS)} random systems per level",
+        title=f"E16: acceptance ratio over {SEEDS} random systems per level",
     )
     write_artifact("e16_acceptance.txt", table + "\n")
     write_csv(
@@ -81,4 +85,8 @@ def test_acceptance_ratio(benchmark, output_dir, write_artifact):
     for a, b in zip(last, first):
         assert a <= b + 1e-9
 
-    benchmark(lambda: analyze(random_system(_spec(0.7), seed=0)))
+    spec = RandomSystemSpec(
+        n_platforms=2, n_transactions=3, tasks_per_transaction=(1, 3),
+        utilization=0.7, delay_range=(0.0, 1.5), deadline_factor=1.5,
+    )
+    benchmark(lambda: analyze(random_system(spec, seed=0)))

@@ -23,7 +23,7 @@ True
 31.0
 """
 
-from repro import analysis, components, gen, io, model, opt, platforms, sim, util, viz
+from repro import analysis, batch, components, gen, io, model, opt, platforms, sim, util, viz
 from repro import paper
 from repro.analysis import AnalysisConfig, SystemAnalysis, analyze, is_schedulable
 from repro.components import Component, SystemAssembly
@@ -39,6 +39,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "batch",
     "components",
     "gen",
     "io",

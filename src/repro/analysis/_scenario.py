@@ -28,13 +28,17 @@ class ScenarioOutcome:
     ``response`` is ``-inf`` when no job of the analyzed task falls inside
     the scenario's busy period (the scenario constrains nothing) and
     ``+inf`` when the busy period failed to close within the divergence
-    bound.
+    bound.  ``evaluations`` counts every evaluation of the iterated maps,
+    *including* those of divergent solves: the iteration counts carried by
+    :class:`FixedPointDiverged` used to be dropped on the unschedulable
+    path, so aggregate accounting undercounted exactly the expensive cells.
     """
 
     response: float
     worst_job: int | None
     busy_length: float
     jobs_checked: int
+    evaluations: int = 0
 
 
 def solve_scenario(
@@ -76,21 +80,23 @@ def solve_scenario(
         own_jobs = max(0, ceil_div(L - phi_ab, T) - p0 + 1)
         return base + own_jobs * cost + interference(L)
 
+    evaluations = 0
     try:
-        L = iterate_fixed_point(
-            busy_map, base + cost, bound=bound, tol=tol
-        ).value
-    except FixedPointDiverged:
+        busy = iterate_fixed_point(busy_map, base + cost, bound=bound, tol=tol)
+    except FixedPointDiverged as exc:
         return ScenarioOutcome(
             response=float("inf"), worst_job=None, busy_length=float("inf"),
-            jobs_checked=0,
+            jobs_checked=0, evaluations=exc.iterations,
         )
+    L = busy.value
+    evaluations += busy.iterations
 
     p_last = ceil_div(L - phi_ab, T)  # Eq. 14
     if p_last < p0:
         # No job of the analyzed task inside this busy period.
         return ScenarioOutcome(
-            response=float("-inf"), worst_job=None, busy_length=L, jobs_checked=0
+            response=float("-inf"), worst_job=None, busy_length=L,
+            jobs_checked=0, evaluations=evaluations,
         )
 
     worst = float("-inf")
@@ -101,14 +107,16 @@ def solve_scenario(
             return base + (p - p0 + 1) * cost + interference(w)
 
         try:
-            w = iterate_fixed_point(
+            comp = iterate_fixed_point(
                 completion_map, base + cost, bound=bound, tol=tol
-            ).value
-        except FixedPointDiverged:
+            )
+        except FixedPointDiverged as exc:
             return ScenarioOutcome(
                 response=float("inf"), worst_job=p, busy_length=L,
-                jobs_checked=checked,
+                jobs_checked=checked, evaluations=evaluations + exc.iterations,
             )
+        w = comp.value
+        evaluations += comp.iterations
         # Response measured from the transaction activation that released
         # job p: the activation instant is phi + (p-1)T - phi_bar.
         r = w - (phi_ab + (p - 1) * T - analyzed.phi)
@@ -117,5 +125,6 @@ def solve_scenario(
             worst = r
             worst_job = p
     return ScenarioOutcome(
-        response=worst, worst_job=worst_job, busy_length=L, jobs_checked=checked
+        response=worst, worst_job=worst_job, busy_length=L, jobs_checked=checked,
+        evaluations=evaluations,
     )

@@ -19,21 +19,116 @@ DESIGN.md Section 4):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.model.system import TransactionSystem
-from repro.util.math import ceil_div, floor_div, fmod_pos, phase_in_period
+from repro.util.math import EPS, ceil_div, floor_div, fmod_pos, phase_in_period
 
 __all__ = [
     "HPTask",
     "TransactionView",
     "AnalyzedTask",
     "build_views",
+    "clear_phase_cache",
+    "compile_w_transaction_k",
+    "compile_w_transaction_star",
     "phase",
+    "phase_cache_stats",
+    "set_phase_cache_enabled",
     "w_task",
     "w_transaction_k",
     "w_transaction_star",
 ]
+
+#: Quantization step of the phase-cache key.  Jitters from successive outer
+#: rounds that agree to within this quantum share one cache entry; the
+#: quantum sits three orders of magnitude below every tolerance in the
+#: library (EPS = 1e-9), so sharing never moves a result past a tolerance.
+PHASE_QUANTUM = 1e-12
+
+#: Reset threshold: the cache is dropped wholesale once it holds this many
+#: starter vectors (long campaigns would otherwise grow it without bound).
+_PHASE_CACHE_MAX = 1 << 14
+
+# Maps (platform, period, starter phi, starter jitter, interferer offsets),
+# all quantized, to the tuple of Eq. 10 phases of the view's tasks.  The
+# phases depend only on these inputs -- not on the time argument t of the W
+# functions -- yet the seed code recomputed them at every evaluation of
+# every inner fixed point.
+_PHASE_CACHE: dict[tuple, tuple[float, ...]] = {}
+_PHASE_HITS = 0
+_PHASE_MISSES = 0
+_PHASE_CACHE_ENABLED = True
+
+
+def _q(x: float) -> int:
+    """Quantize a time value for cache keying."""
+    return round(x / PHASE_QUANTUM)
+
+
+def set_phase_cache_enabled(enabled: bool) -> bool:
+    """Toggle the phase cache (on by default); returns the previous state.
+
+    The off switch exists for benchmarking the memoization itself -- there
+    is no correctness reason to disable it.
+    """
+    global _PHASE_CACHE_ENABLED
+    previous = _PHASE_CACHE_ENABLED
+    _PHASE_CACHE_ENABLED = enabled
+    if not enabled:
+        _PHASE_CACHE.clear()
+    return previous
+
+
+def phase_cache_stats() -> tuple[int, int]:
+    """``(hits, misses)`` of the per-process phase cache."""
+    return _PHASE_HITS, _PHASE_MISSES
+
+
+def clear_phase_cache() -> None:
+    """Drop every cached phase vector and zero the hit/miss counters."""
+    global _PHASE_HITS, _PHASE_MISSES
+    _PHASE_CACHE.clear()
+    _PHASE_HITS = 0
+    _PHASE_MISSES = 0
+
+
+def _phases_for(
+    view: TransactionView, s_phi: float, s_jit: float
+) -> tuple[float, ...]:
+    """Phases of every task in *view* for the given starter, cached.
+
+    The value is computed from the exact (unquantized) inputs of the first
+    occupant of the key, so single-computation results are bit-identical to
+    the uncached code path; a second starter landing on the same key differs
+    from the occupant by less than :data:`PHASE_QUANTUM`, far inside EPS.
+    """
+    global _PHASE_HITS, _PHASE_MISSES
+    if not _PHASE_CACHE_ENABLED:
+        return tuple(
+            phase(s_phi, s_jit, hp.phi, view.period) for hp in view.tasks
+        )
+    tag = view.cache_tag
+    if len(tag) != 3:
+        tag = (
+            view.platform,
+            _q(view.period),
+            tuple(_q(hp.phi) for hp in view.tasks),
+        )
+    key = (tag, _q(s_phi), _q(s_jit))
+    cached = _PHASE_CACHE.get(key)
+    if cached is not None:
+        _PHASE_HITS += 1
+        return cached
+    _PHASE_MISSES += 1
+    if len(_PHASE_CACHE) >= _PHASE_CACHE_MAX:
+        _PHASE_CACHE.clear()
+    phases = tuple(
+        phase(s_phi, s_jit, hp.phi, view.period) for hp in view.tasks
+    )
+    _PHASE_CACHE[key] = phases
+    return phases
 
 
 @dataclass(frozen=True)
@@ -58,6 +153,11 @@ class TransactionView:
     period: float
     tasks: tuple[HPTask, ...]
     index: int  # transaction index within the system, for reporting
+    platform: int = -1  # analyzed platform the view was projected onto
+    #: Precomputed phase-cache key prefix: (platform, q(period), q(phi)...).
+    #: Built once per projection so per-evaluation key construction is a
+    #: tuple concatenation; empty for hand-built views (computed lazily).
+    cache_tag: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -121,7 +221,18 @@ def build_views(
                         index=j,
                     )
                 )
-        return TransactionView(period=tr.period, tasks=tuple(hp), index=i)
+        hp_tuple = tuple(hp)
+        return TransactionView(
+            period=tr.period,
+            tasks=hp_tuple,
+            index=i,
+            platform=task.platform,
+            cache_tag=(
+                task.platform,
+                _q(tr.period),
+                tuple(_q(t.phi) for t in hp_tuple),
+            ),
+        )
 
     own = hp_view(a)
     others = [
@@ -170,9 +281,9 @@ def w_transaction_k(view: TransactionView, starter: HPTask | None, t: float,
         if starter_phi is None or starter_jitter is None:
             raise ValueError("either starter or (starter_phi, starter_jitter) required")
         s_phi, s_jit = starter_phi, starter_jitter
+    phases = _phases_for(view, s_phi, s_jit)
     total = 0.0
-    for hp in view.tasks:
-        ph = phase(s_phi, s_jit, hp.phi, view.period)
+    for hp, ph in zip(view.tasks, phases):
         total += w_task(ph, hp.jitter, hp.cost, view.period, t)
     return total
 
@@ -188,6 +299,68 @@ def w_transaction_star(view: TransactionView, t: float) -> float:
     for starter in view.tasks:
         best = max(best, w_transaction_k(view, starter, t))
     return best
+
+
+def compile_w_transaction_k(
+    view: TransactionView,
+    starter: HPTask | None,
+    starter_phi: float | None = None,
+    starter_jitter: float | None = None,
+):
+    """Precompiled :math:`W^k_i` closure, equal to
+    ``lambda t: w_transaction_k(view, starter, t, ...)``.
+
+    The inner fixed points evaluate the W functions hundreds of times per
+    scenario with only *t* varying, yet everything except the
+    ``ceil((t - phi)/T)`` term is constant per (view, starter): the phases
+    (memoized in the phase cache) and the jitter carry
+    ``floor((J_j + phi)/T)`` of Eq. 8.  Resolving them once turns each
+    evaluation into one guarded ceiling per interfering task.
+    """
+    if starter is not None:
+        s_phi, s_jit = starter.phi, starter.jitter
+    else:
+        if starter_phi is None or starter_jitter is None:
+            raise ValueError("either starter or (starter_phi, starter_jitter) required")
+        s_phi, s_jit = starter_phi, starter_jitter
+    period = view.period
+    phases = _phases_for(view, s_phi, s_jit)
+    pre = tuple(
+        (ph, floor_div(hp.jitter + ph, period), hp.cost)
+        for hp, ph in zip(view.tasks, phases)
+    )
+    ceil_ = math.ceil
+
+    def w_k(t: float) -> float:
+        total = 0.0
+        for ph, carry, cost in pre:
+            # Inlined ceil_div (epsilon-snapped ceiling, util.math).
+            x = (t - ph) / period
+            nearest = round(x)
+            jobs = carry + (
+                int(nearest) if abs(x - nearest) <= EPS else int(ceil_(x))
+            )
+            if jobs > 0:
+                total += jobs * cost
+        return total
+
+    return w_k
+
+
+def compile_w_transaction_star(view: TransactionView):
+    """Precompiled :math:`W^*_i` closure, equal to
+    ``lambda t: w_transaction_star(view, t)`` (Eq. 15)."""
+    fns = tuple(compile_w_transaction_k(view, s) for s in view.tasks)
+
+    def w_star(t: float) -> float:
+        best = 0.0
+        for fn in fns:
+            v = fn(t)
+            if v > best:
+                best = v
+        return best
+
+    return w_star
 
 
 def starter_phase_of_analyzed(

@@ -31,6 +31,7 @@ def analyze_dedicated(
     *,
     config: AnalysisConfig | None = None,
     trace: bool = False,
+    warm_start: dict[tuple[int, int], float] | None = None,
 ) -> SystemAnalysis:
     """Holistic analysis with every platform replaced by ``(1, 0, 0)``.
 
@@ -45,7 +46,9 @@ def analyze_dedicated(
         name=(system.name + "-dedicated") if system.name else "dedicated",
         meta=dict(system.meta),
     )
-    return holistic_analysis(dedicated, config=config, trace=trace)
+    return holistic_analysis(
+        dedicated, config=config, trace=trace, warm_start=warm_start
+    )
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,7 @@ def holistic_analysis(
     *,
     config: AnalysisConfig | None = None,
     trace: bool = True,
+    warm_start: dict[tuple[int, int], float] | None = None,
 ) -> SystemAnalysis:
     """Run the full dynamic-offset analysis on *system*.
 
@@ -73,6 +74,15 @@ def holistic_analysis(
         simple best-case bound.
     trace:
         Record the per-iteration ``(J, R)`` table (Table 3 of the paper).
+    warm_start:
+        Optional initial jitter vector keyed like
+        :meth:`SystemAnalysis.final_jitters`, typically the converged
+        jitters of a *nearby* system (the previous cell of an ascending
+        utilization sweep, whose jitters are componentwise below the new
+        least fixed point).  Entries for first tasks and infinite entries
+        are ignored.  The outer Jacobi iteration then resumes from that
+        vector instead of ``J = 0`` and converges to the same least fixed
+        point in fewer rounds.
 
     Returns
     -------
@@ -85,18 +95,32 @@ def holistic_analysis(
 
     best = best_case_response_times(work, method=config.best_case)
 
-    # Initial state: phi_{i,j} = Rbest_{i,j-1}, J = 0 (paper Sec. 3.2).
+    # Initial state: phi_{i,j} = Rbest_{i,j-1}, J = 0 (paper Sec. 3.2),
+    # unless a warm-start jitter vector resumes the sweep.
+    warm_used = False
     for i, tr in enumerate(work.transactions):
         for j in range(1, len(tr.tasks)):
             tr.tasks[j].offset = best[(i, j - 1)]
-            tr.tasks[j].jitter = 0.0
+            jit = 0.0
+            if warm_start is not None:
+                guess = warm_start.get((i, j), 0.0)
+                if guess > 0.0 and math.isfinite(guess):
+                    jit = guess
+                    warm_used = True
+            tr.tasks[j].jitter = jit
+
+    evaluations = 0
 
     def compute_one(i: int, j: int) -> float:
+        nonlocal evaluations
         if math.isinf(work.transactions[i].tasks[j].jitter):
             return UNSCHEDULABLE
         if config.method == "exact":
-            return response_time_exact(work, i, j, config=config).wcrt
-        return response_time_reduced(work, i, j, config=config).wcrt
+            res = response_time_exact(work, i, j, config=config)
+        else:
+            res = response_time_reduced(work, i, j, config=config)
+        evaluations += res.evaluations
+        return res.wcrt
 
     def compute_all() -> dict[tuple[int, int], float]:
         """One outer round.
@@ -128,6 +152,17 @@ def holistic_analysis(
     diverged = False
 
     for outer in range(config.max_outer_iterations):
+        # Jitter vector the round starts from.  The convergence test below
+        # must compare against *this* snapshot: the Gauss-Seidel scheme
+        # updates jitters mid-round, and comparing the refresh targets with
+        # those already-updated values declared convergence after a single
+        # round even though tasks analyzed early in the round never saw the
+        # later jitter growth (an unsound under-estimate).
+        start_jitters = {
+            (i, j): tr.tasks[j].jitter
+            for i, tr in enumerate(work.transactions)
+            for j in range(1, len(tr.tasks))
+        }
         responses = compute_all()
         if trace:
             rows.append(
@@ -146,14 +181,16 @@ def holistic_analysis(
             converged = True  # the fixed point is +inf; no point iterating
             break
 
-        # Jacobi refresh of the jitters (Eq. 18).
+        # Refresh of the jitters (Eq. 18).  Under Gauss-Seidel the in-round
+        # updates already equal these targets (jitters only grow), so the
+        # assignment is shared; only the change test needs the snapshot.
         changed = False
         for i, tr in enumerate(work.transactions):
             for j in range(1, len(tr.tasks)):
                 new_j = max(0.0, responses[(i, j - 1)] - best[(i, j - 1)])
-                if abs(new_j - tr.tasks[j].jitter) > config.tol:
-                    tr.tasks[j].jitter = new_j
+                if abs(new_j - start_jitters[(i, j)]) > config.tol:
                     changed = True
+                tr.tasks[j].jitter = new_j
         if not changed:
             converged = True
             break
@@ -197,4 +234,6 @@ def holistic_analysis(
         iterations=rows,
         outer_iterations=outer + 1,
         converged=converged,
+        evaluations=evaluations,
+        warm_started=warm_used,
     )

@@ -135,6 +135,17 @@ class SystemAnalysis:
     outer_iterations: int = 0
     #: True when the outer fixed point converged within the iteration cap.
     converged: bool = True
+    #: Total inner fixed-point evaluations across every outer round,
+    #: including the evaluations of divergent (unschedulable) solves.
+    evaluations: int = 0
+    #: True when the outer iteration was seeded from a warm-start jitter
+    #: vector instead of the cold J = 0 start.
+    warm_started: bool = False
+
+    def final_jitters(self) -> dict[tuple[int, int], float]:
+        """The converged jitter vector, usable as a warm start for the
+        analysis of a nearby system (e.g. the next cell of a sweep)."""
+        return {key: t.jitter for key, t in self.tasks.items()}
 
     def wcrt(self, i: int, j: int) -> float:
         """Worst-case response time of task ``(i, j)``."""

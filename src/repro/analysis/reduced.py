@@ -19,9 +19,9 @@ from repro.analysis._scenario import solve_scenario
 from repro.analysis.busy import (
     HPTask,
     build_views,
+    compile_w_transaction_k,
+    compile_w_transaction_star,
     starter_phase_of_analyzed,
-    w_transaction_k,
-    w_transaction_star,
 )
 from repro.analysis.interfaces import AnalysisConfig
 from repro.model.system import TransactionSystem
@@ -38,6 +38,8 @@ class ReducedResult:
     #: Task index (within the analyzed transaction) of the starter attaining
     #: the worst case; ``-1`` when the analyzed task itself starts.
     worst_starter: int | None
+    #: Inner fixed-point evaluations spent, divergent solves included.
+    evaluations: int = 0
 
 
 def _busy_bound(system: TransactionSystem, config: AnalysisConfig) -> float:
@@ -60,30 +62,33 @@ def response_time_reduced(
     bound = _busy_bound(system, config)
 
     candidates: list[HPTask | None] = list(own.tasks) + [None]
+    # Foreign transactions contribute W* regardless of the own-transaction
+    # starter: compile them once, outside the candidate loop.
+    others_w = [compile_w_transaction_star(view) for view in others]
 
     worst = float("-inf")
     worst_starter: int | None = None
     evaluated = 0
+    evaluations = 0
 
     for starter in candidates:
         phi_ab = starter_phase_of_analyzed(analyzed, starter)
+        own_w = compile_w_transaction_k(
+            own, starter,
+            starter_phi=analyzed.phi, starter_jitter=analyzed.jitter,
+        )
 
-        def interference(t: float, starter=starter) -> float:
-            total = w_transaction_k(
-                own,
-                starter,
-                t,
-                starter_phi=analyzed.phi,
-                starter_jitter=analyzed.jitter,
-            )
-            for view in others:
-                total += w_transaction_star(view, t)
+        def interference(t: float, own_w=own_w) -> float:
+            total = own_w(t)
+            for w_star in others_w:
+                total += w_star(t)
             return total
 
         outcome = solve_scenario(
             analyzed, phi_ab, interference, bound=bound, tol=config.tol
         )
         evaluated += 1
+        evaluations += outcome.evaluations
         if outcome.response > worst:
             worst = outcome.response
             worst_starter = starter.index if starter is not None else -1
@@ -96,5 +101,6 @@ def response_time_reduced(
             "the self-started scenario must always contain job p=p0"
         )
     return ReducedResult(
-        wcrt=worst, scenarios_evaluated=evaluated, worst_starter=worst_starter
+        wcrt=worst, scenarios_evaluated=evaluated, worst_starter=worst_starter,
+        evaluations=evaluations,
     )

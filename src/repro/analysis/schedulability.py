@@ -24,6 +24,7 @@ def analyze(
     best_case: str = "simple",
     trace: bool = False,
     config: AnalysisConfig | None = None,
+    warm_start: dict[tuple[int, int], float] | None = None,
 ) -> SystemAnalysis:
     """Analyze *system* and return response times plus the verdict.
 
@@ -41,6 +42,10 @@ def analyze(
         Table 3.
     config:
         Full configuration object; overrides *method*/*best_case* when given.
+    warm_start:
+        Initial jitter vector for the outer fixed point (see
+        :func:`repro.analysis.holistic.holistic_analysis`); used by the
+        campaign engine when sweeping a parameter upward.
 
     Examples
     --------
@@ -51,7 +56,9 @@ def analyze(
     """
     if config is None:
         config = AnalysisConfig(method=method, best_case=best_case)
-    return holistic_analysis(system, config=config, trace=trace)
+    return holistic_analysis(
+        system, config=config, trace=trace, warm_start=warm_start
+    )
 
 
 def is_schedulable(system: TransactionSystem, **kwargs) -> bool:

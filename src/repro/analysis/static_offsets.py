@@ -23,8 +23,8 @@ from repro.analysis.busy import (
     HPTask,
     TransactionView,
     build_views,
+    compile_w_transaction_k,
     starter_phase_of_analyzed,
-    w_transaction_k,
 )
 from repro.analysis.interfaces import AnalysisConfig
 from repro.model.system import TransactionSystem
@@ -42,6 +42,8 @@ class ExactResult:
     #: transaction encoded with starter index ``-1`` for "the task itself")
     #: attaining the worst case; ``None`` if no scenario constrained the task.
     worst_scenario: tuple[tuple[int, int], ...] | None
+    #: Inner fixed-point evaluations spent, divergent solves included.
+    evaluations: int = 0
 
 
 def _busy_bound(system: TransactionSystem, config: AnalysisConfig) -> float:
@@ -88,30 +90,41 @@ def response_time_exact(
     worst = float("-inf")
     worst_scenario: tuple[tuple[int, int], ...] | None = None
     evaluated = 0
+    evaluations = 0
+
+    # Every scenario reuses per-(view, starter) W closures: compile each
+    # foreign candidate once instead of once per element of the product.
+    others_w = [
+        {id(starter): compile_w_transaction_k(view, starter) for starter in cands}
+        for view, cands in zip(others, other_candidates)
+    ]
 
     for own_starter in own_candidates:
         phi_ab = starter_phase_of_analyzed(analyzed, own_starter)
+        # Own transaction: when the analyzed task itself starts the busy
+        # period (own_starter None) its reduced offset/jitter anchor the
+        # phases of its higher-priority siblings.
+        own_w = compile_w_transaction_k(
+            own, own_starter,
+            starter_phi=analyzed.phi, starter_jitter=analyzed.jitter,
+        )
         for combo in itertools.product(*other_candidates) if other_candidates else [()]:
+            combo_w = [
+                table[id(starter)]
+                for table, starter in zip(others_w, combo)
+            ]
 
-            def interference(t: float, combo=combo, own_starter=own_starter) -> float:
-                # Own transaction: when the analyzed task itself starts the
-                # busy period (own_starter None) its reduced offset/jitter
-                # anchor the phases of its higher-priority siblings.
-                total = w_transaction_k(
-                    own,
-                    own_starter,
-                    t,
-                    starter_phi=analyzed.phi,
-                    starter_jitter=analyzed.jitter,
-                )
-                for view, starter in zip(others, combo):
-                    total += w_transaction_k(view, starter, t)
+            def interference(t: float, own_w=own_w, combo_w=combo_w) -> float:
+                total = own_w(t)
+                for w_k in combo_w:
+                    total += w_k(t)
                 return total
 
             outcome = solve_scenario(
                 analyzed, phi_ab, interference, bound=bound, tol=config.tol
             )
             evaluated += 1
+            evaluations += outcome.evaluations
             if outcome.response > worst:
                 worst = outcome.response
                 key = [
@@ -127,6 +140,7 @@ def response_time_exact(
                     wcrt=float("inf"),
                     scenarios_evaluated=evaluated,
                     worst_scenario=worst_scenario,
+                    evaluations=evaluations,
                 )
 
     if worst == float("-inf"):
@@ -138,5 +152,6 @@ def response_time_exact(
             "the self-started scenario must always contain job p=p0"
         )
     return ExactResult(
-        wcrt=worst, scenarios_evaluated=evaluated, worst_scenario=worst_scenario
+        wcrt=worst, scenarios_evaluated=evaluated, worst_scenario=worst_scenario,
+        evaluations=evaluations,
     )

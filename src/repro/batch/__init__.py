@@ -1,0 +1,51 @@
+"""Parallel campaign engine for large-scale schedulability experiments.
+
+The paper's evaluation is a set of *campaigns*: generate many random
+transaction systems, analyze each with several methods (exact, reduced,
+holistic variants, classical special cases) and aggregate acceptance
+ratios and iteration counts.  This sub-package turns the per-benchmark
+ad-hoc loops into one engine:
+
+* :mod:`repro.batch.methods` -- a registry of named analysis methods
+  mapping a :class:`~repro.model.system.TransactionSystem` to a
+  structured :class:`~repro.batch.methods.MethodOutcome`;
+* :mod:`repro.batch.campaign` -- the :class:`~repro.batch.campaign.Campaign`
+  driver: a system generator, a parameter grid and a method list are
+  expanded into a cross-product of *cells*, executed serially or on a
+  :class:`concurrent.futures.ProcessPoolExecutor` with deterministic
+  per-cell seeds, chunked dispatch and warm-start chaining along the
+  sweep axis.  Results come back as ``CellResult``/``CampaignResult``
+  dataclasses with JSON/CSV export.
+
+The CLI front end is ``python -m repro campaign``.
+"""
+
+from repro.batch.methods import (
+    MethodOutcome,
+    available_methods,
+    register_method,
+    resolve_method,
+)
+from repro.batch.campaign import (
+    Campaign,
+    CampaignResult,
+    CampaignSpec,
+    CellResult,
+    available_generators,
+    register_generator,
+    run_campaign,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
+    "MethodOutcome",
+    "available_generators",
+    "available_methods",
+    "register_generator",
+    "register_method",
+    "resolve_method",
+    "run_campaign",
+]

@@ -1,0 +1,693 @@
+"""The campaign driver: grids, chunked parallel dispatch, structured results.
+
+A campaign is the cross-product of
+
+* a *generator* (named in :data:`GENERATORS`) drawing one transaction
+  system from ``(params, seed)``,
+* a parameter *grid* (axis name -> value list) over the generator params,
+* a list of *methods* (named in :mod:`repro.batch.methods`), and
+* ``systems_per_cell`` replicates with deterministic per-cell seeds.
+
+Execution model
+---------------
+Cells are grouped into *chains*: one chain holds all values of the sweep
+axis for a fixed (grid point, replicate).  The chain is the unit of
+sequential execution because consecutive sweep cells share their random
+seed -- the generators scale monotonically along the sweep (UUniFast draws
+are scale-invariant in the total utilization), so the converged jitter
+vector of cell *k* is a valid warm start for cell *k+1* (it lies below the
+new least fixed point, hence the outer iteration converges to the same
+fixed point in fewer rounds).  Chains are chunked and dispatched to a
+``ProcessPoolExecutor``; per-cell seeds derive from
+``numpy.random.SeedSequence`` so results are identical for any worker
+count, and cells are re-sorted into canonical order on collection.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.busy import clear_phase_cache, phase_cache_stats
+from repro.batch.methods import resolve_method
+from repro.gen import RandomSystemSpec, random_system
+from repro.model.system import TransactionSystem
+from repro.viz.csvout import write_csv
+from repro.viz.tables import format_table
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
+    "available_generators",
+    "register_generator",
+    "run_campaign",
+]
+
+
+# --------------------------------------------------------------------------
+# Generator registry
+# --------------------------------------------------------------------------
+
+GeneratorFn = Callable[[dict, int], TransactionSystem]
+
+
+def _gen_random_system(params: dict, seed: int) -> TransactionSystem:
+    kwargs = dict(params)
+    tpt = kwargs.get("tasks_per_transaction")
+    if isinstance(tpt, list):  # JSON round trips tuples as lists
+        kwargs["tasks_per_transaction"] = tuple(tpt)
+    return random_system(RandomSystemSpec(**kwargs), seed=seed)
+
+
+def _gen_paper(params: dict, seed: int) -> TransactionSystem:
+    del params, seed  # the example is fixed; grid axes select methods only
+    from repro.paper import sensor_fusion_system
+
+    return sensor_fusion_system()
+
+
+GENERATORS: dict[str, GeneratorFn] = {
+    "random_system": _gen_random_system,
+    "paper": _gen_paper,
+}
+
+
+def register_generator(name: str, fn: GeneratorFn) -> None:
+    """Register (or replace) a system generator under *name*.
+
+    With the default ``fork`` start method, generators registered before
+    ``Campaign.run`` are inherited by the pool workers.
+    """
+    GENERATORS[name] = fn
+
+
+def available_generators() -> list[str]:
+    """Sorted names of every registered generator."""
+    return sorted(GENERATORS)
+
+
+# --------------------------------------------------------------------------
+# Specification and result types
+# --------------------------------------------------------------------------
+
+
+def _jsonify(value: Any) -> Any:
+    """Tuples -> lists, recursively, so params survive a JSON round trip."""
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one campaign.
+
+    Parameters
+    ----------
+    grid:
+        Axis name -> list of values, cross-multiplied over the generator
+        params.  The sweep axis (see *sweep_axis*) is sorted ascending.
+    base:
+        Fixed generator params merged under every grid point.
+    methods:
+        Names from :mod:`repro.batch.methods`.
+    systems_per_cell:
+        Replicates per grid cell; each replicate has its own seed.
+    seed:
+        Campaign master seed.  Per-cell seeds derive deterministically from
+        ``(seed, grid point index, replicate)`` -- the sweep axis is
+        excluded on purpose, so every sweep level sees the *same* systems
+        (paired samples, and the precondition for warm-start chaining).
+    generator:
+        Name from :func:`available_generators`.
+    sweep_axis:
+        The grid axis that forms warm-start chains; defaults to
+        ``"utilization"`` when that axis is present, else no chaining.
+    warm_start:
+        Chain the converged jitter vector along the sweep axis into the
+        next cell's analysis (methods that support it only).
+    """
+
+    grid: dict[str, tuple] = field(default_factory=dict)
+    base: dict[str, Any] = field(default_factory=dict)
+    methods: tuple[str, ...] = ("reduced",)
+    systems_per_cell: int = 1
+    seed: int = 0
+    generator: str = "random_system"
+    sweep_axis: str | None = None
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.systems_per_cell < 1:
+            raise ValueError("systems_per_cell must be >= 1")
+        if not self.methods:
+            raise ValueError("at least one method is required")
+        object.__setattr__(
+            self, "grid", {k: tuple(v) for k, v in self.grid.items()}
+        )
+        object.__setattr__(self, "methods", tuple(self.methods))
+        for axis, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid axis {axis!r} has no values")
+        sweep = self.sweep_axis
+        if sweep is None and "utilization" in self.grid:
+            sweep = "utilization"
+        if sweep is not None and sweep not in self.grid:
+            raise ValueError(f"sweep_axis {sweep!r} is not a grid axis")
+        object.__setattr__(self, "sweep_axis", sweep)
+        if sweep is not None:
+            object.__setattr__(
+                self,
+                "grid",
+                {
+                    k: tuple(sorted(v)) if k == sweep else tuple(v)
+                    for k, v in self.grid.items()
+                },
+            )
+
+    # -- planning ---------------------------------------------------------
+
+    def points(self) -> list[dict[str, Any]]:
+        """Cross product of the non-sweep axes, in grid insertion order."""
+        axes = [a for a in self.grid if a != self.sweep_axis]
+        points: list[dict[str, Any]] = [{}]
+        for axis in axes:
+            points = [
+                {**p, axis: v} for p in points for v in self.grid[axis]
+            ]
+        return points
+
+    def sweep_values(self) -> tuple:
+        return self.grid[self.sweep_axis] if self.sweep_axis else (None,)
+
+    def n_cells(self) -> int:
+        return len(self.points()) * len(self.sweep_values()) * self.systems_per_cell
+
+    def n_analyses(self) -> int:
+        return self.n_cells() * len(self.methods)
+
+    def cell_seed(self, point_index: int, replicate: int) -> int:
+        """Deterministic seed shared by every sweep level of a chain."""
+        ss = np.random.SeedSequence((self.seed, point_index, replicate))
+        return int(ss.generate_state(1)[0])
+
+    def to_dict(self) -> dict:
+        return {
+            "grid": {k: _jsonify(list(v)) for k, v in self.grid.items()},
+            "base": _jsonify(self.base),
+            "methods": list(self.methods),
+            "systems_per_cell": self.systems_per_cell,
+            "seed": self.seed,
+            "generator": self.generator,
+            "sweep_axis": self.sweep_axis,
+            "warm_start": self.warm_start,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        return cls(
+            grid={k: tuple(v) for k, v in data.get("grid", {}).items()},
+            base=dict(data.get("base", {})),
+            methods=tuple(data.get("methods", ("reduced",))),
+            systems_per_cell=int(data.get("systems_per_cell", 1)),
+            seed=int(data.get("seed", 0)),
+            generator=data.get("generator", "random_system"),
+            sweep_axis=data.get("sweep_axis"),
+            warm_start=bool(data.get("warm_start", True)),
+        )
+
+
+@dataclass
+class CellResult:
+    """One (generated system, method) outcome."""
+
+    #: Full generator params of the cell (base + grid point + sweep value).
+    params: dict[str, Any]
+    seed: int
+    replicate: int
+    method: str
+    schedulable: bool
+    converged: bool
+    outer_iterations: int
+    evaluations: int
+    warm_started: bool
+    max_wcrt_ratio: float
+    time_s: float
+    phase_cache_hits: int
+    phase_cache_misses: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        return cls(**data)
+
+
+#: CellResult fields compared by the determinism tests and the CSV export;
+#: wall-clock timing is intentionally excluded.
+CELL_METRIC_FIELDS = (
+    "schedulable",
+    "converged",
+    "outer_iterations",
+    "evaluations",
+    "warm_started",
+    "max_wcrt_ratio",
+    "phase_cache_hits",
+    "phase_cache_misses",
+)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, with aggregation and export."""
+
+    spec: dict
+    cells: list[CellResult]
+    workers: int
+    wall_time_s: float
+
+    # -- aggregate views --------------------------------------------------
+
+    @property
+    def n_analyses(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_systems(self) -> int:
+        """Distinct generated systems (cells / methods)."""
+        methods = len(self.spec.get("methods", [])) or 1
+        return len(self.cells) // methods
+
+    @property
+    def systems_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return self.n_systems / self.wall_time_s
+
+    @property
+    def analyses_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return self.n_analyses / self.wall_time_s
+
+    def _cell_point_key(self, cell: CellResult) -> tuple:
+        axes = list(self.spec.get("grid", {}))
+        return tuple((a, _freeze(cell.params.get(a))) for a in axes)
+
+    def acceptance(self) -> list[dict[str, Any]]:
+        """Acceptance ratio and mean accounting per (grid cell, method).
+
+        Rows are ordered by grid point then method, ready for tabulation or
+        :func:`repro.viz.csvout.write_csv`.
+        """
+        groups: dict[tuple, list[CellResult]] = {}
+        order: list[tuple] = []
+        for cell in self.cells:
+            key = (self._cell_point_key(cell), cell.method)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(cell)
+        rows = []
+        for point, method in order:
+            cells = groups[(point, method)]
+            n = len(cells)
+            accepted = sum(c.schedulable for c in cells)
+            rows.append(
+                {
+                    **{axis: value for axis, value in point},
+                    "method": method,
+                    "n": n,
+                    "accepted": accepted,
+                    "ratio": accepted / n,
+                    "mean_outer_iterations": sum(
+                        c.outer_iterations for c in cells
+                    ) / n,
+                    "mean_evaluations": sum(c.evaluations for c in cells) / n,
+                    "mean_time_s": sum(c.time_s for c in cells) / n,
+                }
+            )
+        return rows
+
+    def accounting(self) -> dict[str, Any]:
+        """Iteration/evaluation accounting, split warm vs cold.
+
+        The warm/cold split is the campaign's own speedup report: warm
+        cells resumed the outer fixed point from the previous sweep level's
+        jitters, cold cells started from ``J = 0``.
+        """
+        warm = [c for c in self.cells if c.warm_started]
+        cold = [c for c in self.cells if not c.warm_started]
+
+        def bucket(cells: list[CellResult]) -> dict[str, float]:
+            n = len(cells)
+            if n == 0:
+                return {
+                    "cells": 0,
+                    "evaluations": 0,
+                    "outer_iterations": 0,
+                    "mean_evaluations": 0.0,
+                    "mean_outer_iterations": 0.0,
+                    "time_s": 0.0,
+                }
+            return {
+                "cells": n,
+                "evaluations": sum(c.evaluations for c in cells),
+                "outer_iterations": sum(c.outer_iterations for c in cells),
+                "mean_evaluations": sum(c.evaluations for c in cells) / n,
+                "mean_outer_iterations": sum(
+                    c.outer_iterations for c in cells
+                ) / n,
+                "time_s": sum(c.time_s for c in cells),
+            }
+
+        hits = sum(c.phase_cache_hits for c in self.cells)
+        misses = sum(c.phase_cache_misses for c in self.cells)
+        return {
+            "analyses": self.n_analyses,
+            "systems": self.n_systems,
+            "wall_time_s": self.wall_time_s,
+            "systems_per_second": self.systems_per_second,
+            "analyses_per_second": self.analyses_per_second,
+            "evaluations_total": sum(c.evaluations for c in self.cells),
+            "outer_iterations_total": sum(
+                c.outer_iterations for c in self.cells
+            ),
+            "warm": bucket(warm),
+            "cold": bucket(cold),
+            "phase_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": hits / (hits + misses) if hits + misses else 0.0,
+            },
+        }
+
+    def metrics(self) -> list[tuple]:
+        """Canonical tuple view of every cell, without wall-clock timing --
+        what determinism comparisons should use.  NaN metric values are
+        mapped to ``None`` so that equal runs compare equal."""
+        def norm(v: Any) -> Any:
+            if isinstance(v, float) and math.isnan(v):
+                return None
+            return v
+
+        return [
+            (
+                tuple(sorted((k, _freeze(v)) for k, v in c.params.items())),
+                c.seed,
+                c.replicate,
+                c.method,
+            )
+            + tuple(norm(getattr(c, f)) for f in CELL_METRIC_FIELDS)
+            for c in self.cells
+        ]
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            spec=data["spec"],
+            cells=[CellResult.from_dict(c) for c in data["cells"]],
+            workers=int(data.get("workers", 1)),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+        )
+
+    def save_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "CampaignResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def write_cells_csv(self, path: str | Path) -> Path:
+        """Flat per-cell CSV: one row per (system, method) analysis."""
+        param_keys = sorted({k for c in self.cells for k in c.params})
+        header = (
+            param_keys
+            + ["seed", "replicate", "method"]
+            + list(CELL_METRIC_FIELDS)
+            + ["time_s"]
+        )
+        rows = [
+            [_csv_value(c.params.get(k)) for k in param_keys]
+            + [c.seed, c.replicate, c.method]
+            + [_csv_value(getattr(c, f)) for f in CELL_METRIC_FIELDS]
+            + [c.time_s]
+            for c in self.cells
+        ]
+        return write_csv(path, header, rows)
+
+    def write_acceptance_csv(self, path: str | Path) -> Path:
+        rows = self.acceptance()
+        if not rows:
+            return write_csv(path, [], [])
+        header = list(rows[0].keys())
+        return write_csv(
+            path, header, [[_csv_value(r[h]) for h in header] for r in rows]
+        )
+
+    def format_summary(self) -> str:
+        """Human-readable acceptance table plus the accounting footer."""
+        rows = self.acceptance()
+        if not rows:
+            return "(empty campaign)"
+        axes = [k for k in rows[0] if k not in (
+            "method", "n", "accepted", "ratio",
+            "mean_outer_iterations", "mean_evaluations", "mean_time_s",
+        )]
+        header = axes + ["method", "n", "ratio", "outer", "evals", "ms"]
+        body = [
+            [f"{r[a]:g}" if isinstance(r[a], float) else str(r[a]) for a in axes]
+            + [
+                r["method"],
+                str(r["n"]),
+                f"{r['ratio']:.2f}",
+                f"{r['mean_outer_iterations']:.1f}",
+                f"{r['mean_evaluations']:.0f}",
+                f"{r['mean_time_s'] * 1e3:.2f}",
+            ]
+            for r in rows
+        ]
+        acc = self.accounting()
+        footer = (
+            f"\n{acc['systems']} systems x {len(self.spec.get('methods', []))} "
+            f"method(s) = {acc['analyses']} analyses in "
+            f"{acc['wall_time_s']:.2f}s "
+            f"({acc['systems_per_second']:.1f} systems/s, "
+            f"workers={self.workers})\n"
+            f"evaluations: {acc['evaluations_total']} total; warm cells "
+            f"{acc['warm']['cells']} @ {acc['warm']['mean_evaluations']:.0f} "
+            f"evals/cell vs cold {acc['cold']['cells']} @ "
+            f"{acc['cold']['mean_evaluations']:.0f}\n"
+            f"phase cache: {acc['phase_cache']['hits']} hits / "
+            f"{acc['phase_cache']['misses']} misses "
+            f"(hit ratio {acc['phase_cache']['hit_ratio']:.2f})"
+        )
+        title = (
+            f"campaign: generator={self.spec.get('generator')} "
+            f"seed={self.spec.get('seed')}"
+        )
+        return format_table(header, body, title=title) + footer
+
+
+def _freeze(value: Any) -> Any:
+    """Hashable view of a params value (lists -> tuples)."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _csv_value(value: Any) -> Any:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (list, tuple)):
+        return "x".join(str(v) for v in value)
+    if value is None:
+        return ""
+    return value
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+
+
+def _run_chain(spec: CampaignSpec, chain: dict) -> list[dict]:
+    """Execute one warm-start chain; returns tagged cell dicts."""
+    point: dict[str, Any] = chain["point"]
+    seed: int = chain["seed"]
+    replicate: int = chain["replicate"]
+    chain_index: int = chain["index"]
+
+    warm: dict[str, dict | None] = {m: None for m in spec.methods}
+    out: list[dict] = []
+    for step, sweep_value in enumerate(spec.sweep_values()):
+        params = dict(spec.base)
+        params.update(point)
+        if spec.sweep_axis is not None:
+            params[spec.sweep_axis] = sweep_value
+        system = GENERATORS[spec.generator](params, seed)
+        # A fresh cache per sweep step keeps per-cell hit/miss accounting
+        # independent of which worker ran the previous chain.
+        clear_phase_cache()
+        for m_idx, name in enumerate(spec.methods):
+            fn, supports_warm = resolve_method(name)
+            warm_vector = (
+                warm[name] if (spec.warm_start and supports_warm) else None
+            )
+            hits0, misses0 = phase_cache_stats()
+            t0 = time.perf_counter()
+            outcome = fn(system, warm_vector)
+            dt = time.perf_counter() - t0
+            hits1, misses1 = phase_cache_stats()
+            warm[name] = outcome.jitters
+            out.append(
+                {
+                    "order": (chain_index, step, m_idx),
+                    "cell": {
+                        "params": _jsonify(params),
+                        "seed": seed,
+                        "replicate": replicate,
+                        "method": name,
+                        "schedulable": bool(outcome.schedulable),
+                        "converged": bool(outcome.converged),
+                        "outer_iterations": int(outcome.outer_iterations),
+                        "evaluations": int(outcome.evaluations),
+                        "warm_started": bool(outcome.warm_started),
+                        "max_wcrt_ratio": float(outcome.max_wcrt_ratio),
+                        "time_s": dt,
+                        "phase_cache_hits": hits1 - hits0,
+                        "phase_cache_misses": misses1 - misses0,
+                        "extras": _jsonify(outcome.extras),
+                    },
+                }
+            )
+    return out
+
+
+def _run_chunk(payload: tuple[dict, list[dict]]) -> list[dict]:
+    """Worker entry point: a chunk is a list of chains."""
+    spec_dict, chains = payload
+    spec = CampaignSpec.from_dict(spec_dict)
+    results: list[dict] = []
+    for chain in chains:
+        results.extend(_run_chain(spec, chain))
+    return results
+
+
+class Campaign:
+    """A configured campaign, ready to run.
+
+    >>> from repro.batch import Campaign, CampaignSpec
+    >>> spec = CampaignSpec(
+    ...     grid={"utilization": (0.3, 0.6)},
+    ...     base={"n_platforms": 2, "n_transactions": 2,
+    ...           "tasks_per_transaction": (1, 2)},
+    ...     methods=("reduced",),
+    ...     systems_per_cell=2,
+    ... )
+    >>> result = Campaign(spec).run(workers=1)
+    >>> result.n_systems
+    4
+    """
+
+    def __init__(self, spec: CampaignSpec):
+        if spec.generator not in GENERATORS:
+            raise KeyError(
+                f"unknown generator {spec.generator!r}; "
+                f"known: {', '.join(available_generators())}"
+            )
+        for name in spec.methods:
+            resolve_method(name)  # raises on unknown names
+        self.spec = spec
+
+    def chains(self) -> list[dict]:
+        """The planned chains (sequential units of execution)."""
+        chains = []
+        for p_idx, point in enumerate(self.spec.points()):
+            for rep in range(self.spec.systems_per_cell):
+                chains.append(
+                    {
+                        "index": len(chains),
+                        "point": point,
+                        "replicate": rep,
+                        "seed": self.spec.cell_seed(p_idx, rep),
+                    }
+                )
+        return chains
+
+    def run(
+        self,
+        *,
+        workers: int = 1,
+        chunk_size: int | None = None,
+    ) -> CampaignResult:
+        """Execute the campaign and return a :class:`CampaignResult`.
+
+        ``workers == 1`` runs inline (same code path as the pool workers);
+        any worker count produces identical metrics for the same spec.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        chains = self.chains()
+        spec_dict = self.spec.to_dict()
+        t0 = time.perf_counter()
+
+        tagged: list[dict] = []
+        if workers == 1 or len(chains) <= 1:
+            tagged = _run_chunk((spec_dict, chains))
+        else:
+            if chunk_size is None:
+                chunk_size = max(1, math.ceil(len(chains) / (workers * 4)))
+            chunks = [
+                chains[i:i + chunk_size]
+                for i in range(0, len(chains), chunk_size)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for part in pool.map(
+                    _run_chunk, [(spec_dict, chunk) for chunk in chunks]
+                ):
+                    tagged.extend(part)
+
+        wall = time.perf_counter() - t0
+        tagged.sort(key=lambda item: item["order"])
+        cells = [CellResult.from_dict(item["cell"]) for item in tagged]
+        return CampaignResult(
+            spec=spec_dict, cells=cells, workers=workers, wall_time_s=wall
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec, *, workers: int = 1, chunk_size: int | None = None
+) -> CampaignResult:
+    """Convenience one-call front end to :class:`Campaign`."""
+    return Campaign(spec).run(workers=workers, chunk_size=chunk_size)

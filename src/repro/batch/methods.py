@@ -1,0 +1,180 @@
+"""Registry of named analysis methods for campaign experiments.
+
+A *method* maps a transaction system to a :class:`MethodOutcome`: the
+schedulability verdict plus the accounting the campaign report aggregates
+(outer rounds, inner fixed-point evaluations, warm-start usage).  The
+built-in entries cover the paper's comparison axes:
+
+``reduced``
+    The holistic analysis with the reduced per-task bound (Sec. 3.1.2) and
+    the paper's Jacobi outer update -- the method Table 3 traces.
+``gauss_seidel``
+    Same fixed point, Gauss-Seidel outer update: each fresh response feeds
+    its successor within the round, converging in fewer (but individually
+    costlier) rounds.
+``exact``
+    The holistic analysis with the exact scenario enumeration (Sec. 3.1.1);
+    guard the combinatorics with small systems.
+``dedicated``
+    The classical special case :math:`(\\alpha, \\Delta, \\beta) = (1,0,0)`:
+    every platform replaced by a dedicated full-speed processor (the
+    optimistic baseline of benchmark E9/E16).
+``compositional``
+    The prior-art per-component admission ([12], [7] in the paper): each
+    platform-local task set tested in isolation with
+    :func:`repro.analysis.compositional.fp_component_schedulable`, blind to
+    cross-platform offsets and jitters (benchmark E13's baseline).
+
+Custom methods register with :func:`register_method`; under the default
+``fork`` start method of the process pool, registrations made before
+``Campaign.run`` are visible to the workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis import AnalysisConfig, analyze, analyze_dedicated
+from repro.analysis.compositional import LocalTask, fp_component_schedulable
+from repro.analysis.interfaces import SystemAnalysis
+from repro.model.system import TransactionSystem
+from repro.util.fixedpoint import fixed_point_stats
+
+__all__ = [
+    "MethodOutcome",
+    "available_methods",
+    "register_method",
+    "resolve_method",
+]
+
+
+@dataclass
+class MethodOutcome:
+    """What one method reports for one generated system."""
+
+    #: The method's acceptance verdict.
+    schedulable: bool
+    #: Whether the method's iteration converged (always True for
+    #: non-iterative methods).
+    converged: bool = True
+    #: Outer (dynamic-offset) rounds performed.
+    outer_iterations: int = 0
+    #: Inner fixed-point evaluations, divergent solves included.
+    evaluations: int = 0
+    #: Largest ``wcrt / deadline`` over the transactions (inf when some
+    #: busy period failed to close; NaN when the method has no such notion).
+    max_wcrt_ratio: float = float("nan")
+    #: Whether the analysis resumed from a warm-start jitter vector.
+    warm_started: bool = False
+    #: Final jitter vector for warm-start chaining along a sweep; never
+    #: serialized into cell results.
+    jitters: dict[tuple[int, int], float] | None = None
+    #: Method-specific extra scalars, copied verbatim into the cell result.
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+MethodFn = Callable[
+    [TransactionSystem, "dict[tuple[int, int], float] | None"], MethodOutcome
+]
+
+
+def outcome_from_analysis(result: SystemAnalysis) -> MethodOutcome:
+    """Convert a :class:`SystemAnalysis` into a :class:`MethodOutcome`."""
+    ratio = max(
+        (r / d if d > 0 else float("inf"))
+        for r, d in zip(result.transaction_wcrt, result.transaction_deadline)
+    )
+    jitters = result.final_jitters()
+    usable_warm = result.converged and all(
+        math.isfinite(v) for v in jitters.values()
+    )
+    return MethodOutcome(
+        schedulable=result.schedulable,
+        converged=result.converged,
+        outer_iterations=result.outer_iterations,
+        evaluations=result.evaluations,
+        max_wcrt_ratio=ratio,
+        warm_started=result.warm_started,
+        jitters=jitters if usable_warm else None,
+    )
+
+
+def _holistic_method(config: AnalysisConfig, *, dedicated: bool = False) -> MethodFn:
+    def run(
+        system: TransactionSystem,
+        warm_start: dict[tuple[int, int], float] | None,
+    ) -> MethodOutcome:
+        runner = analyze_dedicated if dedicated else analyze
+        before = fixed_point_stats()
+        result = runner(system, config=config, warm_start=warm_start)
+        stats = fixed_point_stats().delta(before)
+        outcome = outcome_from_analysis(result)
+        # Cross-checkable accounting: the driver-level counters must agree
+        # with the per-result evaluations threaded up through the analyses.
+        outcome.extras["fp_solves"] = stats.solves
+        outcome.extras["fp_diverged"] = stats.diverged
+        outcome.extras["fp_evaluations"] = stats.evaluations
+        return outcome
+
+    return run
+
+
+def _compositional_method(
+    system: TransactionSystem,
+    warm_start: dict[tuple[int, int], float] | None,
+) -> MethodOutcome:
+    del warm_start  # per-component admission has no outer fixed point
+    verdicts = []
+    for m, platform in enumerate(system.platforms):
+        local = [
+            LocalTask(
+                wcet=task.wcet,
+                period=system.transactions[i].period,
+                priority=task.priority,
+                name=task.name,
+            )
+            for i, _j, task in system.tasks_on(m)
+        ]
+        verdicts.append(bool(fp_component_schedulable(local, platform)))
+    return MethodOutcome(
+        schedulable=all(verdicts),
+        extras={"platforms_accepted": sum(verdicts), "platforms": len(verdicts)},
+    )
+
+
+#: name -> (method function, supports warm-start chaining)
+_METHODS: dict[str, tuple[MethodFn, bool]] = {
+    "reduced": (_holistic_method(AnalysisConfig(method="reduced")), True),
+    "gauss_seidel": (
+        _holistic_method(AnalysisConfig(method="reduced", update="gauss_seidel")),
+        True,
+    ),
+    "exact": (_holistic_method(AnalysisConfig(method="exact")), True),
+    "dedicated": (_holistic_method(AnalysisConfig(), dedicated=True), True),
+    "compositional": (_compositional_method, False),
+}
+
+
+def register_method(
+    name: str, fn: MethodFn, *, supports_warm_start: bool = False
+) -> None:
+    """Register (or replace) a campaign method under *name*."""
+    _METHODS[name] = (fn, supports_warm_start)
+
+
+def resolve_method(name: str) -> tuple[MethodFn, bool]:
+    """Look up a method; raises :class:`KeyError` with the known names."""
+    try:
+        return _METHODS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign method {name!r}; "
+            f"known methods: {', '.join(sorted(_METHODS))}"
+        ) from None
+
+
+def available_methods() -> list[str]:
+    """Sorted names of every registered method."""
+    return sorted(_METHODS)

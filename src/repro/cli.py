@@ -9,6 +9,8 @@ Operates on JSON system files (see :mod:`repro.io.spec` for the schema):
    $ python -m repro validate system.json [--seeds 0,1,2]
    $ python -m repro design system.json [--rate-tol X]
    $ python -m repro example --out system.json   # dump the paper example
+   $ python -m repro campaign --grid utilization=0.3:0.9:5 --systems 100 \\
+         --methods reduced,dedicated --workers 4   # acceptance-ratio sweep
 
 Exit status: 0 when the system is schedulable (or the command succeeded),
 1 when unschedulable / bounds violated, 2 on usage errors.
@@ -91,7 +93,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ex = sub.add_parser("example", help="dump the paper's example system")
     p_ex.add_argument("--out", help="output path (default: stdout)")
+
+    p_cp = sub.add_parser(
+        "campaign",
+        help="parallel schedulability campaign over random systems",
+        description="Run a grid of analysis campaigns: generate random "
+        "transaction systems per grid cell, analyze each with the chosen "
+        "methods on a process pool, and aggregate acceptance ratios and "
+        "iteration accounting.",
+    )
+    p_cp.add_argument(
+        "--grid", action="append", default=[], metavar="AXIS=SPEC",
+        help="grid axis: AXIS=start:stop:count (linspace) or AXIS=v1,v2,... "
+        "(repeatable; default 'utilization=0.3:0.9:5')",
+    )
+    p_cp.add_argument("--transactions", type=int, default=3,
+                      help="transactions per system (default 3)")
+    p_cp.add_argument("--platforms", type=int, default=2,
+                      help="abstract platforms per system (default 2)")
+    p_cp.add_argument("--tasks", default="1,3", metavar="LO,HI",
+                      help="tasks per transaction range (default 1,3)")
+    p_cp.add_argument("--deadline-factor", type=float, default=1.0)
+    p_cp.add_argument("--systems", type=int, default=20,
+                      help="random systems per grid cell (default 20)")
+    p_cp.add_argument("--methods", default="reduced",
+                      help="comma-separated method names (default 'reduced')")
+    p_cp.add_argument("--generator", default="random_system")
+    p_cp.add_argument("--seed", type=int, default=0)
+    p_cp.add_argument("--workers", type=int, default=1,
+                      help="process-pool size; 1 runs inline")
+    p_cp.add_argument("--chunk-size", type=int, default=None,
+                      help="chains per pool task (default: auto)")
+    p_cp.add_argument("--no-warm-start", action="store_true",
+                      help="disable warm-start chaining along the sweep axis")
+    p_cp.add_argument("--json", dest="json_out", metavar="PATH",
+                      help="write the full CampaignResult as JSON")
+    p_cp.add_argument("--csv", dest="csv_out", metavar="PATH",
+                      help="write the per-cell table as CSV")
+    p_cp.add_argument("--acceptance-csv", metavar="PATH",
+                      help="write the aggregated acceptance table as CSV")
     return parser
+
+
+def _parse_grid_axis(text: str) -> tuple[str, tuple]:
+    """Parse ``axis=start:stop:count`` or ``axis=v1,v2,...``."""
+    if "=" not in text:
+        raise ValueError(f"grid axis {text!r} must look like AXIS=SPEC")
+    axis, spec = text.split("=", 1)
+    axis = axis.strip()
+    spec = spec.strip()
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError(
+                f"grid range {spec!r} must be start:stop:count"
+            )
+        start, stop, count = float(parts[0]), float(parts[1]), int(parts[2])
+        if count < 1:
+            raise ValueError(f"grid range {spec!r} needs count >= 1")
+        if count == 1:
+            return axis, (start,)
+        step = (stop - start) / (count - 1)
+        return axis, tuple(start + k * step for k in range(count))
+    values = tuple(float(v) for v in spec.split(",") if v != "")
+    if not values:
+        raise ValueError(f"grid axis {text!r} has no values")
+    # Integer axes (e.g. n_transactions) should stay integers.
+    if all(v == int(v) for v in values) and "." not in spec:
+        return axis, tuple(int(v) for v in values)
+    return axis, values
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -247,6 +317,70 @@ def _cmd_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.batch import Campaign, CampaignSpec
+
+    grid_specs = args.grid or ["utilization=0.3:0.9:5"]
+    grid: dict[str, tuple] = {}
+    for text in grid_specs:
+        axis, values = _parse_grid_axis(text)
+        grid[axis] = values
+
+    try:
+        lo, hi = (int(x) for x in args.tasks.split(","))
+    except ValueError:
+        raise ValueError(
+            f"--tasks must be LO,HI (two integers), got {args.tasks!r}"
+        ) from None
+    base = {
+        "n_platforms": args.platforms,
+        "n_transactions": args.transactions,
+        "tasks_per_transaction": (lo, hi),
+        "deadline_factor": args.deadline_factor,
+    }
+    if args.generator != "random_system":
+        # Custom generators define their own parameter space; make the
+        # discard of random_system shape flags visible instead of silent.
+        defaults = {"transactions": 3, "platforms": 2, "tasks": "1,3",
+                    "deadline_factor": 1.0}
+        overridden = [
+            f"--{name.replace('_', '-')}"
+            for name, default in defaults.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            print(
+                f"warning: generator {args.generator!r} ignores "
+                f"{', '.join(overridden)} (random_system shape flags)",
+                file=sys.stderr,
+            )
+        base = {}
+
+    spec = CampaignSpec(
+        grid=grid,
+        base=base,
+        methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
+        systems_per_cell=args.systems,
+        seed=args.seed,
+        generator=args.generator,
+        warm_start=not args.no_warm_start,
+    )
+    result = Campaign(spec).run(
+        workers=args.workers, chunk_size=args.chunk_size
+    )
+    print(result.format_summary())
+    if args.json_out:
+        print(f"campaign result written to {result.save_json(args.json_out)}")
+    if args.csv_out:
+        print(f"per-cell CSV written to {result.write_cells_csv(args.csv_out)}")
+    if args.acceptance_csv:
+        print(
+            "acceptance CSV written to "
+            f"{result.write_acceptance_csv(args.acceptance_csv)}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
@@ -255,6 +389,7 @@ _COMMANDS = {
     "derive": _cmd_derive,
     "gantt": _cmd_gantt,
     "example": _cmd_example,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -136,13 +136,21 @@ class ServerSupply(SupplyProcess):
         return start, start + self.budget
 
     def rate_at(self, t: float) -> float:
+        # floor(t / P) can misround by one period when t sits exactly on a
+        # boundary (t = k*P computed as a float): with early placement the
+        # event walk lands on those boundaries every period, and resolving
+        # only period k made the simulator lose entire budget windows (the
+        # differential harness caught this as analysis-bound violations).
         k = int(math.floor(t / self.period))
-        s, e = self._window(k)
-        return 1.0 if s <= t < e else 0.0
+        for kk in (k - 1, k, k + 1):
+            s, e = self._window(kk)
+            if s <= t < e:
+                return 1.0
+        return 0.0
 
     def next_change(self, t: float) -> float:
         k = int(math.floor(t / self.period))
-        for kk in (k, k + 1):
+        for kk in (k - 1, k, k + 1):
             s, e = self._window(kk)
             if s > t:
                 return s

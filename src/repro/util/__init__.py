@@ -28,8 +28,11 @@ from repro.util.math import (
 from repro.util.fixedpoint import (
     FixedPointDiverged,
     FixedPointResult,
+    FixedPointStats,
+    fixed_point_stats,
     iterate_fixed_point,
     iterate_monotone,
+    reset_fixed_point_stats,
 )
 from repro.util.validation import (
     check_finite,
@@ -52,8 +55,11 @@ __all__ = [
     "safe_div",
     "FixedPointDiverged",
     "FixedPointResult",
+    "FixedPointStats",
+    "fixed_point_stats",
     "iterate_fixed_point",
     "iterate_monotone",
+    "reset_fixed_point_stats",
     "check_finite",
     "check_in_range",
     "check_non_negative",

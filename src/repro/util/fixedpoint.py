@@ -11,7 +11,7 @@ harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.util.math import EPS
@@ -19,9 +19,62 @@ from repro.util.math import EPS
 __all__ = [
     "FixedPointDiverged",
     "FixedPointResult",
+    "FixedPointStats",
+    "fixed_point_stats",
     "iterate_fixed_point",
     "iterate_monotone",
+    "reset_fixed_point_stats",
 ]
+
+
+@dataclass
+class FixedPointStats:
+    """Process-wide evaluation accounting of the iteration drivers.
+
+    The counters include *divergent* solves: a busy period that fails to
+    close still costs its evaluations, and the campaign engine charges them
+    to the analysis that triggered them (historically the counts carried by
+    :class:`FixedPointDiverged` were discarded by every caller, making
+    aggregate iteration reports undercount unschedulable cells).
+    """
+
+    #: Total evaluations of iterated maps (convergent and divergent solves).
+    evaluations: int = 0
+    #: Number of completed solves (convergent or divergent).
+    solves: int = 0
+    #: Number of solves that ended in :class:`FixedPointDiverged`.
+    diverged: int = 0
+    #: Number of solves that began from a caller-supplied warm start.
+    warm_started: int = 0
+
+    def snapshot(self) -> "FixedPointStats":
+        return replace(self)
+
+    def delta(self, before: "FixedPointStats") -> "FixedPointStats":
+        """Counters accumulated since *before* was snapshotted."""
+        return FixedPointStats(
+            evaluations=self.evaluations - before.evaluations,
+            solves=self.solves - before.solves,
+            diverged=self.diverged - before.diverged,
+            warm_started=self.warm_started - before.warm_started,
+        )
+
+
+#: Module-global accounting; per-process (each campaign worker owns its own).
+_STATS = FixedPointStats()
+
+
+def fixed_point_stats() -> FixedPointStats:
+    """A snapshot of the process-wide iteration counters."""
+    return _STATS.snapshot()
+
+
+def reset_fixed_point_stats() -> None:
+    """Zero the process-wide iteration counters."""
+    _STATS.evaluations = 0
+    _STATS.solves = 0
+    _STATS.diverged = 0
+    _STATS.warm_started = 0
 
 
 class FixedPointDiverged(RuntimeError):
@@ -61,6 +114,7 @@ def iterate_fixed_point(
     bound: float = float("inf"),
     max_iterations: int = 100_000,
     tol: float = EPS,
+    warm_start: float | None = None,
 ) -> FixedPointResult:
     """Iterate ``x <- func(x)`` from *start* until two iterates agree.
 
@@ -81,6 +135,12 @@ def iterate_fixed_point(
         Safety cap independent of *bound*.
     tol:
         Absolute convergence tolerance between successive iterates.
+    warm_start:
+        Optional better initial iterate, typically the fixed point of a
+        nearby problem (the previous cell of a parameter sweep).  Iteration
+        begins from ``max(start, warm_start)``; for a monotone map this
+        converges to the same least fixed point as starting from *start*
+        whenever ``warm_start`` does not exceed that fixed point.
 
     Raises
     ------
@@ -88,9 +148,15 @@ def iterate_fixed_point(
         If an iterate exceeds *bound* or the iteration cap is hit.
     """
     x = start
+    if warm_start is not None and warm_start > start:
+        x = warm_start
+        _STATS.warm_started += 1
     for n in range(1, max_iterations + 1):
         nxt = func(x)
         if nxt > bound:
+            _STATS.evaluations += n
+            _STATS.solves += 1
+            _STATS.diverged += 1
             raise FixedPointDiverged(
                 f"fixed-point iteration exceeded bound {bound!r} "
                 f"after {n} iterations (last value {nxt!r})",
@@ -98,8 +164,13 @@ def iterate_fixed_point(
                 iterations=n,
             )
         if abs(nxt - x) <= tol:
+            _STATS.evaluations += n
+            _STATS.solves += 1
             return FixedPointResult(value=nxt, iterations=n)
         x = nxt
+    _STATS.evaluations += max_iterations
+    _STATS.solves += 1
+    _STATS.diverged += 1
     raise FixedPointDiverged(
         f"fixed-point iteration did not converge within {max_iterations} "
         f"iterations (last value {x!r})",
@@ -115,6 +186,7 @@ def iterate_monotone(
     bound: float = float("inf"),
     max_iterations: int = 100_000,
     tol: float = EPS,
+    warm_start: float | None = None,
 ) -> FixedPointResult:
     """Like :func:`iterate_fixed_point` but verifies monotonicity.
 
@@ -122,9 +194,15 @@ def iterate_monotone(
     step indicates a modelling bug (e.g. a W-function that is not
     non-decreasing in ``t``).  This variant is used by the test suite and by
     debug runs; production code paths call :func:`iterate_fixed_point`
-    directly to avoid the extra comparison.
+    directly to avoid the extra comparison.  The monotonicity check is
+    relative to the *cold* start: a warm start above the least fixed point
+    would make the first step decrease, so the check also guards warm-start
+    misuse.
     """
     x = start
+    if warm_start is not None and warm_start > start:
+        x = warm_start
+        _STATS.warm_started += 1
     for n in range(1, max_iterations + 1):
         nxt = func(x)
         if nxt < x - tol:
@@ -133,6 +211,9 @@ def iterate_monotone(
                 "the iterated map is not monotone non-decreasing"
             )
         if nxt > bound:
+            _STATS.evaluations += n
+            _STATS.solves += 1
+            _STATS.diverged += 1
             raise FixedPointDiverged(
                 f"monotone iteration exceeded bound {bound!r} "
                 f"after {n} iterations (last value {nxt!r})",
@@ -140,8 +221,13 @@ def iterate_monotone(
                 iterations=n,
             )
         if abs(nxt - x) <= tol:
+            _STATS.evaluations += n
+            _STATS.solves += 1
             return FixedPointResult(value=nxt, iterations=n)
         x = nxt
+    _STATS.evaluations += max_iterations
+    _STATS.solves += 1
+    _STATS.diverged += 1
     raise FixedPointDiverged(
         f"monotone iteration did not converge within {max_iterations} "
         f"iterations (last value {x!r})",

@@ -1,6 +1,7 @@
 """Unit tests for the interference machinery (phases and W functions)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.busy import (
     HPTask,
@@ -111,3 +112,52 @@ class TestWTransaction:
         system = sensor_fusion_system()
         analyzed, own, _ = build_views(system, 0, 3)
         assert starter_phase_of_analyzed(analyzed, None) == 50.0
+
+
+class TestCompiledWEquivalence:
+    """The production hot path (reduced/static_offsets) runs the compiled
+    closures; they must agree with the interpreted W functions exactly."""
+
+    @given(
+        period=st.floats(min_value=1.0, max_value=200.0),
+        n_tasks=st.integers(min_value=0, max_value=4),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_compiled_equals_interpreted(self, period, n_tasks, data):
+        from repro.analysis.busy import (
+            compile_w_transaction_k,
+            compile_w_transaction_star,
+        )
+
+        tasks = tuple(
+            HPTask(
+                phi=data.draw(st.floats(min_value=0.0, max_value=period * 0.999)),
+                jitter=data.draw(st.floats(min_value=0.0, max_value=3 * period)),
+                cost=data.draw(st.floats(min_value=0.01, max_value=20.0)),
+                index=j,
+            )
+            for j in range(n_tasks)
+        )
+        view = TransactionView(period=period, index=0, tasks=tasks)
+        ts = [data.draw(st.floats(min_value=0.0, max_value=5 * period))
+              for _ in range(4)]
+        s_phi = data.draw(st.floats(min_value=0.0, max_value=period * 0.999))
+        s_jit = data.draw(st.floats(min_value=0.0, max_value=2 * period))
+
+        w_k = compile_w_transaction_k(
+            view, None, starter_phi=s_phi, starter_jitter=s_jit
+        )
+        for t in ts:
+            assert w_k(t) == pytest.approx(
+                w_transaction_k(
+                    view, None, t, starter_phi=s_phi, starter_jitter=s_jit
+                ),
+                abs=1e-9,
+            )
+        if tasks:
+            star = compile_w_transaction_star(view)
+            for t in ts:
+                assert star(t) == pytest.approx(
+                    w_transaction_star(view, t), abs=1e-9
+                )

@@ -1,0 +1,280 @@
+"""Campaign engine: determinism, executor equivalence, export round trips.
+
+The engine's contract (ISSUE 1 acceptance criteria): fixed seeds give
+deterministic results, any worker count produces identical metrics, and
+``CampaignResult`` survives JSON/CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.batch import (
+    Campaign,
+    CampaignResult,
+    CampaignSpec,
+    MethodOutcome,
+    available_generators,
+    available_methods,
+    register_generator,
+    register_method,
+)
+from repro.cli import main as cli_main
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        grid={"utilization": (0.3, 0.6, 0.9)},
+        base={
+            "n_platforms": 2,
+            "n_transactions": 2,
+            "tasks_per_transaction": (1, 2),
+        },
+        methods=("reduced",),
+        systems_per_cell=3,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestSpec:
+    def test_grid_counts(self):
+        spec = small_spec(methods=("reduced", "dedicated"))
+        assert spec.n_cells() == 9
+        assert spec.n_analyses() == 18
+        assert spec.sweep_axis == "utilization"
+
+    def test_sweep_axis_sorted_ascending(self):
+        spec = small_spec(grid={"utilization": (0.9, 0.3, 0.6)})
+        assert spec.grid["utilization"] == (0.3, 0.6, 0.9)
+
+    def test_seed_excludes_sweep_axis(self):
+        # Same chain seed at every sweep level: paired samples.
+        spec = small_spec()
+        assert spec.cell_seed(0, 0) != spec.cell_seed(0, 1)
+        assert spec.cell_seed(0, 0) != spec.cell_seed(1, 0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError, match="unknown campaign method"):
+            Campaign(small_spec(methods=("no_such_method",)))
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(KeyError, match="unknown generator"):
+            Campaign(small_spec(generator="no_such_generator"))
+
+    def test_bad_sweep_axis_rejected(self):
+        with pytest.raises(ValueError, match="sweep_axis"):
+            small_spec(sweep_axis="not_an_axis")
+
+    def test_builtin_registries(self):
+        assert "reduced" in available_methods()
+        assert "compositional" in available_methods()
+        assert "random_system" in available_generators()
+        assert "paper" in available_generators()
+
+
+class TestDeterminism:
+    def test_fixed_seed_reproducible(self):
+        spec = small_spec()
+        a = Campaign(spec).run(workers=1)
+        b = Campaign(spec).run(workers=1)
+        assert a.metrics() == b.metrics()
+
+    def test_serial_equals_parallel(self):
+        spec = small_spec(methods=("reduced", "dedicated"))
+        serial = Campaign(spec).run(workers=1)
+        parallel = Campaign(spec).run(workers=2)
+        assert serial.metrics() == parallel.metrics()
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k != "mean_time_s"} for r in rows
+        ]
+        assert strip(serial.acceptance()) == strip(parallel.acceptance())
+
+    def test_chunk_size_does_not_change_results(self):
+        spec = small_spec()
+        a = Campaign(spec).run(workers=2, chunk_size=1)
+        b = Campaign(spec).run(workers=2, chunk_size=5)
+        assert a.metrics() == b.metrics()
+
+
+class TestWarmStart:
+    def test_warm_equals_cold_verdicts_and_ratios(self):
+        spec_warm = small_spec(systems_per_cell=4)
+        spec_cold = small_spec(systems_per_cell=4, warm_start=False)
+        warm = Campaign(spec_warm).run(workers=1)
+        cold = Campaign(spec_cold).run(workers=1)
+        assert len(warm.cells) == len(cold.cells)
+        for w, c in zip(warm.cells, cold.cells):
+            assert (w.params, w.seed, w.method) == (c.params, c.seed, c.method)
+            assert w.schedulable == c.schedulable
+            assert w.max_wcrt_ratio == pytest.approx(
+                c.max_wcrt_ratio, abs=1e-9
+            ) or (w.max_wcrt_ratio == c.max_wcrt_ratio)  # inf == inf
+        # The first sweep level is always cold; later levels are warm.
+        assert any(c.warm_started for c in warm.cells)
+        assert not any(c.warm_started for c in cold.cells)
+
+    def test_warm_start_reported_in_accounting(self):
+        result = Campaign(small_spec()).run(workers=1)
+        acc = result.accounting()
+        assert acc["warm"]["cells"] + acc["cold"]["cells"] == len(result.cells)
+        assert acc["warm"]["cells"] > 0
+
+    def test_driver_stats_agree_with_threaded_accounting(self):
+        """The process-wide FixedPointStats counters captured per method
+        call must agree with the evaluations threaded up through
+        ScenarioOutcome -> ReducedResult -> SystemAnalysis."""
+        result = Campaign(small_spec()).run(workers=1)
+        for cell in result.cells:
+            assert cell.extras["fp_evaluations"] == cell.evaluations
+            assert cell.extras["fp_solves"] > 0
+            assert cell.extras["fp_diverged"] >= 0
+
+
+class TestExport:
+    def test_json_round_trip(self, tmp_path):
+        result = Campaign(small_spec()).run(workers=1)
+        path = result.save_json(tmp_path / "campaign.json")
+        loaded = CampaignResult.load_json(path)
+        assert loaded.metrics() == result.metrics()
+        assert loaded.to_dict() == result.to_dict()
+        # The payload really is JSON (inf round trips via allow_nan).
+        json.loads(path.read_text())
+
+    def test_cells_csv(self, tmp_path):
+        result = Campaign(small_spec()).run(workers=1)
+        path = result.write_cells_csv(tmp_path / "cells.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) == 1 + len(result.cells)
+        header = rows[0]
+        assert "utilization" in header
+        assert "schedulable" in header
+        assert "evaluations" in header
+
+    def test_acceptance_csv(self, tmp_path):
+        result = Campaign(small_spec()).run(workers=1)
+        path = result.write_acceptance_csv(tmp_path / "acceptance.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        # one aggregate row per (sweep level, method)
+        assert len(rows) == 1 + 3
+        assert "ratio" in rows[0]
+
+    def test_format_summary_mentions_accounting(self):
+        result = Campaign(small_spec()).run(workers=1)
+        text = result.format_summary()
+        assert "systems/s" in text
+        assert "phase cache" in text
+
+
+class TestExtensibility:
+    def test_custom_generator_and_method(self):
+        from repro.gen import RandomSystemSpec, random_system
+
+        def tiny_generator(params, seed):
+            return random_system(
+                RandomSystemSpec(
+                    n_platforms=1,
+                    n_transactions=int(params.get("n_transactions", 1)),
+                    tasks_per_transaction=(1, 1),
+                    utilization=0.2,
+                ),
+                seed=seed,
+            )
+
+        def count_tasks(system, warm_start):
+            return MethodOutcome(
+                schedulable=True,
+                extras={"total_tasks": system.total_tasks()},
+            )
+
+        register_generator("test_tiny", tiny_generator)
+        register_method("test_count_tasks", count_tasks)
+        spec = CampaignSpec(
+            grid={"n_transactions": (1, 2)},
+            methods=("test_count_tasks",),
+            systems_per_cell=2,
+            generator="test_tiny",
+        )
+        result = Campaign(spec).run(workers=1)
+        assert len(result.cells) == 4
+        for cell in result.cells:
+            assert cell.extras["total_tasks"] == cell.params["n_transactions"]
+
+
+class TestPaperGenerator:
+    def test_paper_campaign_single_cell(self):
+        spec = CampaignSpec(
+            grid={},
+            methods=("reduced", "compositional"),
+            systems_per_cell=1,
+            generator="paper",
+        )
+        result = Campaign(spec).run(workers=1)
+        assert len(result.cells) == 2
+        by_method = {c.method: c for c in result.cells}
+        # The paper example is schedulable under both the holistic analysis
+        # and the per-platform compositional baseline.
+        assert by_method["reduced"].schedulable
+        assert by_method["compositional"].schedulable
+        assert by_method["reduced"].max_wcrt_ratio < 1.0
+
+
+class TestCli:
+    def test_campaign_subcommand(self, tmp_path, capsys):
+        json_out = tmp_path / "result.json"
+        rc = cli_main([
+            "campaign",
+            "--grid", "utilization=0.3,0.6",
+            "--transactions", "2",
+            "--platforms", "2",
+            "--tasks", "1,2",
+            "--systems", "2",
+            "--methods", "reduced",
+            "--workers", "1",
+            "--json", str(json_out),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "systems/s" in out
+        loaded = CampaignResult.load_json(json_out)
+        assert len(loaded.cells) == 4
+
+    def test_campaign_grid_parsing_errors(self, capsys):
+        rc = cli_main(["campaign", "--grid", "garbage"])
+        assert rc == 2
+
+
+@pytest.mark.slow
+class TestCampaignAtScale:
+    """The ISSUE 1 acceptance criterion: a >= 500-system sweep whose
+    aggregates are identical for 1 and 4 workers."""
+
+    SPEC = CampaignSpec(
+        grid={"utilization": tuple(0.3 + 0.06 * k for k in range(10))},
+        base={
+            "n_platforms": 2,
+            "n_transactions": 3,
+            "tasks_per_transaction": (1, 3),
+        },
+        methods=("reduced",),
+        systems_per_cell=50,
+        seed=1,
+    )
+
+    def test_500_system_sweep_parallel_equals_serial(self):
+        assert self.SPEC.n_cells() >= 500
+        serial = Campaign(self.SPEC).run(workers=1)
+        parallel = Campaign(self.SPEC).run(workers=4)
+        assert serial.metrics() == parallel.metrics()
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if k != "mean_time_s"} for r in rows
+        ]
+        assert strip(serial.acceptance()) == strip(parallel.acceptance())
+        assert serial.n_systems >= 500
+        assert serial.systems_per_second > 0

@@ -1,0 +1,145 @@
+"""Property tests for the warm-start fixed-point path (ISSUE 1).
+
+Soundness claim under test: for a monotone non-decreasing map, iterating
+from any point at or below the least fixed point converges to the *same*
+least fixed point -- so warm-starting from the converged state of a nearby
+problem (the previous cell of an ascending sweep) changes nothing but the
+iteration count.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.gen import RandomSystemSpec, random_system
+from repro.util.fixedpoint import (
+    FixedPointDiverged,
+    fixed_point_stats,
+    iterate_fixed_point,
+    iterate_monotone,
+)
+from repro.util.math import EPS
+
+
+class TestWarmStartScalar:
+    @given(
+        a=st.floats(min_value=0.0, max_value=100.0),
+        b=st.floats(min_value=0.0, max_value=0.9),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_affine_warm_equals_cold(self, a, b, frac):
+        """f(x) = a + b*x with b < 1: warm start from any point below the
+        fixed point a/(1-b) reaches the same fixed point within EPS."""
+        func = lambda x: a + b * x
+        cold = iterate_fixed_point(func, 0.0, tol=1e-12)
+        warm_point = frac * cold.value
+        warm = iterate_fixed_point(func, 0.0, tol=1e-12, warm_start=warm_point)
+        assert warm.value == pytest.approx(cold.value, abs=max(EPS, 1e-9))
+        assert warm.iterations <= cold.iterations
+
+    @given(
+        step=st.floats(min_value=0.5, max_value=5.0),
+        period=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rta_ceiling_warm_equals_cold(self, step, period):
+        """An RTA-style staircase map: warm start preserves the least
+        fixed point exactly (integer-valued staircase)."""
+        func = lambda w: step + math.ceil(w / period)
+        try:
+            cold = iterate_fixed_point(func, 0.0, bound=1e6)
+        except FixedPointDiverged:
+            return  # no fixed point below the bound: nothing to compare
+        for frac in (0.0, 0.5, 1.0):
+            warm = iterate_fixed_point(
+                func, 0.0, bound=1e6, warm_start=frac * cold.value
+            )
+            assert warm.value == cold.value
+
+    def test_warm_start_below_start_is_ignored(self):
+        func = lambda x: 0.5 * x + 4.0
+        cold = iterate_fixed_point(func, 3.0)
+        warm = iterate_fixed_point(func, 3.0, warm_start=1.0)
+        assert warm.value == cold.value
+        assert warm.iterations == cold.iterations
+
+    def test_warm_start_counted_in_stats(self):
+        before = fixed_point_stats()
+        iterate_fixed_point(lambda x: 0.5 * x + 1.0, 0.0, warm_start=1.5)
+        delta = fixed_point_stats().delta(before)
+        assert delta.warm_started == 1
+        assert delta.solves == 1
+        assert delta.evaluations >= 1
+
+
+class TestMonotoneGuard:
+    def test_rejects_non_monotone_map(self):
+        # Decreasing map: the guard must fire, warm start or not.
+        with pytest.raises(AssertionError, match="not monotone"):
+            iterate_monotone(lambda x: 10.0 - x, 0.0)
+
+    def test_rejects_non_monotone_map_with_warm_start(self):
+        with pytest.raises(AssertionError, match="not monotone"):
+            iterate_monotone(lambda x: 10.0 - x, 0.0, warm_start=2.0)
+
+    def test_warm_start_above_fixed_point_detected(self):
+        # Starting above the least fixed point makes the first step
+        # decrease; the monotone guard treats that as misuse and raises.
+        with pytest.raises(AssertionError, match="not monotone"):
+            iterate_monotone(lambda x: 0.5 * x + 1.0, 0.0, warm_start=100.0)
+
+    def test_accepts_monotone_map_warm(self):
+        cold = iterate_monotone(lambda x: 0.5 * x + 1.0, 0.0, tol=1e-12)
+        warm = iterate_monotone(
+            lambda x: 0.5 * x + 1.0, 0.0, tol=1e-12, warm_start=1.0
+        )
+        assert warm.value == pytest.approx(cold.value, abs=1e-9)
+
+
+class TestHolisticWarmStart:
+    """The engine-level property: along an ascending utilization sweep with
+    a shared seed (UUniFast scales linearly in total utilization, so wcets
+    grow monotonically), the previous level's converged jitters warm-start
+    the next level to the *same* fixed point."""
+
+    LEVELS = (0.25, 0.4, 0.55, 0.7, 0.85)
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_sweep_warm_equals_cold(self, seed):
+        base = dict(
+            n_platforms=2, n_transactions=3, tasks_per_transaction=(1, 3)
+        )
+        warm_jitters = None
+        for util in self.LEVELS:
+            system = random_system(
+                RandomSystemSpec(utilization=util, **base), seed=seed
+            )
+            cold = analyze(system)
+            warm = analyze(system, warm_start=warm_jitters)
+            assert warm.schedulable == cold.schedulable
+            for key in cold.tasks:
+                c, w = cold.tasks[key].wcrt, warm.tasks[key].wcrt
+                if math.isinf(c):
+                    assert math.isinf(w)
+                else:
+                    assert w == pytest.approx(c, abs=max(EPS, 1e-9)), (
+                        f"seed={seed} util={util} task={key}"
+                    )
+            warm_jitters = warm.final_jitters() if warm.converged else None
+
+    def test_warm_start_flag_surfaces(self):
+        system = random_system(RandomSystemSpec(utilization=0.5), seed=2)
+        cold = analyze(system)
+        assert not cold.warm_started
+        warm = analyze(system, warm_start=cold.final_jitters())
+        # A system with at least one non-first task has positive jitter
+        # at the fixed point; if all jitters were zero, no warm start.
+        has_jitter = any(v > 0 for v in cold.final_jitters().values())
+        assert warm.warm_started == has_jitter
+        if has_jitter:
+            assert warm.outer_iterations <= cold.outer_iterations
