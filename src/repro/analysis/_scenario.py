@@ -7,18 +7,29 @@ the resulting interference function
 analyzed task, this module solves Eq. 13/14: the busy-period length, the job
 range :math:`p_0 \\dots p_L` and the per-job completion times, and returns
 the scenario's worst response time.
+
+The monotone fixed-point loops are hand-inlined here rather than routed
+through :func:`repro.util.fixedpoint.iterate_fixed_point`: the scenario
+solves are the innermost hot path of every campaign, and the inlining
+removes two Python call layers per evaluation.  Convergence, divergence and
+accounting semantics are kept bit-for-bit (:func:`repro.util.fixedpoint.note_solve`
+charges the same counters the shared driver would).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.analysis.busy import AnalyzedTask
-from repro.util.fixedpoint import FixedPointDiverged, iterate_fixed_point
-from repro.util.math import ceil_div, floor_div
+from repro.util.fixedpoint import note_solve, note_solves
+from repro.util.math import EPS, ceil_div, floor_div
 
 __all__ = ["ScenarioOutcome", "solve_scenario"]
+
+#: Safety cap mirroring ``iterate_fixed_point``'s default.
+_MAX_ITERATIONS = 100_000
 
 
 @dataclass(frozen=True)
@@ -30,8 +41,8 @@ class ScenarioOutcome:
     ``+inf`` when the busy period failed to close within the divergence
     bound.  ``evaluations`` counts every evaluation of the iterated maps,
     *including* those of divergent solves: the iteration counts carried by
-    :class:`FixedPointDiverged` used to be dropped on the unschedulable
-    path, so aggregate accounting undercounted exactly the expensive cells.
+    divergent solves used to be dropped on the unschedulable path, so
+    aggregate accounting undercounted exactly the expensive cells.
     """
 
     response: float
@@ -48,6 +59,8 @@ def solve_scenario(
     *,
     bound: float,
     tol: float = 1e-9,
+    chain_jobs: bool = True,
+    memoize: bool = True,
 ) -> ScenarioOutcome:
     """Solve one scenario for the analyzed task.
 
@@ -64,10 +77,23 @@ def solve_scenario(
     bound:
         Divergence bound for the inner fixed points; exceeding it makes the
         scenario report an infinite response time.
+    chain_jobs:
+        Warm-start each job's completion fixed point from the previous
+        job's completion (sound: the completion map of job ``p+1``
+        dominates job ``p``'s pointwise, so its least fixed point is at or
+        above job ``p``'s).  Disabled by the benchmark reference mode.
+    memoize:
+        Cache ``interference`` on exact *t* across this scenario's busy
+        and completion solves (they revisit the same time points: shared
+        iterate prefixes, job-chained warm starts).  The dict operations
+        are inlined in the loops, so a hit costs one lookup instead of the
+        whole interference sum.  Disabled by the benchmark reference mode.
     """
     T = analyzed.period
     base = analyzed.delay + analyzed.blocking
     cost = analyzed.cost
+    ceil_ = math.ceil
+    memo: dict[float, float] | None = {} if memoize else None
 
     # Eq. 13: p0 indexes the earliest job whose jittered activation can
     # coincide with the busy-period start.
@@ -75,25 +101,53 @@ def solve_scenario(
 
     # Busy-period length (Eq. between 13 and 14): own jobs present in [0, L)
     # are p0 .. ceil((L - phi)/T); their count is clamped at zero for
-    # scenarios the analyzed task never joins.
-    def busy_map(L: float) -> float:
-        own_jobs = max(0, ceil_div(L - phi_ab, T) - p0 + 1)
-        return base + own_jobs * cost + interference(L)
+    # scenarios the analyzed task never joins.  The epsilon-snapped ceiling
+    # (util.math.ceil_div) is inlined in the loop.
+    shift = 1 - p0
 
-    evaluations = 0
-    try:
-        busy = iterate_fixed_point(busy_map, base + cost, bound=bound, tol=tol)
-    except FixedPointDiverged as exc:
-        return ScenarioOutcome(
-            response=float("inf"), worst_job=None, busy_length=float("inf"),
-            jobs_checked=0, evaluations=exc.iterations,
-        )
-    L = busy.value
-    evaluations += busy.iterations
+    start = base + cost
+    x = start
+    evals = 0
+    while True:
+        evals += 1
+        xx = (x - phi_ab) / T
+        nearest = round(xx)
+        own_jobs = (
+            nearest if abs(xx - nearest) <= EPS else ceil_(xx)
+        ) + shift
+        if own_jobs < 0:
+            own_jobs = 0
+        if memo is None:
+            inter = interference(x)
+        else:
+            inter = memo.get(x)
+            if inter is None:
+                inter = memo[x] = interference(x)
+        nxt = base + own_jobs * cost + inter
+        if nxt > bound:
+            note_solve(evals, diverged=True)
+            return ScenarioOutcome(
+                response=float("inf"), worst_job=None, busy_length=float("inf"),
+                jobs_checked=0, evaluations=evals,
+            )
+        if -tol <= nxt - x <= tol:
+            break
+        if evals >= _MAX_ITERATIONS:
+            note_solve(evals, diverged=True)
+            return ScenarioOutcome(
+                response=float("inf"), worst_job=None, busy_length=float("inf"),
+                jobs_checked=0, evaluations=evals,
+            )
+        x = nxt
+    L = nxt
+    evaluations = evals
+    solves = 1
+    warm_solves = 0
 
     p_last = ceil_div(L - phi_ab, T)  # Eq. 14
     if p_last < p0:
         # No job of the analyzed task inside this busy period.
+        note_solves(evaluations, solves)
         return ScenarioOutcome(
             response=float("-inf"), worst_job=None, busy_length=L,
             jobs_checked=0, evaluations=evaluations,
@@ -102,21 +156,52 @@ def solve_scenario(
     worst = float("-inf")
     worst_job: int | None = None
     checked = 0
+    # Job-chained warm start: the completion map of job p+1 dominates job
+    # p's pointwise (one more own job), so its least fixed point is at or
+    # above job p's -- iterating from the previous completion reaches the
+    # same fixed point in fewer steps.
+    prev_completion: float | None = None
     for p in range(p0, p_last + 1):
-        def completion_map(w: float, p: int = p) -> float:
-            return base + (p - p0 + 1) * cost + interference(w)
-
-        try:
-            comp = iterate_fixed_point(
-                completion_map, base + cost, bound=bound, tol=tol
-            )
-        except FixedPointDiverged as exc:
-            return ScenarioOutcome(
-                response=float("inf"), worst_job=p, busy_length=L,
-                jobs_checked=checked, evaluations=evaluations + exc.iterations,
-            )
-        w = comp.value
-        evaluations += comp.iterations
+        done = base + (p - p0 + 1) * cost
+        warm = (
+            chain_jobs
+            and prev_completion is not None
+            and prev_completion > start
+        )
+        w = prev_completion if warm else start
+        evals = 0
+        while True:
+            evals += 1
+            if memo is None:
+                inter = interference(w)
+            else:
+                inter = memo.get(w)
+                if inter is None:
+                    inter = memo[w] = interference(w)
+            nxt = done + inter
+            if nxt > bound:
+                note_solves(evaluations, solves, warm_started=warm_solves)
+                note_solve(evals, diverged=True, warm_started=warm)
+                return ScenarioOutcome(
+                    response=float("inf"), worst_job=p, busy_length=L,
+                    jobs_checked=checked, evaluations=evaluations + evals,
+                )
+            if -tol <= nxt - w <= tol:
+                break
+            if evals >= _MAX_ITERATIONS:
+                note_solves(evaluations, solves, warm_started=warm_solves)
+                note_solve(evals, diverged=True, warm_started=warm)
+                return ScenarioOutcome(
+                    response=float("inf"), worst_job=p, busy_length=L,
+                    jobs_checked=checked, evaluations=evaluations + evals,
+                )
+            w = nxt
+        w = nxt
+        evaluations += evals
+        solves += 1
+        if warm:
+            warm_solves += 1
+        prev_completion = w
         # Response measured from the transaction activation that released
         # job p: the activation instant is phi + (p-1)T - phi_bar.
         r = w - (phi_ab + (p - 1) * T - analyzed.phi)
@@ -124,6 +209,7 @@ def solve_scenario(
         if r > worst:
             worst = r
             worst_job = p
+    note_solves(evaluations, solves, warm_started=warm_solves)
     return ScenarioOutcome(
         response=worst, worst_job=worst_job, busy_length=L, jobs_checked=checked,
         evaluations=evaluations,

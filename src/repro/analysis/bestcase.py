@@ -27,7 +27,16 @@ Three estimators are provided:
 from __future__ import annotations
 
 from repro.model.system import TransactionSystem
-from repro.util.math import ceil_div
+from repro.util.math import EPS, ceil_div
+
+try:  # Optional vector path, mirroring repro.analysis.busy.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image ships numpy
+    _np = None
+
+#: Interferer count above which the Redell refinement switches its inner
+#: reduction to NumPy (same crossover rationale as busy.VECTOR_MIN_JOBS).
+_VECTOR_MIN_INTERFERERS = 24
 
 __all__ = [
     "simple_best_case",
@@ -90,6 +99,19 @@ def _best_case_first_task(system: TransactionSystem, a: int) -> float:
     # non-decreasing so the iteration converges to the greatest fixed point
     # below the start, which is a sound best-case estimate.
     r = own_best + sum(c for c, _ in interferers)
+    if _np is not None and len(interferers) >= _VECTOR_MIN_INTERFERERS:
+        # Vectorized reduction with ceil_div's epsilon-snapping semantics.
+        costs = _np.array([c for c, _ in interferers], dtype=float)
+        periods = _np.array([T for _, T in interferers], dtype=float)
+        for _ in range(10_000):
+            x = r / periods
+            nearest = _np.rint(x)
+            jobs = _np.where(_np.abs(x - nearest) <= EPS, nearest, _np.ceil(x)) - 1.0
+            nxt = own_best + float(_np.maximum(jobs, 0.0) @ costs)
+            if nxt >= r - 1e-9:
+                break
+            r = nxt
+        return max(own_best, r)
     for _ in range(10_000):
         nxt = own_best + sum(
             max(0, ceil_div(r, T) - 1) * c for c, T in interferers
@@ -129,6 +151,20 @@ def best_case_response_times(
             f"unknown best-case method {method!r}; expected one of {sorted(_METHODS)}"
         )
     out: dict[tuple[int, int], float] = {}
+    if method in ("simple", "sound"):
+        # The summation bounds are prefix sums along each chain: one pass
+        # per transaction instead of re-summing the prefix per task (this
+        # runs once per holistic analysis, i.e. per campaign cell).
+        sound = method == "sound"
+        for i, tr in enumerate(system.transactions):
+            total = 0.0
+            for j, task in enumerate(tr.tasks):
+                platform = system.platforms[task.platform]
+                total += task.scaled_bcet(
+                    platform.rate, platform.burstiness, sound=sound
+                )
+                out[(i, j)] = total
+        return out
     for i, tr in enumerate(system.transactions):
         for j in range(len(tr.tasks)):
             out[(i, j)] = fn(system, i, j)

@@ -54,6 +54,25 @@ class AnalysisConfig:
         paper's Table 3 shows) or ``"gauss_seidel"`` (each task's fresh
         response feeds its successor within the same round; converges to
         the same least fixed point in fewer rounds).
+    kernel:
+        Interference-evaluation backend: ``"scalar"`` (the reference
+        Python closures), ``"vector"`` (NumPy array reductions over all
+        interfering jobs, Eq. 15 batched over starters) or ``"auto"``
+        (default -- per view, vector once the batch is large enough to
+        amortize NumPy dispatch; scalar otherwise or when NumPy is
+        missing).  Both kernels produce bit-identical job counts.
+    incremental:
+        Enable the chain-aware dirty-set fast path of the
+        ``"gauss_seidel"`` outer update: a task is re-solved in a round
+        only when a jitter it can observe moved by more than ``tol``.
+        Ignored under ``"jacobi"``, whose full-round trace is the paper's.
+    driver_cache:
+        Enable the driver-level caches and warm chains that never change a
+        converged value: projection reuse across outer rounds, compiled-W
+        reuse while jitters are unchanged, per-scenario interference
+        memoization and job-chained completion warm starts.  Off, every
+        solve recomputes from scratch -- the PR 1 cost model, kept so the
+        campaign benchmark can A/B the driver work honestly.
     """
 
     method: str = "reduced"
@@ -64,6 +83,9 @@ class AnalysisConfig:
     tol: float = 1e-9
     stop_on_miss: bool = False
     update: str = "jacobi"
+    kernel: str = "auto"
+    incremental: bool = True
+    driver_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.method not in ("reduced", "exact"):
@@ -80,6 +102,10 @@ class AnalysisConfig:
         if self.update not in ("jacobi", "gauss_seidel"):
             raise ValueError(
                 f"update must be 'jacobi' or 'gauss_seidel', got {self.update!r}"
+            )
+        if self.kernel not in ("auto", "vector", "scalar"):
+            raise ValueError(
+                f"kernel must be 'auto', 'vector' or 'scalar', got {self.kernel!r}"
             )
 
 
@@ -115,6 +141,10 @@ class IterationRow:
     index: int
     jitters: dict[tuple[int, int], float]
     responses: dict[tuple[int, int], float]
+    #: Tasks the dirty-set scheduler did not re-solve this round (their
+    #: ``responses`` entries are carried over); empty under Jacobi or when
+    #: the incremental fast path is off.
+    skipped: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass
@@ -141,6 +171,11 @@ class SystemAnalysis:
     #: True when the outer iteration was seeded from a warm-start jitter
     #: vector instead of the cold J = 0 start.
     warm_started: bool = False
+    #: Per-task response-time solves actually performed across the outer
+    #: rounds, and solves the dirty-set scheduler skipped because no input
+    #: jitter had moved.  ``task_solves + task_skips == rounds x tasks``.
+    task_solves: int = 0
+    task_skips: int = 0
 
     def final_jitters(self) -> dict[tuple[int, int], float]:
         """The converged jitter vector, usable as a warm start for the

@@ -19,8 +19,9 @@ from repro.analysis._scenario import solve_scenario
 from repro.analysis.busy import (
     HPTask,
     build_views,
-    compile_w_transaction_k,
+    compile_w_rows,
     compile_w_transaction_star,
+    scenario_rows,
     starter_phase_of_analyzed,
 )
 from repro.analysis.interfaces import AnalysisConfig
@@ -55,43 +56,130 @@ def response_time_reduced(
     b: int,
     *,
     config: AnalysisConfig | None = None,
+    views: tuple | None = None,
+    bound: float | None = None,
+    compile_cache: dict | None = None,
 ) -> ReducedResult:
-    """Upper bound on the worst-case response time of task ``(a, b)`` (Eq. 16)."""
+    """Upper bound on the worst-case response time of task ``(a, b)`` (Eq. 16).
+
+    ``views`` optionally supplies a pre-projected ``(analyzed, own,
+    others)`` triple (from a cached :class:`~repro.analysis.busy.ViewProjector`)
+    so the outer holistic rounds skip re-projection; ``bound`` an already
+    computed divergence bound; ``compile_cache`` a per-task dict the outer
+    rounds thread through so compiled W closures are rebuilt only when the
+    jitters they bake in actually moved.
+    """
     config = config or AnalysisConfig()
-    analyzed, own, others = build_views(system, a, b)
-    bound = _busy_bound(system, config)
+    analyzed, own, others = views if views is not None else build_views(system, a, b)
+    if bound is None:
+        bound = _busy_bound(system, config)
+    kernel = config.kernel
 
     candidates: list[HPTask | None] = list(own.tasks) + [None]
     # Foreign transactions contribute W* regardless of the own-transaction
-    # starter: compile them once, outside the candidate loop.
-    others_w = [compile_w_transaction_star(view) for view in others]
+    # starter.  A view with a single interfering task degenerates (Eq. 15's
+    # max over one candidate is the identity) into flat W rows that merge
+    # with the own-view rows into one compiled closure per scenario; views
+    # with several starters keep their batched W*.  Across outer rounds the
+    # compiled closures are reused while the jitters they bake in are
+    # unchanged (phases and carries depend on nothing else that moves).
+    single = [v for v in others if len(v.tasks) == 1]
+    multi = [v for v in others if len(v.tasks) > 1]
+    if compile_cache is None:
+        multi_w = tuple(
+            compile_w_transaction_star(view, kernel=kernel) for view in multi
+        )
+    else:
+        multi_list = []
+        for view in multi:
+            state = tuple(hp.jitter for hp in view.tasks)
+            key = ("star", view.index)
+            hit = compile_cache.get(key)
+            if hit is not None and hit[0] == state:
+                multi_list.append(hit[1])
+            else:
+                fn = compile_w_transaction_star(view, kernel=kernel)
+                compile_cache[key] = (state, fn)
+                multi_list.append(fn)
+        multi_w = tuple(multi_list)
 
     worst = float("-inf")
     worst_starter: int | None = None
     evaluated = 0
     evaluations = 0
 
+    # State baked into each scenario closure: the analyzed task's jitter
+    # (anchor of the self-started scenario and its siblings' phases), the
+    # own-view jitters and the merged single-starter foreign jitters.
+    scenario_state = (
+        (analyzed.jitter,)
+        + tuple(hp.jitter for hp in own.tasks)
+        + tuple(v.tasks[0].jitter for v in single)
+    )
+    shared_rows: tuple | None = None  # built on the first cache miss
+
     for starter in candidates:
         phi_ab = starter_phase_of_analyzed(analyzed, starter)
-        own_w = compile_w_transaction_k(
-            own, starter,
-            starter_phi=analyzed.phi, starter_jitter=analyzed.jitter,
+        starter_idx = starter.index if starter is not None else -1
+        scenario_key = ("scenario", starter_idx)
+        hit = (
+            compile_cache.get(scenario_key)
+            if compile_cache is not None
+            else None
         )
+        if hit is not None and hit[0] == scenario_state:
+            scenario_w = hit[1]
+        else:
+            if shared_rows is None:
+                shared_rows = ()
+                for v in single:
+                    row_key = ("rows", v.index)
+                    row_hit = (
+                        compile_cache.get(row_key)
+                        if compile_cache is not None
+                        else None
+                    )
+                    jit = v.tasks[0].jitter
+                    if row_hit is not None and row_hit[0] == jit:
+                        shared_rows += row_hit[1]
+                    else:
+                        v_rows = scenario_rows(v, v.tasks[0])
+                        if compile_cache is not None:
+                            compile_cache[row_key] = (jit, v_rows)
+                        shared_rows += v_rows
+            rows = (
+                scenario_rows(
+                    own, starter,
+                    starter_phi=analyzed.phi, starter_jitter=analyzed.jitter,
+                )
+                + shared_rows
+            )
+            scenario_w = compile_w_rows(rows, kernel=kernel)
+            if compile_cache is not None:
+                compile_cache[scenario_key] = (scenario_state, scenario_w)
 
-        def interference(t: float, own_w=own_w) -> float:
-            total = own_w(t)
-            for w_star in others_w:
-                total += w_star(t)
-            return total
+        # solve_scenario memoizes the interference per scenario (its busy
+        # and completion fixed points revisit the same time points); here
+        # only the raw sum is assembled -- with no multi-starter views the
+        # merged closure is passed through without any wrapper.
+        if multi_w:
+            def interference(t: float, scenario_w=scenario_w) -> float:
+                total = scenario_w(t)
+                for w_star in multi_w:
+                    total += w_star(t)
+                return total
+        else:
+            interference = scenario_w
 
         outcome = solve_scenario(
-            analyzed, phi_ab, interference, bound=bound, tol=config.tol
+            analyzed, phi_ab, interference, bound=bound, tol=config.tol,
+            chain_jobs=config.driver_cache, memoize=config.driver_cache,
         )
         evaluated += 1
         evaluations += outcome.evaluations
         if outcome.response > worst:
             worst = outcome.response
-            worst_starter = starter.index if starter is not None else -1
+            worst_starter = starter_idx
         if worst == float("inf"):
             break
 

@@ -25,6 +25,7 @@ def analyze(
     trace: bool = False,
     config: AnalysisConfig | None = None,
     warm_start: dict[tuple[int, int], float] | None = None,
+    in_place: bool = False,
 ) -> SystemAnalysis:
     """Analyze *system* and return response times plus the verdict.
 
@@ -46,6 +47,11 @@ def analyze(
         Initial jitter vector for the outer fixed point (see
         :func:`repro.analysis.holistic.holistic_analysis`); used by the
         campaign engine when sweeping a parameter upward.
+    in_place:
+        Analyze without cloning, mutating the derived offset/jitter
+        fields of non-first tasks (see
+        :func:`repro.analysis.holistic.holistic_analysis`).  Only for
+        callers that own *system* and do not read those fields.
 
     Examples
     --------
@@ -57,7 +63,8 @@ def analyze(
     if config is None:
         config = AnalysisConfig(method=method, best_case=best_case)
     return holistic_analysis(
-        system, config=config, trace=trace, warm_start=warm_start
+        system, config=config, trace=trace, warm_start=warm_start,
+        in_place=in_place,
     )
 
 

@@ -59,8 +59,15 @@ def response_time_exact(
     b: int,
     *,
     config: AnalysisConfig | None = None,
+    views: tuple | None = None,
+    bound: float | None = None,
 ) -> ExactResult:
     """Worst-case response time of task ``(a, b)`` by full scenario enumeration.
+
+    ``views`` optionally supplies a pre-projected ``(analyzed, own,
+    others)`` triple (from a cached :class:`~repro.analysis.busy.ViewProjector`)
+    so the outer holistic rounds skip re-projection; ``bound`` an already
+    computed divergence bound.
 
     Raises
     ------
@@ -68,8 +75,10 @@ def response_time_exact(
         If the scenario count exceeds ``config.max_exact_scenarios``.
     """
     config = config or AnalysisConfig()
-    analyzed, own, others = build_views(system, a, b)
-    bound = _busy_bound(system, config)
+    analyzed, own, others = views if views is not None else build_views(system, a, b)
+    if bound is None:
+        bound = _busy_bound(system, config)
+    kernel = config.kernel
 
     # Candidate starters: every interfering task per foreign transaction;
     # for the own transaction additionally the analyzed task itself,
@@ -95,7 +104,10 @@ def response_time_exact(
     # Every scenario reuses per-(view, starter) W closures: compile each
     # foreign candidate once instead of once per element of the product.
     others_w = [
-        {id(starter): compile_w_transaction_k(view, starter) for starter in cands}
+        {
+            id(starter): compile_w_transaction_k(view, starter, kernel=kernel)
+            for starter in cands
+        }
         for view, cands in zip(others, other_candidates)
     ]
 
@@ -107,6 +119,7 @@ def response_time_exact(
         own_w = compile_w_transaction_k(
             own, own_starter,
             starter_phi=analyzed.phi, starter_jitter=analyzed.jitter,
+            kernel=kernel,
         )
         for combo in itertools.product(*other_candidates) if other_candidates else [()]:
             combo_w = [
@@ -121,7 +134,8 @@ def response_time_exact(
                 return total
 
             outcome = solve_scenario(
-                analyzed, phi_ab, interference, bound=bound, tol=config.tol
+                analyzed, phi_ab, interference, bound=bound, tol=config.tol,
+                chain_jobs=config.driver_cache, memoize=config.driver_cache,
             )
             evaluated += 1
             evaluations += outcome.evaluations

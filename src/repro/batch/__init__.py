@@ -23,6 +23,7 @@ The CLI front end is ``python -m repro campaign``.
 from repro.batch.methods import (
     MethodOutcome,
     available_methods,
+    holistic_method,
     register_method,
     resolve_method,
 )
@@ -32,6 +33,7 @@ from repro.batch.campaign import (
     CampaignSpec,
     CellResult,
     available_generators,
+    linspace_levels,
     register_generator,
     run_campaign,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "MethodOutcome",
     "available_generators",
     "available_methods",
+    "holistic_method",
+    "linspace_levels",
     "register_generator",
     "register_method",
     "resolve_method",

@@ -25,6 +25,7 @@ count, and cells are re-sorted into canonical order on collection.
 
 from __future__ import annotations
 
+import csv
 import json
 import math
 import time
@@ -48,9 +49,35 @@ __all__ = [
     "CampaignSpec",
     "CellResult",
     "available_generators",
+    "linspace_levels",
     "register_generator",
     "run_campaign",
 ]
+
+#: Decimal places of the stable grid sweep levels are rounded to.  Floats
+#: like ``0.30000000000000004`` (binary accumulation noise from naive
+#: ``start + k * step`` generation) collapse onto their intended decimal
+#: value, so grid keys, JSON exports and CSV columns stay clean, and cells
+#: from different runs of the same spec compare equal.
+LEVEL_DECIMALS = 10
+
+
+def linspace_levels(
+    start: float, stop: float, count: int, *, decimals: int = LEVEL_DECIMALS
+) -> tuple[float, ...]:
+    """``count`` evenly spaced sweep levels on a stable decimal grid.
+
+    Levels are generated from integer steps and rounded to ``decimals``
+    places -- the float-drift-free way to build a sweep axis.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    if count == 1:
+        return (round(float(start), decimals),)
+    step = (float(stop) - float(start)) / (count - 1)
+    return tuple(
+        round(float(start) + k * step, decimals) for k in range(count)
+    )
 
 
 # --------------------------------------------------------------------------
@@ -80,14 +107,54 @@ GENERATORS: dict[str, GeneratorFn] = {
     "paper": _gen_paper,
 }
 
+#: Optional per-generator sweep scalers:
+#: ``fn(base_system, axis, base_value, new_value) -> TransactionSystem | None``.
+#: When the only parameter differing along a chain is the sweep axis, the
+#: chain generates its system once at the first level and derives the other
+#: levels through the scaler instead of re-drawing -- ``None`` falls back to
+#: full generation.  ``random_system`` scales exactly (UUniFast is linear in
+#: the total utilization).
+SweepScalerFn = Callable[[TransactionSystem, str, Any, Any], "TransactionSystem | None"]
 
-def register_generator(name: str, fn: GeneratorFn) -> None:
+
+def _scale_random_system(
+    base: TransactionSystem, axis: str, base_value: Any, new_value: Any
+) -> TransactionSystem | None:
+    if axis != "utilization":
+        return None
+    try:
+        factor = float(new_value) / float(base_value)
+    except (TypeError, ZeroDivisionError):
+        return None
+    if factor <= 0:
+        # Non-positive target utilization: fall through to the generator,
+        # which reports the invalid parameter with its own message.
+        return None
+    from repro.gen.random_transactions import scale_system_utilization
+
+    return scale_system_utilization(base, factor)
+
+
+GENERATOR_SWEEP_SCALERS: dict[str, SweepScalerFn] = {
+    "random_system": _scale_random_system,
+}
+
+
+def register_generator(
+    name: str, fn: GeneratorFn, *, sweep_scaler: SweepScalerFn | None = None
+) -> None:
     """Register (or replace) a system generator under *name*.
 
     With the default ``fork`` start method, generators registered before
-    ``Campaign.run`` are inherited by the pool workers.
+    ``Campaign.run`` are inherited by the pool workers.  ``sweep_scaler``
+    optionally derives the system at a new sweep level from the chain's
+    base system (see :data:`GENERATOR_SWEEP_SCALERS`).
     """
     GENERATORS[name] = fn
+    if sweep_scaler is not None:
+        GENERATOR_SWEEP_SCALERS[name] = sweep_scaler
+    else:
+        GENERATOR_SWEEP_SCALERS.pop(name, None)
 
 
 def available_generators() -> list[str]:
@@ -157,8 +224,15 @@ class CampaignSpec:
             raise ValueError("systems_per_cell must be >= 1")
         if not self.methods:
             raise ValueError("at least one method is required")
+        # Snap float grid values onto the stable decimal grid (see
+        # LEVEL_DECIMALS) so equivalent sweeps produce identical cell keys.
+        def stable(v: Any) -> Any:
+            return round(v, LEVEL_DECIMALS) if isinstance(v, float) else v
+
         object.__setattr__(
-            self, "grid", {k: tuple(v) for k, v in self.grid.items()}
+            self,
+            "grid",
+            {k: tuple(stable(v) for v in vs) for k, vs in self.grid.items()},
         )
         object.__setattr__(self, "methods", tuple(self.methods))
         for axis, values in self.grid.items():
@@ -274,6 +348,19 @@ CELL_METRIC_FIELDS = (
 )
 
 
+def _cell_identity(params: dict, seed: int, method: str) -> tuple:
+    """Hashable identity of one cell: frozen params + seed + method.
+
+    This is the key ``--resume`` matches completed cells by (the cell seed
+    plus the full parameter point, including the sweep value).
+    """
+    return (
+        tuple(sorted((k, _freeze(v)) for k, v in params.items())),
+        seed,
+        method,
+    )
+
+
 @dataclass
 class CampaignResult:
     """Everything a campaign produced, with aggregation and export."""
@@ -282,6 +369,10 @@ class CampaignResult:
     cells: list[CellResult]
     workers: int
     wall_time_s: float
+    #: Cells appended to a streaming CSV while the campaign ran.
+    streamed_cells: int = 0
+    #: Cells recovered from a ``resume_from`` result instead of re-running.
+    reused_cells: int = 0
 
     # -- aggregate views --------------------------------------------------
 
@@ -426,6 +517,8 @@ class CampaignResult:
             "spec": self.spec,
             "workers": self.workers,
             "wall_time_s": self.wall_time_s,
+            "streamed_cells": self.streamed_cells,
+            "reused_cells": self.reused_cells,
             "cells": [c.to_dict() for c in self.cells],
         }
 
@@ -436,6 +529,8 @@ class CampaignResult:
             cells=[CellResult.from_dict(c) for c in data["cells"]],
             workers=int(data.get("workers", 1)),
             wall_time_s=float(data.get("wall_time_s", 0.0)),
+            streamed_cells=int(data.get("streamed_cells", 0)),
+            reused_cells=int(data.get("reused_cells", 0)),
         )
 
     def save_json(self, path: str | Path) -> Path:
@@ -550,12 +645,26 @@ def _run_chain(spec: CampaignSpec, chain: dict) -> list[dict]:
 
     warm: dict[str, dict | None] = {m: None for m in spec.methods}
     out: list[dict] = []
+    scaler = (
+        GENERATOR_SWEEP_SCALERS.get(spec.generator)
+        if spec.sweep_axis is not None
+        else None
+    )
+    base_system: TransactionSystem | None = None
+    base_value: Any = None
     for step, sweep_value in enumerate(spec.sweep_values()):
         params = dict(spec.base)
         params.update(point)
         if spec.sweep_axis is not None:
             params[spec.sweep_axis] = sweep_value
-        system = GENERATORS[spec.generator](params, seed)
+        system = None
+        if scaler is not None and base_system is not None:
+            system = scaler(
+                base_system, spec.sweep_axis, base_value, sweep_value
+            )
+        if system is None:
+            system = GENERATORS[spec.generator](params, seed)
+            base_system, base_value = system, sweep_value
         # A fresh cache per sweep step keeps per-cell hit/miss accounting
         # independent of which worker ran the previous chain.
         clear_phase_cache()
@@ -604,6 +713,44 @@ def _run_chunk(payload: tuple[dict, list[dict]]) -> list[dict]:
     return results
 
 
+class _CellCsvStream:
+    """Appends finished cells to a CSV as their chains complete.
+
+    The column set is fixed upfront (``base`` keys plus grid axes) so rows
+    can be written without buffering the campaign; rows appear in chunk
+    completion order, which is the canonical cell order for a single
+    worker and chunk order under a pool (``Executor.map`` preserves it).
+    """
+
+    def __init__(self, path: str | Path, spec: CampaignSpec):
+        self.param_keys = sorted(set(spec.base) | set(spec.grid))
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", newline="")
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(
+            self.param_keys
+            + ["seed", "replicate", "method"]
+            + list(CELL_METRIC_FIELDS)
+            + ["time_s"]
+        )
+
+    def write(self, part: list[dict]) -> None:
+        for item in part:
+            c = item["cell"]
+            params = c["params"]
+            self._writer.writerow(
+                [_csv_value(params.get(k)) for k in self.param_keys]
+                + [c["seed"], c["replicate"], c["method"]]
+                + [_csv_value(c[f]) for f in CELL_METRIC_FIELDS]
+                + [c["time_s"]]
+            )
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
 class Campaign:
     """A configured campaign, ready to run.
 
@@ -645,44 +792,151 @@ class Campaign:
                 )
         return chains
 
+    def _chain_cells_from(
+        self, chain: dict, index: dict
+    ) -> list[dict] | None:
+        """Tagged cell dicts for *chain* recovered from a resume index.
+
+        Chains resume whole or not at all: a partially completed chain is
+        re-run from its first sweep level so the warm-start state matches a
+        fresh execution.  Returns ``None`` unless every (sweep level,
+        method) cell of the chain is present in *index*.
+        """
+        out: list[dict] = []
+        for step, sweep_value in enumerate(self.spec.sweep_values()):
+            params = dict(self.spec.base)
+            params.update(chain["point"])
+            if self.spec.sweep_axis is not None:
+                params[self.spec.sweep_axis] = sweep_value
+            params = _jsonify(params)
+            for m_idx, name in enumerate(self.spec.methods):
+                cell = index.get(_cell_identity(params, chain["seed"], name))
+                if cell is None:
+                    return None
+                out.append(
+                    {
+                        "order": (chain["index"], step, m_idx),
+                        "cell": cell.to_dict(),
+                    }
+                )
+        return out
+
     def run(
         self,
         *,
         workers: int = 1,
         chunk_size: int | None = None,
+        resume_from: CampaignResult | None = None,
+        stream_csv: str | Path | None = None,
+        collect: bool = True,
     ) -> CampaignResult:
         """Execute the campaign and return a :class:`CampaignResult`.
 
         ``workers == 1`` runs inline (same code path as the pool workers);
         any worker count produces identical metrics for the same spec.
+
+        Parameters
+        ----------
+        resume_from:
+            A previous (possibly partial) result for the same spec: chains
+            whose cells are all present there (matched by cell seed + full
+            parameter point + method) are reused instead of re-run, and
+            the reused cells are merged into the returned result.
+        stream_csv:
+            Append each finished cell to this CSV as its chain completes,
+            instead of waiting for the whole campaign.
+        collect:
+            Keep per-cell results in memory.  ``False`` (with
+            ``stream_csv``) runs arbitrarily large sweeps in bounded
+            memory: the returned result then has no cells, only the
+            wall-clock and ``streamed_cells`` accounting.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if not collect and stream_csv is None:
+            raise ValueError("collect=False requires stream_csv")
         chains = self.chains()
         spec_dict = self.spec.to_dict()
         t0 = time.perf_counter()
 
+        reused: list[dict] = []
+        if resume_from is not None:
+            # Cell identities are (params, seed, method) -- meaningful only
+            # when the results came from the same generator and campaign
+            # seed; grid/replicate extensions are fine (extra chains just
+            # find no match), but a different generator or master seed
+            # would silently reuse wrong systems.
+            for field_name in ("generator", "seed", "base", "warm_start"):
+                ours = spec_dict.get(field_name)
+                theirs = resume_from.spec.get(field_name)
+                if theirs != ours:
+                    raise ValueError(
+                        f"resume_from was produced with {field_name}="
+                        f"{theirs!r}, campaign uses {ours!r}"
+                    )
+            index = {
+                _cell_identity(c.params, c.seed, c.method): c
+                for c in resume_from.cells
+            }
+            pending: list[dict] = []
+            for chain in chains:
+                cells = self._chain_cells_from(chain, index)
+                if cells is None:
+                    pending.append(chain)
+                else:
+                    reused.extend(cells)
+            chains = pending
+
+        stream = (
+            _CellCsvStream(stream_csv, self.spec)
+            if stream_csv is not None
+            else None
+        )
         tagged: list[dict] = []
-        if workers == 1 or len(chains) <= 1:
-            tagged = _run_chunk((spec_dict, chains))
-        else:
-            if chunk_size is None:
-                chunk_size = max(1, math.ceil(len(chains) / (workers * 4)))
-            chunks = [
-                chains[i:i + chunk_size]
-                for i in range(0, len(chains), chunk_size)
-            ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for part in pool.map(
-                    _run_chunk, [(spec_dict, chunk) for chunk in chunks]
-                ):
-                    tagged.extend(part)
+        streamed = 0
+
+        def consume(part: list[dict]) -> None:
+            nonlocal streamed
+            if stream is not None:
+                stream.write(part)
+                streamed += len(part)
+            if collect:
+                tagged.extend(part)
+
+        try:
+            if reused:
+                consume(reused)
+            if not chains:
+                pass
+            elif workers == 1 or len(chains) <= 1:
+                for chain in chains:
+                    consume(_run_chain(self.spec, chain))
+            else:
+                if chunk_size is None:
+                    chunk_size = max(1, math.ceil(len(chains) / (workers * 4)))
+                chunks = [
+                    chains[i:i + chunk_size]
+                    for i in range(0, len(chains), chunk_size)
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for part in pool.map(
+                        _run_chunk, [(spec_dict, chunk) for chunk in chunks]
+                    ):
+                        consume(part)
+        finally:
+            if stream is not None:
+                stream.close()
 
         wall = time.perf_counter() - t0
         tagged.sort(key=lambda item: item["order"])
         cells = [CellResult.from_dict(item["cell"]) for item in tagged]
         return CampaignResult(
-            spec=spec_dict, cells=cells, workers=workers, wall_time_s=wall
+            spec=spec_dict,
+            cells=cells,
+            workers=workers,
+            wall_time_s=wall,
+            streamed_cells=streamed,
+            reused_cells=len(reused),
         )
 
 

@@ -11,7 +11,13 @@ built-in entries cover the paper's comparison axes:
 ``gauss_seidel``
     Same fixed point, Gauss-Seidel outer update: each fresh response feeds
     its successor within the round, converging in fewer (but individually
-    costlier) rounds.
+    costlier) rounds.  Runs the chain-aware dirty-set fast path: once a
+    precedence chain's upstream prefix stabilizes, its tasks stop being
+    re-solved (``fp_task_skips`` in the extras counts the savings).
+``gauss_seidel_full``
+    The same Gauss-Seidel fixed point without the dirty set -- every round
+    re-solves every task (the PR 1 behavior, kept as the A/B reference for
+    the campaign benchmarks).
 ``exact``
     The holistic analysis with the exact scenario enumeration (Sec. 3.1.1);
     guard the combinatorics with small systems.
@@ -45,6 +51,7 @@ from repro.util.fixedpoint import fixed_point_stats
 __all__ = [
     "MethodOutcome",
     "available_methods",
+    "holistic_method",
     "register_method",
     "resolve_method",
 ]
@@ -101,14 +108,31 @@ def outcome_from_analysis(result: SystemAnalysis) -> MethodOutcome:
     )
 
 
-def _holistic_method(config: AnalysisConfig, *, dedicated: bool = False) -> MethodFn:
+def holistic_method(config: AnalysisConfig, *, dedicated: bool = False) -> MethodFn:
+    """Build a campaign method running the holistic analysis with *config*.
+
+    Exposed so benchmarks and experiments can register ad-hoc variants
+    (kernel/update/incremental axes) with :func:`register_method`.
+    """
     def run(
         system: TransactionSystem,
         warm_start: dict[tuple[int, int], float] | None,
     ) -> MethodOutcome:
-        runner = analyze_dedicated if dedicated else analyze
         before = fixed_point_stats()
-        result = runner(system, config=config, warm_start=warm_start)
+        if dedicated:
+            # analyze_dedicated shares the input's transaction list with
+            # its platform-swapped clone, so it must not mutate.
+            result = analyze_dedicated(
+                system, config=config, warm_start=warm_start
+            )
+        else:
+            # Campaign generators produce a fresh system per cell (the
+            # registry contract), so the defensive clone is skipped; the
+            # derived offset/jitter fields are recomputed per analysis,
+            # which keeps repeated method runs on one cell independent.
+            result = analyze(
+                system, config=config, warm_start=warm_start, in_place=True
+            )
         stats = fixed_point_stats().delta(before)
         outcome = outcome_from_analysis(result)
         # Cross-checkable accounting: the driver-level counters must agree
@@ -116,6 +140,8 @@ def _holistic_method(config: AnalysisConfig, *, dedicated: bool = False) -> Meth
         outcome.extras["fp_solves"] = stats.solves
         outcome.extras["fp_diverged"] = stats.diverged
         outcome.extras["fp_evaluations"] = stats.evaluations
+        outcome.extras["fp_task_solves"] = result.task_solves
+        outcome.extras["fp_task_skips"] = result.task_skips
         return outcome
 
     return run
@@ -146,13 +172,21 @@ def _compositional_method(
 
 #: name -> (method function, supports warm-start chaining)
 _METHODS: dict[str, tuple[MethodFn, bool]] = {
-    "reduced": (_holistic_method(AnalysisConfig(method="reduced")), True),
+    "reduced": (holistic_method(AnalysisConfig(method="reduced")), True),
     "gauss_seidel": (
-        _holistic_method(AnalysisConfig(method="reduced", update="gauss_seidel")),
+        holistic_method(AnalysisConfig(method="reduced", update="gauss_seidel")),
         True,
     ),
-    "exact": (_holistic_method(AnalysisConfig(method="exact")), True),
-    "dedicated": (_holistic_method(AnalysisConfig(), dedicated=True), True),
+    "gauss_seidel_full": (
+        holistic_method(
+            AnalysisConfig(
+                method="reduced", update="gauss_seidel", incremental=False
+            )
+        ),
+        True,
+    ),
+    "exact": (holistic_method(AnalysisConfig(method="exact")), True),
+    "dedicated": (holistic_method(AnalysisConfig(), dedicated=True), True),
     "compositional": (_compositional_method, False),
 }
 
@@ -160,7 +194,16 @@ _METHODS: dict[str, tuple[MethodFn, bool]] = {
 def register_method(
     name: str, fn: MethodFn, *, supports_warm_start: bool = False
 ) -> None:
-    """Register (or replace) a campaign method under *name*."""
+    """Register (or replace) a campaign method under *name*.
+
+    Methods of one cell run in spec order on a *shared* system object.
+    The built-in holistic methods analyze it in place, overwriting the
+    Eq. 18-derived offset/jitter fields of non-first tasks (re-analysis is
+    unaffected -- those fields are recomputed from scratch every run, which
+    is why the built-ins can skip the defensive clone).  A custom method
+    that reads raw task offsets/jitters should either be listed before the
+    holistic methods or treat those fields as derived state.
+    """
     _METHODS[name] = (fn, supports_warm_start)
 
 

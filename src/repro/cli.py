@@ -132,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the per-cell table as CSV")
     p_cp.add_argument("--acceptance-csv", metavar="PATH",
                       help="write the aggregated acceptance table as CSV")
+    p_cp.add_argument("--resume", metavar="PATH",
+                      help="load a partial results JSON; completed chains "
+                      "(matched by cell seed + parameter point) are reused "
+                      "and new cells merged in")
+    p_cp.add_argument("--stream-csv", metavar="PATH",
+                      help="append each finished cell to this CSV as it "
+                      "completes (bounded-memory export for huge sweeps)")
+    p_cp.add_argument("--no-collect", action="store_true",
+                      help="with --stream-csv: do not keep cells in memory "
+                      "(summary output and --json/--csv are then empty)")
     return parser
 
 
@@ -151,10 +161,9 @@ def _parse_grid_axis(text: str) -> tuple[str, tuple]:
         start, stop, count = float(parts[0]), float(parts[1]), int(parts[2])
         if count < 1:
             raise ValueError(f"grid range {spec!r} needs count >= 1")
-        if count == 1:
-            return axis, (start,)
-        step = (stop - start) / (count - 1)
-        return axis, tuple(start + k * step for k in range(count))
+        from repro.batch import linspace_levels
+
+        return axis, linspace_levels(start, stop, count)
     values = tuple(float(v) for v in spec.split(",") if v != "")
     if not values:
         raise ValueError(f"grid axis {text!r} has no values")
@@ -365,9 +374,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         generator=args.generator,
         warm_start=not args.no_warm_start,
     )
-    result = Campaign(spec).run(
-        workers=args.workers, chunk_size=args.chunk_size
+    from repro.batch import CampaignResult
+
+    resume_from = (
+        CampaignResult.load_json(args.resume) if args.resume else None
     )
+    result = Campaign(spec).run(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        resume_from=resume_from,
+        stream_csv=args.stream_csv,
+        collect=not args.no_collect,
+    )
+    if result.reused_cells:
+        print(f"resumed: {result.reused_cells} cells reused from {args.resume}")
+    if args.stream_csv:
+        print(f"streamed {result.streamed_cells} cells to {args.stream_csv}")
     print(result.format_summary())
     if args.json_out:
         print(f"campaign result written to {result.save_json(args.json_out)}")

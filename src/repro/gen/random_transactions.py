@@ -28,7 +28,7 @@ from repro.model.task import Task
 from repro.model.transaction import Transaction
 from repro.platforms.linear import LinearSupplyPlatform
 
-__all__ = ["RandomSystemSpec", "random_system"]
+__all__ = ["RandomSystemSpec", "random_system", "scale_system_utilization"]
 
 
 @dataclass(frozen=True)
@@ -71,11 +71,17 @@ def random_system(
         else np.random.default_rng(seed)
     )
 
+    # Batched draws (one RNG call per parameter family, not one per value):
+    # campaign sweeps generate hundreds of systems per second and the
+    # per-call dispatch of tiny numpy draws dominated generation time.
+    rates = rng.uniform(*spec.rate_range, spec.n_platforms)
+    delays = rng.uniform(*spec.delay_range, spec.n_platforms)
+    bursts = rng.uniform(*spec.burst_range, spec.n_platforms)
     platforms = [
         LinearSupplyPlatform(
-            rate=float(rng.uniform(*spec.rate_range)),
-            delay=float(rng.uniform(*spec.delay_range)),
-            burstiness=float(rng.uniform(*spec.burst_range)),
+            rate=float(rates[m]),
+            delay=float(delays[m]),
+            burstiness=float(bursts[m]),
             name=f"Pi{m + 1}",
         )
         for m in range(spec.n_platforms)
@@ -92,10 +98,13 @@ def random_system(
     sizes = rng.integers(lo, hi + 1, spec.n_transactions)
 
     # Pre-assign platforms so per-platform UUniFast can size the demand.
-    assignment: list[list[int]] = [
-        [int(rng.integers(0, spec.n_platforms)) for _ in range(int(sizes[i]))]
-        for i in range(spec.n_transactions)
-    ]
+    flat_assignment = rng.integers(0, spec.n_platforms, int(sizes.sum()))
+    assignment: list[list[int]] = []
+    pos = 0
+    for i in range(spec.n_transactions):
+        n_i = int(sizes[i])
+        assignment.append([int(m) for m in flat_assignment[pos:pos + n_i]])
+        pos += n_i
 
     # Per platform: the list of (txn, pos) slots mapped to it.
     slots: dict[int, list[tuple[int, int]]] = {m: [] for m in range(spec.n_platforms)}
@@ -118,8 +127,10 @@ def random_system(
         tasks = []
         for j in range(int(sizes[i])):
             c = wcet[(i, j)]
+            # Values are valid by construction (wcet > 0 via the 1e-6
+            # floor, bcet = ratio * wcet <= wcet with ratio in (0, 1]).
             tasks.append(
-                Task(
+                Task.unchecked(
                     wcet=c,
                     bcet=spec.bcet_ratio * c,
                     platform=assignment[i][j],
@@ -140,3 +151,44 @@ def random_system(
         transactions=transactions, platforms=platforms, name="random"
     )
     return assign_deadline_monotonic(system)
+
+
+def scale_system_utilization(
+    system: TransactionSystem, factor: float
+) -> TransactionSystem:
+    """*system* with every execution time scaled by *factor*.
+
+    UUniFast is exactly linear in its total (``sums = total * factors``),
+    so for a fixed seed the system :func:`random_system` draws at
+    utilization ``u2`` equals the one drawn at ``u1`` with all wcet/bcet
+    multiplied by ``u2/u1`` -- periods, platforms, offsets and priorities
+    are utilization-independent.  Campaign sweep chains exploit this to
+    generate each chain's system once and scale per level instead of
+    re-drawing (the only deviation is the generator's 1e-6 wcet floor,
+    which a drawn task essentially never hits).
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor!r}")
+    transactions = []
+    for tr in system.transactions:
+        tasks = []
+        for t in tr.tasks:
+            c = t.unvalidated_copy()
+            c.wcet = t.wcet * factor
+            c.bcet = t.bcet * factor
+            tasks.append(c)
+        transactions.append(
+            Transaction(
+                period=tr.period,
+                deadline=tr.deadline,
+                name=tr.name,
+                meta=dict(tr.meta),
+                tasks=tasks,
+            )
+        )
+    return TransactionSystem(
+        transactions=transactions,
+        platforms=list(system.platforms),
+        name=system.name,
+        meta=dict(system.meta),
+    )

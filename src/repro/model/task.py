@@ -97,6 +97,49 @@ class Task:
         """Return a copy with the given fields replaced (validation re-runs)."""
         return replace(self, **changes)
 
+    @classmethod
+    def unchecked(
+        cls,
+        *,
+        wcet: float,
+        platform: int,
+        priority: int,
+        bcet: float,
+        offset: float = 0.0,
+        jitter: float = 0.0,
+        blocking: float = 0.0,
+        name: str = "",
+    ) -> "Task":
+        """Construct without ``__post_init__`` validation.
+
+        For generators that produce values valid by construction and build
+        tasks by the hundred thousand; every field must already be of its
+        final type (floats coerced, ``bcet`` resolved).
+        """
+        new = object.__new__(cls)
+        new.wcet = wcet
+        new.platform = platform
+        new.priority = priority
+        new.bcet = bcet
+        new.offset = offset
+        new.jitter = jitter
+        new.blocking = blocking
+        new.name = name
+        new.meta = {}
+        return new
+
+    def unvalidated_copy(self) -> "Task":
+        """Field-for-field copy that skips ``__post_init__`` validation.
+
+        For hot paths cloning a system that was already validated on
+        construction (the holistic driver clones every input system to keep
+        it pristine); the copy owns its ``meta`` dict.
+        """
+        new = object.__new__(Task)
+        new.__dict__.update(self.__dict__)
+        new.meta = dict(self.meta)
+        return new
+
     def scaled_wcet(self, rate: float) -> float:
         """Execution time on a platform of rate *rate*: :math:`C/\\alpha`."""
         if rate <= 0:

@@ -23,6 +23,9 @@ __all__ = [
     "fixed_point_stats",
     "iterate_fixed_point",
     "iterate_monotone",
+    "note_outer_tasks",
+    "note_solve",
+    "note_solves",
     "reset_fixed_point_stats",
 ]
 
@@ -46,6 +49,12 @@ class FixedPointStats:
     diverged: int = 0
     #: Number of solves that began from a caller-supplied warm start.
     warm_started: int = 0
+    #: Outer-round task response-time solves performed / skipped by the
+    #: chain-aware dirty-set scheduler (see ``analysis.holistic``).  A skip
+    #: is a whole per-task solve the incremental Gauss-Seidel round proved
+    #: redundant -- the savings the campaign accounting reports.
+    outer_task_solves: int = 0
+    outer_task_skips: int = 0
 
     def snapshot(self) -> "FixedPointStats":
         return replace(self)
@@ -57,6 +66,8 @@ class FixedPointStats:
             solves=self.solves - before.solves,
             diverged=self.diverged - before.diverged,
             warm_started=self.warm_started - before.warm_started,
+            outer_task_solves=self.outer_task_solves - before.outer_task_solves,
+            outer_task_skips=self.outer_task_skips - before.outer_task_skips,
         )
 
 
@@ -75,6 +86,40 @@ def reset_fixed_point_stats() -> None:
     _STATS.solves = 0
     _STATS.diverged = 0
     _STATS.warm_started = 0
+    _STATS.outer_task_solves = 0
+    _STATS.outer_task_skips = 0
+
+
+def note_outer_tasks(solved: int, skipped: int) -> None:
+    """Charge one outer round's per-task solve/skip counts to the stats."""
+    _STATS.outer_task_solves += solved
+    _STATS.outer_task_skips += skipped
+
+
+def note_solve(
+    evaluations: int, *, diverged: bool = False, warm_started: bool = False
+) -> None:
+    """Charge one externally-iterated solve to the process-wide stats.
+
+    For hot paths that hand-inline the fixed-point loop (the scenario
+    solver) but must stay indistinguishable from :func:`iterate_fixed_point`
+    in the accounting the campaign engine reports.
+    """
+    _STATS.evaluations += evaluations
+    _STATS.solves += 1
+    if diverged:
+        _STATS.diverged += 1
+    if warm_started:
+        _STATS.warm_started += 1
+
+
+def note_solves(
+    evaluations: int, solves: int, *, warm_started: int = 0
+) -> None:
+    """Batched :func:`note_solve` for several convergent solves at once."""
+    _STATS.evaluations += evaluations
+    _STATS.solves += solves
+    _STATS.warm_started += warm_started
 
 
 class FixedPointDiverged(RuntimeError):

@@ -1,0 +1,244 @@
+"""ISSUE 2 equivalence properties: vector kernel and dirty-set scheduler.
+
+Two layers of the PR must be behavior-preserving:
+
+* the NumPy **vector kernel** must agree with the scalar reference
+  closures within ``EPS`` -- at the closure level (same job counts at the
+  same time points) and end-to-end through both the reduced and the exact
+  analysis on hundreds of random systems;
+* the chain-aware **dirty-set Gauss-Seidel** must converge to the same
+  response times as the full-sweep Gauss-Seidel (and hence the Jacobi
+  trace), only skipping work.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.analysis.busy import (
+    HAVE_NUMPY,
+    HPTask,
+    TransactionView,
+    build_views,
+    compile_w_transaction_k,
+    compile_w_transaction_star,
+    w_transaction_k,
+    w_transaction_star,
+)
+from repro.gen import RandomSystemSpec, random_system
+from repro.util.math import EPS
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="vector kernel requires numpy"
+)
+
+TOL = max(EPS, 1e-9)
+
+
+def _systems(n: int, *, spec: RandomSystemSpec, seed0: int = 0):
+    for k in range(n):
+        # Vary utilization with the seed so the sweep covers both
+        # comfortably schedulable and saturated systems.
+        util = 0.3 + 0.6 * ((seed0 + k) % 7) / 6.0
+        yield random_system(
+            RandomSystemSpec(
+                n_platforms=spec.n_platforms,
+                n_transactions=spec.n_transactions,
+                tasks_per_transaction=spec.tasks_per_transaction,
+                utilization=util,
+            ),
+            seed=seed0 + k,
+        )
+
+
+def _assert_same_responses(a, b, context: str) -> None:
+    assert a.schedulable == b.schedulable, context
+    assert a.converged == b.converged, context
+    for key in a.tasks:
+        ra, rb = a.tasks[key].wcrt, b.tasks[key].wcrt
+        if math.isinf(ra) or math.isinf(rb):
+            assert ra == rb, f"{context} task={key}"
+        else:
+            assert rb == pytest.approx(ra, abs=TOL), f"{context} task={key}"
+
+
+class TestKernelEquivalenceEndToEnd:
+    """Scalar vs vector through the full holistic analysis."""
+
+    SPEC = RandomSystemSpec(
+        n_platforms=2, n_transactions=3, tasks_per_transaction=(1, 3)
+    )
+
+    def test_reduced_path_200_random_systems(self):
+        updates = ("jacobi", "gauss_seidel")
+        for k, system in enumerate(_systems(200, spec=self.SPEC)):
+            update = updates[k % 2]
+            scalar = analyze(
+                system,
+                config=AnalysisConfig(kernel="scalar", update=update),
+            )
+            vector = analyze(
+                system,
+                config=AnalysisConfig(kernel="vector", update=update),
+            )
+            _assert_same_responses(
+                scalar, vector, f"reduced seed={k} update={update}"
+            )
+
+    def test_exact_path_random_systems(self):
+        small = RandomSystemSpec(
+            n_platforms=2, n_transactions=2, tasks_per_transaction=(1, 2)
+        )
+        for k, system in enumerate(_systems(60, spec=small, seed0=1000)):
+            scalar = analyze(
+                system, config=AnalysisConfig(method="exact", kernel="scalar")
+            )
+            vector = analyze(
+                system, config=AnalysisConfig(method="exact", kernel="vector")
+            )
+            _assert_same_responses(scalar, vector, f"exact seed={1000 + k}")
+
+
+class TestKernelEquivalenceClosures:
+    """Scalar vs vector at the compiled-closure level: the job counts must
+    be bit-identical (same IEEE operations), so the W values agree to the
+    last ulp of the final sum."""
+
+    def test_w_k_and_w_star_match_interpreted(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for trial in range(200):
+            period = float(rng.uniform(5.0, 200.0))
+            n = int(rng.integers(1, 5))
+            tasks = tuple(
+                HPTask(
+                    phi=float(rng.uniform(0.0, period)),
+                    jitter=float(rng.uniform(0.0, 3.0 * period)),
+                    cost=float(rng.uniform(0.01, 20.0)),
+                    index=j,
+                )
+                for j in range(n)
+            )
+            view = TransactionView(period=period, index=0, tasks=tasks)
+            s_phi = float(rng.uniform(0.0, period))
+            s_jit = float(rng.uniform(0.0, 2.0 * period))
+            ts = rng.uniform(0.0, 5.0 * period, 6)
+
+            scalar_k = compile_w_transaction_k(
+                view, None, starter_phi=s_phi, starter_jitter=s_jit,
+                kernel="scalar",
+            )
+            vector_k = compile_w_transaction_k(
+                view, None, starter_phi=s_phi, starter_jitter=s_jit,
+                kernel="vector",
+            )
+            scalar_star = compile_w_transaction_star(view, kernel="scalar")
+            vector_star = compile_w_transaction_star(view, kernel="vector")
+            for t in ts:
+                t = float(t)
+                expected_k = w_transaction_k(
+                    view, None, t, starter_phi=s_phi, starter_jitter=s_jit
+                )
+                assert scalar_k(t) == pytest.approx(expected_k, abs=TOL)
+                assert vector_k(t) == pytest.approx(expected_k, abs=TOL)
+                expected_star = w_transaction_star(view, t)
+                assert scalar_star(t) == pytest.approx(expected_star, abs=TOL)
+                assert vector_star(t) == pytest.approx(expected_star, abs=TOL)
+
+    def test_auto_kernel_matches_forced(self):
+        system = random_system(
+            RandomSystemSpec(
+                n_platforms=2, n_transactions=3, tasks_per_transaction=(2, 4),
+                utilization=0.6,
+            ),
+            seed=42,
+        )
+        auto = analyze(system, config=AnalysisConfig(kernel="auto"))
+        scalar = analyze(system, config=AnalysisConfig(kernel="scalar"))
+        _assert_same_responses(scalar, auto, "auto-vs-scalar")
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            AnalysisConfig(kernel="quantum")
+
+
+class TestDirtySetEquivalence:
+    """Incremental (dirty-set) Gauss-Seidel vs the full sweep."""
+
+    SPEC = RandomSystemSpec(
+        n_platforms=2, n_transactions=3, tasks_per_transaction=(2, 4)
+    )
+
+    def test_same_responses_on_random_systems(self):
+        for k, system in enumerate(_systems(80, spec=self.SPEC, seed0=500)):
+            full = analyze(
+                system,
+                config=AnalysisConfig(
+                    update="gauss_seidel", incremental=False
+                ),
+            )
+            incremental = analyze(
+                system,
+                config=AnalysisConfig(
+                    update="gauss_seidel", incremental=True
+                ),
+            )
+            _assert_same_responses(
+                full, incremental, f"dirty-set seed={500 + k}"
+            )
+            # The fast path must actually skip work on multi-round solves.
+            if incremental.outer_iterations > 1 and incremental.converged:
+                assert incremental.task_skips > 0
+
+    def test_same_responses_with_warm_start(self):
+        """Warm starts can seed jitters above the refresh target; the
+        dirty-set bookkeeping must re-dirty observers of lowered jitters."""
+        for k, system in enumerate(_systems(40, spec=self.SPEC, seed0=900)):
+            cold = analyze(
+                system, config=AnalysisConfig(update="gauss_seidel")
+            )
+            if not cold.converged:
+                continue
+            warm_vector = cold.final_jitters()
+            if any(math.isinf(v) for v in warm_vector.values()):
+                continue
+            full = analyze(
+                system,
+                config=AnalysisConfig(
+                    update="gauss_seidel", incremental=False
+                ),
+                warm_start=warm_vector,
+            )
+            incremental = analyze(
+                system,
+                config=AnalysisConfig(update="gauss_seidel"),
+                warm_start=warm_vector,
+            )
+            _assert_same_responses(
+                full, incremental, f"warm dirty-set seed={900 + k}"
+            )
+
+    def test_jacobi_ignores_incremental_flag(self):
+        system = random_system(self.SPEC, seed=3)
+        a = analyze(
+            system, config=AnalysisConfig(update="jacobi", incremental=True)
+        )
+        b = analyze(
+            system, config=AnalysisConfig(update="jacobi", incremental=False)
+        )
+        assert a.task_skips == b.task_skips == 0
+        _assert_same_responses(a, b, "jacobi")
+
+    def test_skip_accounting_consistent(self):
+        system = random_system(self.SPEC, seed=11)
+        result = analyze(
+            system, config=AnalysisConfig(update="gauss_seidel")
+        )
+        n_tasks = len(result.tasks)
+        assert result.task_solves + result.task_skips == (
+            result.outer_iterations * n_tasks
+        )

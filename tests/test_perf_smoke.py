@@ -1,0 +1,136 @@
+"""CI perf smoke and schema checks for ``BENCH_campaign.json`` (ISSUE 2).
+
+Two layers of protection for the throughput numbers the ROADMAP tracks:
+
+* **Schema** -- the committed bench JSON must keep the structure the
+  campaign benchmark writes (so downstream tooling and the next re-anchor
+  can rely on it), and the recorded speedups must meet the ISSUE 2
+  acceptance floor.
+* **Perf smoke** -- a few-second re-measurement of the reference sweep
+  that fails when systems/sec regresses more than 30% below the recorded
+  reference.  Timed best-of-3 to damp container throughput jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.batch import Campaign, CampaignSpec, linspace_levels
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH = ROOT / "BENCH_campaign.json"
+
+#: Fields every run entry of the bench JSON must carry.
+RUN_FIELDS = {
+    "method",
+    "warm_start",
+    "kernel",
+    "scheduler",
+    "systems",
+    "wall_time_s",
+    "systems_per_second",
+    "evaluations_total",
+    "outer_iterations_total",
+    "task_solves",
+    "task_skips",
+}
+
+SPEEDUP_FIELDS = {
+    "vs_pr1_recorded",
+    "vs_pr1_cost_model_inprocess",
+    "vs_pr1_calibrated",
+    "dirty_set_evaluations_saved",
+    "warm_vs_cold_evaluations",
+    "gauss_seidel_vs_jacobi_evaluations",
+}
+
+#: Allowed regression below the recorded reference throughput.
+REGRESSION_MARGIN = 0.30
+
+
+@pytest.fixture(scope="module")
+def payload() -> dict:
+    return json.loads(BENCH.read_text())
+
+
+class TestBenchSchema:
+    def test_top_level_keys(self, payload):
+        assert {"description", "sweep", "pr1_reference", "runs", "speedups"} \
+            <= set(payload)
+
+    def test_sweep_block(self, payload):
+        sweep = payload["sweep"]
+        assert {"levels", "systems_per_cell", "base"} <= set(sweep)
+        assert sweep["systems_per_cell"] >= 1
+        assert len(sweep["levels"]) >= 2
+
+    def test_levels_on_stable_decimal_grid(self, payload):
+        """The ISSUE 2 float-drift fix: no 0.6000000000000001 keys."""
+        levels = payload["sweep"]["levels"]
+        assert levels == [round(v, 10) for v in levels]
+        assert levels == list(
+            linspace_levels(levels[0], levels[-1], len(levels))
+        )
+
+    def test_runs_schema(self, payload):
+        runs = payload["runs"]
+        assert "gs_warm_cached" in runs
+        assert "pr1_cost_model_warm" in runs
+        for name, run in runs.items():
+            missing = RUN_FIELDS - set(run)
+            assert not missing, f"{name} lacks {sorted(missing)}"
+            assert run["systems"] > 0
+            assert run["wall_time_s"] > 0
+            assert run["systems_per_second"] == pytest.approx(
+                run["systems"] / run["wall_time_s"], rel=1e-6
+            )
+
+    def test_speedups_schema(self, payload):
+        assert SPEEDUP_FIELDS <= set(payload["speedups"])
+
+    def test_recorded_speedup_meets_acceptance(self, payload):
+        """The ISSUE 2 acceptance floor, pinned on the committed numbers."""
+        assert payload["speedups"]["vs_pr1_calibrated"] >= 2.0
+        assert payload["speedups"]["dirty_set_evaluations_saved"] > 0.0
+
+    def test_pr1_reference_block(self, payload):
+        ref = payload["pr1_reference"]
+        assert ref["systems_per_second"] == pytest.approx(350.96, abs=0.01)
+        assert ref["evaluations_total"] == 34392
+
+
+class TestPerfSmoke:
+    def test_throughput_within_margin_of_reference(self, payload):
+        """Re-run the recorded sweep; fail on a >30% systems/sec drop."""
+        sweep = payload["sweep"]
+        base = {
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in sweep["base"].items()
+        }
+        spec = CampaignSpec(
+            grid={"utilization": tuple(sweep["levels"])},
+            base=base,
+            methods=("gauss_seidel",),
+            systems_per_cell=sweep["systems_per_cell"],
+            seed=3,
+            warm_start=True,
+        )
+        campaign = Campaign(spec)
+        campaign.run(workers=1)  # warm the interpreter and caches
+        best = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            result = campaign.run(workers=1)
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        measured = result.n_systems / best
+        reference = payload["runs"]["gs_warm_cached"]["systems_per_second"]
+        floor = (1.0 - REGRESSION_MARGIN) * reference
+        assert measured >= floor, (
+            f"campaign throughput regressed: {measured:.1f} systems/s "
+            f"vs recorded {reference:.1f} (floor {floor:.1f})"
+        )
