@@ -17,6 +17,14 @@ ad-hoc loops into one engine:
   sweep axis.  Results come back as ``CellResult``/``CampaignResult``
   dataclasses with JSON/CSV export.
 
+Campaigns scale past one machine by sharding at chain granularity
+(``run(shard=(k, n))`` / ``--shard k/n``; union is bit-identical to the
+single run), merge back with :func:`merge_campaign_results`
+(``python -m repro campaign-merge``), resume partially completed chains
+from their longest finished sweep prefix, and optionally collect worker
+results through a ``multiprocessing.shared_memory`` ring
+(``collect="shm"``).
+
 The CLI front end is ``python -m repro campaign``.
 """
 
@@ -25,6 +33,7 @@ from repro.batch.methods import (
     available_methods,
     holistic_method,
     register_method,
+    reseed_jitters,
     resolve_method,
 )
 from repro.batch.campaign import (
@@ -34,8 +43,11 @@ from repro.batch.campaign import (
     CellResult,
     available_generators,
     linspace_levels,
+    merge_campaign_results,
+    parse_shard,
     register_generator,
     run_campaign,
+    shard_chains,
 )
 
 __all__ = [
@@ -48,8 +60,12 @@ __all__ = [
     "available_methods",
     "holistic_method",
     "linspace_levels",
+    "merge_campaign_results",
+    "parse_shard",
     "register_generator",
     "register_method",
+    "reseed_jitters",
     "resolve_method",
     "run_campaign",
+    "shard_chains",
 ]

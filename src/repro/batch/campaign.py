@@ -21,6 +21,26 @@ fixed point in fewer rounds).  Chains are chunked and dispatched to a
 ``ProcessPoolExecutor``; per-cell seeds derive from
 ``numpy.random.SeedSequence`` so results are identical for any worker
 count, and cells are re-sorted into canonical order on collection.
+
+Distributed execution
+---------------------
+The chain is also the unit of *distributed* work.  ``run(shard=(k, n))``
+executes only the chains a deterministic cell-seed-hash partition assigns
+to shard ``k`` of ``n`` (see :func:`shard_chains`): shard assignments
+depend only on the spec, every chain lands in exactly one shard, and the
+union of all shard results is bit-identical to the unsharded run.
+:func:`merge_campaign_results` (CLI ``python -m repro campaign-merge``)
+reassembles shard JSONs into one canonical-order result, rejecting
+incompatible specs and overlapping cells.  ``resume_from`` reuses the
+longest fully-completed sweep *prefix* of each partial chain, re-seeding
+the warm-start jitters by re-solving only the last completed level (the
+converged jitter vector is the least fixed point -- start-independent --
+so the resumed suffix is bit-identical to a from-scratch run).  With
+``collect="shm"`` pool workers write fixed-width result records into a
+preallocated ``multiprocessing.shared_memory`` ring instead of
+round-tripping pickled chunk lists; records that do not fit (oversized
+extras, or a ring capped by ``shm_bytes``) fall back to the pickle path
+cell by cell, so the collected result is identical either way.
 """
 
 from __future__ import annotations
@@ -28,18 +48,20 @@ from __future__ import annotations
 import csv
 import json
 import math
+import struct
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.analysis.busy import clear_phase_cache, phase_cache_stats
-from repro.batch.methods import resolve_method
+from repro.batch.methods import reseed_jitters, resolve_method
 from repro.gen import RandomSystemSpec, random_system
 from repro.model.system import TransactionSystem
+from repro.util.fixedpoint import fixed_point_stats
 from repro.viz.csvout import write_csv
 from repro.viz.tables import format_table
 
@@ -50,8 +72,11 @@ __all__ = [
     "CellResult",
     "available_generators",
     "linspace_levels",
+    "merge_campaign_results",
+    "parse_shard",
     "register_generator",
     "run_campaign",
+    "shard_chains",
 ]
 
 #: Decimal places of the stable grid sweep levels are rounded to.  Floats
@@ -280,6 +305,26 @@ class CampaignSpec:
         ss = np.random.SeedSequence((self.seed, point_index, replicate))
         return int(ss.generate_state(1)[0])
 
+    def chains(self) -> list[dict]:
+        """The planned chains (sequential units of execution and sharding).
+
+        Pure spec-level planning -- requires no generator/method registry,
+        so result mergers can reconstruct the canonical cell order from a
+        deserialized spec alone.
+        """
+        chains: list[dict] = []
+        for p_idx, point in enumerate(self.points()):
+            for rep in range(self.systems_per_cell):
+                chains.append(
+                    {
+                        "index": len(chains),
+                        "point": point,
+                        "replicate": rep,
+                        "seed": self.cell_seed(p_idx, rep),
+                    }
+                )
+        return chains
+
     def to_dict(self) -> dict:
         return {
             "grid": {k: _jsonify(list(v)) for k, v in self.grid.items()},
@@ -304,6 +349,87 @@ class CampaignSpec:
             sweep_axis=data.get("sweep_axis"),
             warm_start=bool(data.get("warm_start", True)),
         )
+
+
+# --------------------------------------------------------------------------
+# Sharding
+# --------------------------------------------------------------------------
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _shard_key(seed: int) -> int:
+    """SplitMix64 finalizer of a chain's cell seed.
+
+    Decorrelates the shard partition from the raw ``SeedSequence`` output:
+    chains are ranked by this key, so the partition is a property of the
+    spec's seeds alone -- independent of grid insertion order, of which
+    host computes it, and of how many other shards exist.
+    """
+    z = (seed + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a ``k/n`` shard designator (0-based: ``0/2``, ``1/2``)."""
+    k_text, sep, n_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like K/N (e.g. 0/2), got {text!r}"
+        ) from None
+    if n < 1 or not 0 <= k < n:
+        raise ValueError(
+            f"shard index must satisfy 0 <= K < N, got {text!r}"
+        )
+    return k, n
+
+
+def shard_chains(chains: Sequence[dict], shard: tuple[int, int]) -> list[dict]:
+    """The chains the deterministic seed-hash partition assigns to *shard*.
+
+    Chains are ranked by :func:`_shard_key` of their cell seed (ties broken
+    by the chain index, itself a pure function of the spec) and shard ``k``
+    of ``n`` takes every ``n``-th rank.  Consequences:
+
+    * every chain belongs to exactly one shard, so concatenating all shard
+      results reproduces the unsharded campaign bit for bit;
+    * shard sizes are balanced within one chain of each other regardless of
+      how adversarial the seed values are;
+    * the assignment is computable on any host from the spec alone.
+
+    Chains are returned in their original (canonical) execution order.
+    """
+    k, n = shard
+    if n < 1 or not 0 <= k < n:
+        raise ValueError(f"shard index must satisfy 0 <= k < n, got {k}/{n}")
+    ranked = sorted(
+        range(len(chains)),
+        key=lambda i: (_shard_key(chains[i]["seed"]), chains[i]["index"]),
+    )
+    mine = set(ranked[k::n])
+    return [c for i, c in enumerate(chains) if i in mine]
+
+
+def _chain_point_params(
+    spec: CampaignSpec, point: dict[str, Any], step: int
+) -> dict[str, Any]:
+    """Raw generator params of one chain cell (base + point + sweep value).
+
+    The single construction point for cell params: the chain runner, the
+    resume index, and the shared-memory record decoder all derive params
+    through this helper, which is what makes their cells bit-identical.
+    """
+    params = dict(spec.base)
+    params.update(point)
+    if spec.sweep_axis is not None:
+        params[spec.sweep_axis] = spec.sweep_values()[step]
+    return params
 
 
 @dataclass
@@ -373,6 +499,20 @@ class CampaignResult:
     streamed_cells: int = 0
     #: Cells recovered from a ``resume_from`` result instead of re-running.
     reused_cells: int = 0
+    #: ``[k, n]`` when this result holds shard ``k`` of an ``n``-way
+    #: partition (see :func:`shard_chains`); ``None`` for a full run or a
+    #: merged union.
+    shard: list[int] | None = None
+    #: Fixed-point solves/evaluations spent re-seeding warm-start jitters
+    #: for chain-prefix resume (work that produced no reported cell).
+    reseed_solves: int = 0
+    reseed_evaluations: int = 0
+    #: Cells collected through the shared-memory ring vs cells that fell
+    #: back to the pickle path while ``collect="shm"`` was active.
+    shm_records: int = 0
+    shm_overflow: int = 0
+    #: True when ``max_cells`` cut the run short (simulated kill).
+    truncated: bool = False
 
     # -- aggregate views --------------------------------------------------
 
@@ -483,6 +623,10 @@ class CampaignResult:
             ),
             "warm": bucket(warm),
             "cold": bucket(cold),
+            "reseed": {
+                "solves": self.reseed_solves,
+                "evaluations": self.reseed_evaluations,
+            },
             "phase_cache": {
                 "hits": hits,
                 "misses": misses,
@@ -519,11 +663,18 @@ class CampaignResult:
             "wall_time_s": self.wall_time_s,
             "streamed_cells": self.streamed_cells,
             "reused_cells": self.reused_cells,
+            "shard": self.shard,
+            "reseed_solves": self.reseed_solves,
+            "reseed_evaluations": self.reseed_evaluations,
+            "shm_records": self.shm_records,
+            "shm_overflow": self.shm_overflow,
+            "truncated": self.truncated,
             "cells": [c.to_dict() for c in self.cells],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignResult":
+        shard = data.get("shard")
         return cls(
             spec=data["spec"],
             cells=[CellResult.from_dict(c) for c in data["cells"]],
@@ -531,6 +682,12 @@ class CampaignResult:
             wall_time_s=float(data.get("wall_time_s", 0.0)),
             streamed_cells=int(data.get("streamed_cells", 0)),
             reused_cells=int(data.get("reused_cells", 0)),
+            shard=[int(shard[0]), int(shard[1])] if shard else None,
+            reseed_solves=int(data.get("reseed_solves", 0)),
+            reseed_evaluations=int(data.get("reseed_evaluations", 0)),
+            shm_records=int(data.get("shm_records", 0)),
+            shm_overflow=int(data.get("shm_overflow", 0)),
+            truncated=bool(data.get("truncated", False)),
         )
 
     def save_json(self, path: str | Path) -> Path:
@@ -607,10 +764,22 @@ class CampaignResult:
             f"{acc['phase_cache']['misses']} misses "
             f"(hit ratio {acc['phase_cache']['hit_ratio']:.2f})"
         )
+        if self.reseed_solves:
+            footer += (
+                f"\nprefix resume: {self.reseed_solves} re-seed solves "
+                f"({self.reseed_evaluations} evaluations, unreported)"
+            )
+        if self.shm_records or self.shm_overflow:
+            footer += (
+                f"\nshm collection: {self.shm_records} records, "
+                f"{self.shm_overflow} pickle fallbacks"
+            )
         title = (
             f"campaign: generator={self.spec.get('generator')} "
             f"seed={self.spec.get('seed')}"
         )
+        if self.shard:
+            title += f" shard={self.shard[0]}/{self.shard[1]}"
         return format_table(header, body, title=title) + footer
 
 
@@ -631,18 +800,126 @@ def _csv_value(value: Any) -> Any:
     return value
 
 
+def merge_campaign_results(
+    results: Sequence[CampaignResult],
+) -> CampaignResult:
+    """Union shard (or partial) results of one spec into a single result.
+
+    All inputs must carry the *identical* spec dict -- merging results from
+    different generators, seeds, grids or method lists would silently mix
+    incomparable cells, so any difference raises :class:`ValueError`, as
+    does a duplicated shard index or any overlapping cell (the same
+    ``(params, seed, method)`` identity appearing in two inputs).  Cells
+    are returned in the canonical order of the spec's chain plan; missing
+    cells are allowed (a merge of an incomplete shard set is itself a valid
+    ``resume_from`` input).
+
+    ``wall_time_s``/``workers`` are the maxima over the inputs (the
+    concurrent-hosts reading: shards run side by side, the union is ready
+    when the slowest shard is); the counter fields are summed.
+    """
+    if not results:
+        raise ValueError("need at least one result to merge")
+    spec = results[0].spec
+    for idx, r in enumerate(results[1:], start=1):
+        if r.spec != spec:
+            differing = sorted(
+                k
+                for k in set(spec) | set(r.spec)
+                if spec.get(k) != r.spec.get(k)
+            )
+            raise ValueError(
+                f"result {idx} has an incompatible spec: "
+                f"{', '.join(differing)} differ"
+            )
+    shards = [tuple(r.shard) for r in results if r.shard]
+    if len({n for _, n in shards}) > 1:
+        raise ValueError(
+            f"shard counts differ: {sorted({n for _, n in shards})}"
+        )
+    seen_k = [k for k, _ in shards]
+    if len(set(seen_k)) < len(seen_k):
+        dup = sorted(k for k in set(seen_k) if seen_k.count(k) > 1)
+        raise ValueError(f"duplicate shard index {dup[0]} among the inputs")
+
+    index: dict[tuple, CellResult] = {}
+    for r in results:
+        for c in r.cells:
+            key = _cell_identity(c.params, c.seed, c.method)
+            if key in index:
+                raise ValueError(
+                    f"overlapping cell in merge: seed={c.seed} "
+                    f"method={c.method!r} params={c.params!r}"
+                )
+            index[key] = c
+
+    # Canonical order comes from the spec's chain plan alone (no registry
+    # lookups, so results of custom generators merge in any process).
+    merged_spec = CampaignSpec.from_dict(spec)
+    ordered: list[CellResult] = []
+    for chain in merged_spec.chains():
+        for step in range(len(merged_spec.sweep_values())):
+            params = _jsonify(
+                _chain_point_params(merged_spec, chain["point"], step)
+            )
+            for name in merged_spec.methods:
+                cell = index.pop(
+                    _cell_identity(params, chain["seed"], name), None
+                )
+                if cell is not None:
+                    ordered.append(cell)
+    if index:
+        raise ValueError(
+            f"{len(index)} cells do not belong to the merged spec "
+            "(stale grid values or a foreign result file?)"
+        )
+    return CampaignResult(
+        spec=spec,
+        cells=ordered,
+        workers=max(r.workers for r in results),
+        wall_time_s=max(r.wall_time_s for r in results),
+        streamed_cells=sum(r.streamed_cells for r in results),
+        reused_cells=sum(r.reused_cells for r in results),
+        shard=None,
+        reseed_solves=sum(r.reseed_solves for r in results),
+        reseed_evaluations=sum(r.reseed_evaluations for r in results),
+        shm_records=sum(r.shm_records for r in results),
+        shm_overflow=sum(r.shm_overflow for r in results),
+        truncated=any(r.truncated for r in results)
+        and len(ordered) < merged_spec.n_analyses(),
+    )
+
+
 # --------------------------------------------------------------------------
 # Execution
 # --------------------------------------------------------------------------
 
 
-def _run_chain(spec: CampaignSpec, chain: dict) -> list[dict]:
-    """Execute one warm-start chain; returns tagged cell dicts."""
+def _run_chain(spec: CampaignSpec, chain: dict) -> dict:
+    """Execute one warm-start chain.
+
+    Returns ``{"cells": [tagged cell dicts], "reseed_solves": int,
+    "reseed_evaluations": int}``.  When ``chain["resume_step"]`` is set
+    (chain-prefix resume), sweep steps before it are already recorded:
+    their analyses are skipped, but generation/scaling is replayed so the
+    chain's scaling base evolves exactly as in a from-scratch run -- a
+    custom sweep scaler may *decline* (return ``None``) at any level,
+    which regenerates and re-bases the chain there, so the skipped levels'
+    scaler calls cannot be elided in general (for the built-in linear
+    scaler the base never moves and the replay is redundant-but-cheap,
+    O(tasks) per skipped level).  The last completed step is then
+    re-solved (cold, unreported) purely to recover the warm-start jitter
+    vector the remaining steps chain from -- the converged jitters are
+    the least fixed point, so the re-solve hands the suffix exactly the
+    vector the original run would have.
+    """
     point: dict[str, Any] = chain["point"]
     seed: int = chain["seed"]
     replicate: int = chain["replicate"]
     chain_index: int = chain["index"]
+    resume_step: int = int(chain.get("resume_step", 0))
 
+    stats0 = fixed_point_stats()
     warm: dict[str, dict | None] = {m: None for m in spec.methods}
     out: list[dict] = []
     scaler = (
@@ -653,10 +930,13 @@ def _run_chain(spec: CampaignSpec, chain: dict) -> list[dict]:
     base_system: TransactionSystem | None = None
     base_value: Any = None
     for step, sweep_value in enumerate(spec.sweep_values()):
-        params = dict(spec.base)
-        params.update(point)
-        if spec.sweep_axis is not None:
-            params[spec.sweep_axis] = sweep_value
+        skip = step < resume_step - 1
+        reseed = resume_step > 0 and step == resume_step - 1
+        if skip and scaler is None:
+            # Without a sweep scaler every level is generated independently
+            # from (params, seed); skipped levels need no replay at all.
+            continue
+        params = _chain_point_params(spec, point, step)
         system = None
         if scaler is not None and base_system is not None:
             system = scaler(
@@ -665,9 +945,16 @@ def _run_chain(spec: CampaignSpec, chain: dict) -> list[dict]:
         if system is None:
             system = GENERATORS[spec.generator](params, seed)
             base_system, base_value = system, sweep_value
+        if skip:
+            continue
         # A fresh cache per sweep step keeps per-cell hit/miss accounting
         # independent of which worker ran the previous chain.
         clear_phase_cache()
+        if reseed:
+            if spec.warm_start:
+                for name in spec.methods:
+                    warm[name] = reseed_jitters(name, system)
+            continue
         for m_idx, name in enumerate(spec.methods):
             fn, supports_warm = resolve_method(name)
             warm_vector = (
@@ -700,17 +987,256 @@ def _run_chain(spec: CampaignSpec, chain: dict) -> list[dict]:
                     },
                 }
             )
-    return out
+    reseed_delta = fixed_point_stats().delta(stats0)
+    return {
+        "cells": out,
+        "reseed_solves": reseed_delta.reseed_solves,
+        "reseed_evaluations": reseed_delta.reseed_evaluations,
+    }
 
 
-def _run_chunk(payload: tuple[dict, list[dict]]) -> list[dict]:
-    """Worker entry point: a chunk is a list of chains."""
-    spec_dict, chains = payload
+# --------------------------------------------------------------------------
+# Shared-memory result collection
+# --------------------------------------------------------------------------
+
+#: Fixed-width record header: chain index, sweep step, method index,
+#: schedulable/converged/warm_started flags, outer iterations,
+#: evaluations, max_wcrt_ratio, time_s, phase-cache hits/misses, and the
+#: byte length of the JSON-encoded extras tail.
+_REC_HEADER = struct.Struct("<IIIBBBxqqddqqI")
+
+#: Fixed record width: the header plus up to ``SHM_RECORD_SIZE - header``
+#: bytes of JSON extras.  Records whose extras do not fit overflow to the
+#: pickle path (the built-in holistic extras need ~90 bytes).
+SHM_RECORD_SIZE = 256
+
+#: Default shared-memory ring capacity (64 MiB ~ 256k cells).
+DEFAULT_SHM_BYTES = 64 * 1024 * 1024
+
+
+def _encode_record(buf, offset: int, order: tuple, cell: dict) -> bool:
+    """Pack one tagged cell at *offset*; False when it does not fit.
+
+    False also covers extras that would not survive the JSON round trip
+    *unchanged* (non-string dict keys stringify, NaN breaks equality):
+    those cells fall back to the pickle path so ``collect="shm"`` stays
+    bit-identical to ``collect="pickle"`` for arbitrary custom methods.
+    """
+    extras_obj = cell["extras"]
+    try:
+        payload = json.dumps(extras_obj, separators=(",", ":"))
+        if json.loads(payload) != extras_obj:
+            return False
+        extras = payload.encode("utf-8")
+    except (TypeError, ValueError):
+        return False
+    if _REC_HEADER.size + len(extras) > SHM_RECORD_SIZE:
+        return False
+    _REC_HEADER.pack_into(
+        buf,
+        offset,
+        order[0],
+        order[1],
+        order[2],
+        int(cell["schedulable"]),
+        int(cell["converged"]),
+        int(cell["warm_started"]),
+        int(cell["outer_iterations"]),
+        int(cell["evaluations"]),
+        float(cell["max_wcrt_ratio"]),
+        float(cell["time_s"]),
+        int(cell["phase_cache_hits"]),
+        int(cell["phase_cache_misses"]),
+        len(extras),
+    )
+    start = offset + _REC_HEADER.size
+    buf[start:start + len(extras)] = extras
+    return True
+
+
+def _attach_shm(name: str):
+    """Attach a pool worker to the parent's segment.
+
+    Under the default ``fork`` start method the workers share the parent's
+    resource-tracker process, so the attach's re-registration is an
+    idempotent set-add there and the parent's ``unlink`` remains the one
+    cleanup point -- the worker must only ``close()`` its mapping.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+class _ShmArena:
+    """Preallocated shared-memory ring for cell records.
+
+    Each pool chunk owns a contiguous region sized for its cell count
+    (single-writer per region, so no cross-process locking), assigned
+    ring-style until ``shm_bytes`` is exhausted; chunks past the cap, and
+    individual records that do not fit their region or their fixed width,
+    fall back to the executor's pickle path -- the merged result is
+    identical, only the transport differs.
+    """
+
+    def __init__(self, seg, regions: list[tuple[int, int] | None]):
+        self.seg = seg
+        self.regions = regions
+
+    @classmethod
+    def create(
+        cls, chunks: list[list[dict]], spec: CampaignSpec, shm_bytes: int
+    ) -> "_ShmArena":
+        n_cells_per_step = len(spec.methods)
+        n_steps = len(spec.sweep_values())
+        regions: list[tuple[int, int] | None] = []
+        offset = 0
+        for chunk in chunks:
+            cells = sum(
+                (n_steps - int(c.get("resume_step", 0))) * n_cells_per_step
+                for c in chunk
+            )
+            want = cells * SHM_RECORD_SIZE
+            capacity = min(want, max(0, shm_bytes - offset))
+            capacity -= capacity % SHM_RECORD_SIZE
+            if capacity <= 0:
+                regions.append(None)
+            else:
+                regions.append((offset, capacity))
+                offset += capacity
+        if offset == 0:
+            return cls(None, regions)
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=offset)
+        except (ImportError, OSError):
+            # No usable shared memory on this platform/runner: degrade to
+            # the pickle path wholesale (results are identical).
+            return cls(None, [None] * len(regions))
+        return cls(seg, regions)
+
+    def region_info(self, i: int) -> dict | None:
+        if self.seg is None or self.regions[i] is None:
+            return None
+        offset, capacity = self.regions[i]
+        return {
+            "name": self.seg.name,
+            "offset": offset,
+            "capacity": capacity,
+        }
+
+    def decode(
+        self,
+        i: int,
+        count: int,
+        spec: CampaignSpec,
+        chain_by_index: dict[int, dict],
+    ) -> list[dict]:
+        """Tagged cell dicts of the first *count* records of region *i*."""
+        if count == 0 or self.seg is None or self.regions[i] is None:
+            return []
+        offset, _capacity = self.regions[i]
+        buf = self.seg.buf
+        out: list[dict] = []
+        for r in range(count):
+            o = offset + r * SHM_RECORD_SIZE
+            (
+                chain_index, step, m_idx,
+                schedulable, converged, warm_started,
+                outer_iterations, evaluations,
+                max_wcrt_ratio, time_s,
+                cache_hits, cache_misses,
+                extras_len,
+            ) = _REC_HEADER.unpack_from(buf, o)
+            start = o + _REC_HEADER.size
+            extras = (
+                json.loads(bytes(buf[start:start + extras_len]))
+                if extras_len
+                else {}
+            )
+            chain = chain_by_index[chain_index]
+            params = _jsonify(
+                _chain_point_params(spec, chain["point"], step)
+            )
+            out.append(
+                {
+                    "order": (chain_index, step, m_idx),
+                    "cell": {
+                        "params": params,
+                        "seed": chain["seed"],
+                        "replicate": chain["replicate"],
+                        "method": spec.methods[m_idx],
+                        "schedulable": bool(schedulable),
+                        "converged": bool(converged),
+                        "outer_iterations": outer_iterations,
+                        "evaluations": evaluations,
+                        "warm_started": bool(warm_started),
+                        "max_wcrt_ratio": max_wcrt_ratio,
+                        "time_s": time_s,
+                        "phase_cache_hits": cache_hits,
+                        "phase_cache_misses": cache_misses,
+                        "extras": extras,
+                    },
+                }
+            )
+        return out
+
+    def destroy(self) -> None:
+        if self.seg is not None:
+            self.seg.close()
+            self.seg.unlink()
+            self.seg = None
+
+
+def _run_chunk(payload: tuple[dict, list[dict], dict | None]) -> dict:
+    """Worker entry point: a chunk is a list of chains.
+
+    With a shared-memory region, finished cells are packed into it and
+    only the overflow (plus the reseed accounting) returns through the
+    executor's pickle channel.
+    """
+    spec_dict, chains, shm_region = payload
     spec = CampaignSpec.from_dict(spec_dict)
-    results: list[dict] = []
+    cells: list[dict] = []
+    reseed_solves = 0
+    reseed_evaluations = 0
     for chain in chains:
-        results.extend(_run_chain(spec, chain))
-    return results
+        chain_out = _run_chain(spec, chain)
+        cells.extend(chain_out["cells"])
+        reseed_solves += chain_out["reseed_solves"]
+        reseed_evaluations += chain_out["reseed_evaluations"]
+    written = 0
+    if shm_region is not None and cells:
+        seg = None
+        try:
+            seg = _attach_shm(shm_region["name"])
+            buf = seg.buf
+            offset = shm_region["offset"]
+            capacity = shm_region["capacity"]
+            kept: list[dict] = []
+            for item in cells:
+                fits = (written + 1) * SHM_RECORD_SIZE <= capacity
+                if fits and _encode_record(
+                    buf,
+                    offset + written * SHM_RECORD_SIZE,
+                    item["order"],
+                    item["cell"],
+                ):
+                    written += 1
+                else:
+                    kept.append(item)
+            cells = kept
+        except Exception:
+            written = 0  # attach/pack failed: ship everything via pickle
+        finally:
+            if seg is not None:
+                seg.close()
+    return {
+        "cells": cells,
+        "shm_written": written,
+        "reseed_solves": reseed_solves,
+        "reseed_evaluations": reseed_evaluations,
+    }
 
 
 class _CellCsvStream:
@@ -779,47 +1305,39 @@ class Campaign:
 
     def chains(self) -> list[dict]:
         """The planned chains (sequential units of execution)."""
-        chains = []
-        for p_idx, point in enumerate(self.spec.points()):
-            for rep in range(self.spec.systems_per_cell):
-                chains.append(
-                    {
-                        "index": len(chains),
-                        "point": point,
-                        "replicate": rep,
-                        "seed": self.spec.cell_seed(p_idx, rep),
-                    }
-                )
-        return chains
+        return self.spec.chains()
 
-    def _chain_cells_from(
+    def _chain_prefix_from(
         self, chain: dict, index: dict
-    ) -> list[dict] | None:
-        """Tagged cell dicts for *chain* recovered from a resume index.
+    ) -> tuple[list[dict], int]:
+        """Longest fully-completed sweep prefix of *chain* in a resume index.
 
-        Chains resume whole or not at all: a partially completed chain is
-        re-run from its first sweep level so the warm-start state matches a
-        fresh execution.  Returns ``None`` unless every (sweep level,
-        method) cell of the chain is present in *index*.
+        Returns ``(tagged cells of the prefix, completed sweep steps)``.  A
+        step counts as completed only when *every* method's cell for it is
+        present (a mid-level kill re-runs that level whole); the remaining
+        steps re-run with the warm-start state re-seeded from the last
+        completed level (see :func:`_run_chain`).
         """
         out: list[dict] = []
-        for step, sweep_value in enumerate(self.spec.sweep_values()):
-            params = dict(self.spec.base)
-            params.update(chain["point"])
-            if self.spec.sweep_axis is not None:
-                params[self.spec.sweep_axis] = sweep_value
-            params = _jsonify(params)
+        steps = 0
+        for step in range(len(self.spec.sweep_values())):
+            params = _jsonify(
+                _chain_point_params(self.spec, chain["point"], step)
+            )
+            level: list[dict] = []
             for m_idx, name in enumerate(self.spec.methods):
                 cell = index.get(_cell_identity(params, chain["seed"], name))
                 if cell is None:
-                    return None
-                out.append(
+                    return out, steps
+                level.append(
                     {
                         "order": (chain["index"], step, m_idx),
                         "cell": cell.to_dict(),
                     }
                 )
-        return out
+            out.extend(level)
+            steps += 1
+        return out, steps
 
     def run(
         self,
@@ -828,7 +1346,10 @@ class Campaign:
         chunk_size: int | None = None,
         resume_from: CampaignResult | None = None,
         stream_csv: str | Path | None = None,
-        collect: bool = True,
+        collect: bool | str = True,
+        shard: tuple[int, int] | None = None,
+        max_cells: int | None = None,
+        shm_bytes: int = DEFAULT_SHM_BYTES,
     ) -> CampaignResult:
         """Execute the campaign and return a :class:`CampaignResult`.
 
@@ -840,23 +1361,51 @@ class Campaign:
         resume_from:
             A previous (possibly partial) result for the same spec: chains
             whose cells are all present there (matched by cell seed + full
-            parameter point + method) are reused instead of re-run, and
-            the reused cells are merged into the returned result.
+            parameter point + method) are reused instead of re-run, and a
+            partially completed chain reuses its longest fully-completed
+            sweep *prefix* -- the warm-start state is re-seeded by
+            re-solving the last completed level, so the re-run suffix is
+            bit-identical to a from-scratch execution.
         stream_csv:
             Append each finished cell to this CSV as its chain completes,
             instead of waiting for the whole campaign.
         collect:
-            Keep per-cell results in memory.  ``False`` (with
-            ``stream_csv``) runs arbitrarily large sweeps in bounded
-            memory: the returned result then has no cells, only the
-            wall-clock and ``streamed_cells`` accounting.
+            ``"pickle"`` (or ``True``, the default) collects cells through
+            the executor's pickled return values; ``"shm"`` has pool
+            workers pack fixed-width records into a shared-memory ring
+            (see :class:`_ShmArena`) with per-record pickle fallback;
+            ``"none"`` (or ``False``, requires *stream_csv*) keeps no
+            cells in memory, for arbitrarily large streamed sweeps.
+        shard:
+            ``(k, n)`` runs only the chains of shard ``k`` of a
+            deterministic ``n``-way partition (see :func:`shard_chains`);
+            the union of all shards equals the unsharded run bit for bit,
+            and :func:`merge_campaign_results` reassembles the pieces.
+        max_cells:
+            Stop collecting after this many cells and return the partial
+            (``truncated=True``) result -- a deterministic simulation of a
+            mid-campaign kill, for resume testing and budgeted runs.
+        shm_bytes:
+            Ring capacity for ``collect="shm"``; chunks beyond it fall
+            back to the pickle path.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if not collect and stream_csv is None:
-            raise ValueError("collect=False requires stream_csv")
+        collect_mode = {True: "pickle", False: "none"}.get(collect, collect)
+        if collect_mode not in ("pickle", "shm", "none"):
+            raise ValueError(
+                "collect must be 'pickle', 'shm', 'none' or a bool, "
+                f"got {collect!r}"
+            )
+        if collect_mode == "none" and stream_csv is None:
+            raise ValueError("collect='none' requires stream_csv")
+        if max_cells is not None and max_cells < 0:
+            raise ValueError("max_cells must be >= 0")
         chains = self.chains()
+        if shard is not None:
+            chains = shard_chains(chains, shard)
         spec_dict = self.spec.to_dict()
+        n_steps = len(self.spec.sweep_values())
         t0 = time.perf_counter()
 
         reused: list[dict] = []
@@ -880,11 +1429,15 @@ class Campaign:
             }
             pending: list[dict] = []
             for chain in chains:
-                cells = self._chain_cells_from(chain, index)
-                if cells is None:
-                    pending.append(chain)
-                else:
+                cells, steps = self._chain_prefix_from(chain, index)
+                if steps == n_steps:
                     reused.extend(cells)
+                    continue
+                if steps:
+                    reused.extend(cells)
+                    pending.append({**chain, "resume_step": steps})
+                else:
+                    pending.append(chain)
             chains = pending
 
         stream = (
@@ -894,23 +1447,44 @@ class Campaign:
         )
         tagged: list[dict] = []
         streamed = 0
+        consumed = 0
+        truncated = False
+        reseed_solves = 0
+        reseed_evaluations = 0
+        shm_records = 0
+        shm_overflow = 0
 
-        def consume(part: list[dict]) -> None:
-            nonlocal streamed
+        def consume(part: list[dict]) -> bool:
+            """Account a batch of finished cells; False once the budget
+            set by ``max_cells`` is exhausted."""
+            nonlocal streamed, consumed, truncated
+            if max_cells is not None and consumed + len(part) > max_cells:
+                part = part[: max(0, max_cells - consumed)]
+                truncated = True
+            consumed += len(part)
             if stream is not None:
                 stream.write(part)
                 streamed += len(part)
-            if collect:
+            if collect_mode != "none":
                 tagged.extend(part)
+            return not truncated
 
+        arena: _ShmArena | None = None
+        kept_reused = 0
         try:
+            budget_ok = True
             if reused:
-                consume(reused)
-            if not chains:
+                budget_ok = consume(reused)
+                kept_reused = consumed  # max_cells may have cut the batch
+            if not chains or not budget_ok:
                 pass
             elif workers == 1 or len(chains) <= 1:
                 for chain in chains:
-                    consume(_run_chain(self.spec, chain))
+                    chain_out = _run_chain(self.spec, chain)
+                    reseed_solves += chain_out["reseed_solves"]
+                    reseed_evaluations += chain_out["reseed_evaluations"]
+                    if not consume(chain_out["cells"]):
+                        break
             else:
                 if chunk_size is None:
                     chunk_size = max(1, math.ceil(len(chains) / (workers * 4)))
@@ -918,12 +1492,51 @@ class Campaign:
                     chains[i:i + chunk_size]
                     for i in range(0, len(chains), chunk_size)
                 ]
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for part in pool.map(
-                        _run_chunk, [(spec_dict, chunk) for chunk in chunks]
-                    ):
-                        consume(part)
+                if collect_mode == "shm":
+                    arena = _ShmArena.create(chunks, self.spec, shm_bytes)
+                chain_by_index = {c["index"]: c for c in chains}
+                payloads = [
+                    (
+                        spec_dict,
+                        chunk,
+                        arena.region_info(i) if arena is not None else None,
+                    )
+                    for i, chunk in enumerate(chunks)
+                ]
+                pool = ProcessPoolExecutor(max_workers=workers)
+                try:
+                    # Explicit submit/result (in submission order, same as
+                    # pool.map) so an exhausted max_cells budget can cancel
+                    # the chunks that have not started instead of silently
+                    # running the rest of the campaign to discard it.
+                    futures = [
+                        pool.submit(_run_chunk, payload)
+                        for payload in payloads
+                    ]
+                    for i, future in enumerate(futures):
+                        part = future.result()
+                        cells = part["cells"]
+                        reseed_solves += part["reseed_solves"]
+                        reseed_evaluations += part["reseed_evaluations"]
+                        if arena is not None:
+                            decoded = arena.decode(
+                                i, part["shm_written"], self.spec,
+                                chain_by_index,
+                            )
+                            shm_records += len(decoded)
+                            shm_overflow += len(cells)
+                            if decoded:
+                                cells = sorted(
+                                    decoded + cells,
+                                    key=lambda item: item["order"],
+                                )
+                        if not consume(cells):
+                            break
+                finally:
+                    pool.shutdown(wait=True, cancel_futures=True)
         finally:
+            if arena is not None:
+                arena.destroy()
             if stream is not None:
                 stream.close()
 
@@ -936,7 +1549,13 @@ class Campaign:
             workers=workers,
             wall_time_s=wall,
             streamed_cells=streamed,
-            reused_cells=len(reused),
+            reused_cells=kept_reused,
+            shard=list(shard) if shard is not None else None,
+            reseed_solves=reseed_solves,
+            reseed_evaluations=reseed_evaluations,
+            shm_records=shm_records,
+            shm_overflow=shm_overflow,
+            truncated=truncated,
         )
 
 

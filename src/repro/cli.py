@@ -11,6 +11,9 @@ Operates on JSON system files (see :mod:`repro.io.spec` for the schema):
    $ python -m repro example --out system.json   # dump the paper example
    $ python -m repro campaign --grid utilization=0.3:0.9:5 --systems 100 \\
          --methods reduced,dedicated --workers 4   # acceptance-ratio sweep
+   $ python -m repro campaign ... --shard 0/2 --json shard0.json  # host A
+   $ python -m repro campaign ... --shard 1/2 --json shard1.json  # host B
+   $ python -m repro campaign-merge shard0.json shard1.json --json all.json
 
 Exit status: 0 when the system is schedulable (or the command succeeded),
 1 when unschedulable / bounds violated, 2 on usage errors.
@@ -142,6 +145,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_cp.add_argument("--no-collect", action="store_true",
                       help="with --stream-csv: do not keep cells in memory "
                       "(summary output and --json/--csv are then empty)")
+    p_cp.add_argument("--shard", metavar="K/N",
+                      help="run only shard K of a deterministic N-way "
+                      "chain partition (0-based, e.g. 0/2); the union of "
+                      "all shards is bit-identical to the unsharded run "
+                      "and reassembles with 'campaign-merge'")
+    p_cp.add_argument("--collect", choices=("pickle", "shm"),
+                      default="pickle",
+                      help="worker result transport: executor pickling "
+                      "(default) or a multiprocessing.shared_memory ring "
+                      "of fixed-width records with pickle fallback")
+    p_cp.add_argument("--max-cells", type=int, default=None,
+                      help="stop after this many cells and return the "
+                      "truncated partial result (deterministic simulated "
+                      "kill; resume later with --resume)")
+
+    p_cm = sub.add_parser(
+        "campaign-merge",
+        help="merge shard/partial campaign result JSONs into one",
+        description="Union campaign result files produced with --shard "
+        "(or truncated/partial runs) into one canonical-order result. "
+        "All inputs must share the exact campaign spec; overlapping "
+        "cells and duplicate shard indices are rejected.  Exit status 1 "
+        "when the union is still missing cells of the spec.",
+    )
+    p_cm.add_argument("inputs", nargs="+", metavar="RESULT_JSON",
+                      help="campaign result JSON files to merge")
+    p_cm.add_argument("--json", dest="json_out", metavar="PATH",
+                      help="write the merged CampaignResult as JSON")
+    p_cm.add_argument("--csv", dest="csv_out", metavar="PATH",
+                      help="write the merged per-cell table as CSV")
+    p_cm.add_argument("--acceptance-csv", metavar="PATH",
+                      help="write the merged acceptance table as CSV")
+    p_cm.add_argument("--quiet", action="store_true",
+                      help="suppress the summary table")
     return parser
 
 
@@ -374,20 +411,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         generator=args.generator,
         warm_start=not args.no_warm_start,
     )
-    from repro.batch import CampaignResult
+    from repro.batch import CampaignResult, parse_shard
 
     resume_from = (
         CampaignResult.load_json(args.resume) if args.resume else None
     )
+    shard = parse_shard(args.shard) if args.shard else None
     result = Campaign(spec).run(
         workers=args.workers,
         chunk_size=args.chunk_size,
         resume_from=resume_from,
         stream_csv=args.stream_csv,
-        collect=not args.no_collect,
+        collect="none" if args.no_collect else args.collect,
+        shard=shard,
+        max_cells=args.max_cells,
     )
+    if shard is not None:
+        # Under --no-collect the result keeps no cells; the streamed count
+        # is then the number of analyses this shard executed.
+        executed = result.n_analyses or result.streamed_cells
+        print(f"shard {shard[0]}/{shard[1]}: "
+              f"{executed} of {spec.n_analyses()} total analyses")
     if result.reused_cells:
-        print(f"resumed: {result.reused_cells} cells reused from {args.resume}")
+        print(f"resumed: {result.reused_cells} cells reused from {args.resume}"
+              + (f" ({result.reseed_solves} warm-start re-seed solves)"
+                 if result.reseed_solves else ""))
+    if result.truncated:
+        print(f"truncated after {args.max_cells} cells (--max-cells); "
+              "the JSON result can be resumed with --resume")
     if args.stream_csv:
         print(f"streamed {result.streamed_cells} cells to {args.stream_csv}")
     print(result.format_summary())
@@ -403,6 +454,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from repro.batch import CampaignResult, CampaignSpec, merge_campaign_results
+
+    results = [CampaignResult.load_json(path) for path in args.inputs]
+    merged = merge_campaign_results(results)
+    spec = CampaignSpec.from_dict(merged.spec)
+    expected = spec.n_analyses()
+    missing = expected - len(merged.cells)
+    print(
+        f"merged {len(results)} result file(s): "
+        f"{len(merged.cells)}/{expected} cells"
+    )
+    if missing:
+        print(
+            f"warning: {missing} cells of the spec are still missing "
+            "(merge more shards, or complete with --resume)",
+            file=sys.stderr,
+        )
+    if not args.quiet:
+        print(merged.format_summary())
+    if args.json_out:
+        print(f"merged result written to {merged.save_json(args.json_out)}")
+    if args.csv_out:
+        print(f"per-cell CSV written to {merged.write_cells_csv(args.csv_out)}")
+    if args.acceptance_csv:
+        print(
+            "acceptance CSV written to "
+            f"{merged.write_acceptance_csv(args.acceptance_csv)}"
+        )
+    return 1 if missing else 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
@@ -412,6 +495,7 @@ _COMMANDS = {
     "gantt": _cmd_gantt,
     "example": _cmd_example,
     "campaign": _cmd_campaign,
+    "campaign-merge": _cmd_campaign_merge,
 }
 
 

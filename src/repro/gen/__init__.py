@@ -18,7 +18,13 @@ from repro.gen.random_components import (
     RandomAssemblySpec,
     random_assembly,
 )
-from repro.gen.presets import automotive_cluster, avionics_partitions
+from repro.gen.presets import (
+    automotive_cluster,
+    avionics_partitions,
+    campaign_base,
+    deep_chain_spec,
+    wide_view_spec,
+)
 
 __all__ = [
     "uunifast",
@@ -29,4 +35,7 @@ __all__ = [
     "random_assembly",
     "automotive_cluster",
     "avionics_partitions",
+    "campaign_base",
+    "deep_chain_spec",
+    "wide_view_spec",
 ]

@@ -15,19 +15,93 @@ motivates, usable as test fixtures, demo material and benchmark seeds:
 
 Both return a validated :class:`~repro.components.assembly.SystemAssembly`
 whose derived system is schedulable under the default analysis.
+
+Random-campaign presets (ROADMAP items): two
+:class:`~repro.gen.random_transactions.RandomSystemSpec` shapes that pin
+down where the PR 2 performance layers pay off --
+
+* :func:`deep_chain_spec` -- few long transactions (8-16 tasks each,
+  spread over two platforms): once a chain's upstream prefix stabilizes,
+  the chain-aware dirty set stops re-solving it, so the skip fraction
+  *grows* with chain depth;
+* :func:`wide_view_spec` -- everything on one platform with 10-14 tasks
+  per transaction: every foreign transaction view batches well past
+  :data:`repro.analysis.busy.VECTOR_MIN_JOBS` (starters x tasks), so
+  ``kernel="auto"`` selects the NumPy vector kernel.
+
+:func:`campaign_base` converts either into the ``base`` params dict of a
+:class:`~repro.batch.campaign.CampaignSpec` utilization sweep.
 """
 
 from __future__ import annotations
+
+from dataclasses import asdict
 
 from repro.components.assembly import SystemAssembly
 from repro.components.component import Component
 from repro.components.interface import ProvidedMethod, RequiredMethod
 from repro.components.threads import CallStep, EventThread, PeriodicThread, TaskStep
+from repro.gen.random_transactions import RandomSystemSpec
 from repro.platforms.linear import LinearSupplyPlatform
 from repro.platforms.network import Message, NetworkLinkPlatform
 from repro.platforms.periodic_server import PeriodicServer
 
-__all__ = ["automotive_cluster", "avionics_partitions"]
+__all__ = [
+    "automotive_cluster",
+    "avionics_partitions",
+    "campaign_base",
+    "deep_chain_spec",
+    "wide_view_spec",
+]
+
+
+def deep_chain_spec(utilization: float = 0.4) -> RandomSystemSpec:
+    """Deep precedence chains: 2 transactions of 8-16 tasks on 2 platforms.
+
+    The showcase (and regression pin) for the chain-aware dirty set of the
+    incremental Gauss-Seidel outer iteration: with long chains, most of a
+    round's per-task solves are skipped once the upstream prefix of each
+    chain has stabilized, so the ``task_skips`` fraction is substantially
+    higher than on shallow (1-3 task) systems.
+    """
+    return RandomSystemSpec(
+        n_platforms=2,
+        n_transactions=2,
+        tasks_per_transaction=(8, 16),
+        utilization=utilization,
+    )
+
+
+def wide_view_spec(utilization: float = 0.5) -> RandomSystemSpec:
+    """Wide interference views: 3 transactions of 10-14 tasks, 1 platform.
+
+    Co-locating everything on a single platform makes every foreign
+    transaction view 10-14 tasks wide; the starter-batched Eq. 15
+    evaluation then covers ``(starters x tasks) >= 100`` jobs per call,
+    comfortably past the ``kernel="auto"`` vector threshold
+    (:data:`repro.analysis.busy.VECTOR_MIN_JOBS`), so campaigns over this
+    preset default onto the NumPy kernel.
+    """
+    return RandomSystemSpec(
+        n_platforms=1,
+        n_transactions=3,
+        tasks_per_transaction=(10, 14),
+        utilization=utilization,
+    )
+
+
+def campaign_base(spec: RandomSystemSpec) -> dict:
+    """*spec* as a campaign ``base`` dict (utilization left to the sweep).
+
+    >>> from repro.batch import CampaignSpec
+    >>> CampaignSpec(
+    ...     grid={"utilization": (0.3, 0.6)}, base=campaign_base(wide_view_spec())
+    ... ).n_cells()
+    2
+    """
+    base = asdict(spec)
+    del base["utilization"]
+    return base
 
 
 def automotive_cluster() -> SystemAssembly:

@@ -162,10 +162,15 @@ def scale_system_utilization(
     so for a fixed seed the system :func:`random_system` draws at
     utilization ``u2`` equals the one drawn at ``u1`` with all wcet/bcet
     multiplied by ``u2/u1`` -- periods, platforms, offsets and priorities
-    are utilization-independent.  Campaign sweep chains exploit this to
-    generate each chain's system once and scale per level instead of
-    re-drawing (the only deviation is the generator's 1e-6 wcet floor,
-    which a drawn task essentially never hits).
+    are utilization-independent.  Campaign sweep chains (and their shard /
+    prefix-resume replays, which must reproduce the chain's systems bit
+    for bit) exploit this to generate each chain's system once and scale
+    per level instead of re-drawing.  Scaling applies the generator's own
+    1e-6 wcet floor, and a demand that crosses it keeps the task's
+    bcet/wcet ratio, so a downscaled system matches the regenerated one
+    (up to a rounding ulp in the floored bcet); the only residual
+    deviation is a task whose demand was *already* floored at the base
+    utilization, which a drawn task essentially never hits.
     """
     if factor <= 0:
         raise ValueError(f"factor must be positive, got {factor!r}")
@@ -174,8 +179,16 @@ def scale_system_utilization(
         tasks = []
         for t in tr.tasks:
             c = t.unvalidated_copy()
-            c.wcet = t.wcet * factor
-            c.bcet = t.bcet * factor
+            scaled = t.wcet * factor
+            if scaled >= 1e-6:
+                c.wcet = scaled
+                c.bcet = t.bcet * factor
+            else:
+                # Demand crossed the generator's floor: re-apply it and
+                # keep the bcet/wcet ratio, matching what random_system
+                # draws at the target utilization (bcet = ratio * wcet).
+                c.wcet = 1e-6
+                c.bcet = 1e-6 * (t.bcet / t.wcet) if t.wcet > 0 else 0.0
             tasks.append(c)
         transactions.append(
             Transaction(

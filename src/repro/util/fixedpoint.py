@@ -11,8 +11,9 @@ harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from repro.util.math import EPS
 
@@ -26,6 +27,7 @@ __all__ = [
     "note_outer_tasks",
     "note_solve",
     "note_solves",
+    "reseed_scope",
     "reset_fixed_point_stats",
 ]
 
@@ -55,9 +57,31 @@ class FixedPointStats:
     #: redundant -- the savings the campaign accounting reports.
     outer_task_solves: int = 0
     outer_task_skips: int = 0
+    #: Solves/evaluations spent *re-seeding* warm-start state rather than
+    #: producing a reported result: a chain-prefix resume re-solves the last
+    #: completed sweep level only to recover its converged jitter vector
+    #: (the least fixed point is start-independent), so this work belongs to
+    #: the resume machinery, not to any recorded cell.  Counted inside
+    #: :func:`reseed_scope`; the campaign threads the totals into
+    #: ``CampaignResult.reseed_*``.
+    reseed_solves: int = 0
+    reseed_evaluations: int = 0
 
     def snapshot(self) -> "FixedPointStats":
-        return replace(self)
+        # Positional construction: dataclasses.replace() re-introspects the
+        # field list on every call, and the campaign engine snapshots the
+        # stats several times per analyzed cell -- measurable at hot-path
+        # campaign throughput.
+        return FixedPointStats(
+            self.evaluations,
+            self.solves,
+            self.diverged,
+            self.warm_started,
+            self.outer_task_solves,
+            self.outer_task_skips,
+            self.reseed_solves,
+            self.reseed_evaluations,
+        )
 
     def delta(self, before: "FixedPointStats") -> "FixedPointStats":
         """Counters accumulated since *before* was snapshotted."""
@@ -68,6 +92,8 @@ class FixedPointStats:
             warm_started=self.warm_started - before.warm_started,
             outer_task_solves=self.outer_task_solves - before.outer_task_solves,
             outer_task_skips=self.outer_task_skips - before.outer_task_skips,
+            reseed_solves=self.reseed_solves - before.reseed_solves,
+            reseed_evaluations=self.reseed_evaluations - before.reseed_evaluations,
         )
 
 
@@ -88,6 +114,26 @@ def reset_fixed_point_stats() -> None:
     _STATS.warm_started = 0
     _STATS.outer_task_solves = 0
     _STATS.outer_task_skips = 0
+    _STATS.reseed_solves = 0
+    _STATS.reseed_evaluations = 0
+
+
+@contextmanager
+def reseed_scope() -> Iterator[FixedPointStats]:
+    """Classify all solves inside the scope as warm-start re-seeding.
+
+    Yields the stats snapshot taken on entry; on exit the solves and
+    evaluations accumulated since then are additionally charged to the
+    ``reseed_*`` counters, so accounting consumers can separate "work that
+    produced a reported result" from "work that only rebuilt resume state".
+    """
+    before = _STATS.snapshot()
+    try:
+        yield before
+    finally:
+        d = _STATS.delta(before)
+        _STATS.reseed_solves += d.solves
+        _STATS.reseed_evaluations += d.evaluations
 
 
 def note_outer_tasks(solved: int, skipped: int) -> None:

@@ -327,9 +327,11 @@ class TestResume:
     def test_partial_resume_reruns_incomplete_chains(self):
         spec = small_spec(systems_per_cell=3)
         full = Campaign(spec).run(workers=1)
-        # Drop one chain completely (replicate 2) and half of another
-        # (replicate 1): the former is simply missing, the latter must be
-        # re-run whole because a partial chain loses its warm-start state.
+        # Drop one chain completely (replicate 2) and keep only the first
+        # sweep level of another (replicate 1): the former re-runs from
+        # scratch, the latter reuses its completed prefix and re-seeds the
+        # warm-start state from the last completed level (see
+        # tests/test_campaign_resume_prefix.py for the full matrix).
         partial = CampaignResult(
             spec=full.spec,
             cells=[
@@ -342,9 +344,11 @@ class TestResume:
         )
         resumed = Campaign(spec).run(workers=1, resume_from=partial)
         assert resumed.metrics() == full.metrics()
-        # Only the fully-present chains (replicate 0) were reused.
+        # The full chain (replicate 0) plus replicate 1's one-level prefix.
         n_levels = len(spec.sweep_values())
-        assert resumed.reused_cells == n_levels * len(spec.methods)
+        assert resumed.reused_cells == (n_levels + 1) * len(spec.methods)
+        # Re-seeding the prefix chain's warm state cost unreported solves.
+        assert resumed.reseed_solves > 0
 
     def test_resume_round_trips_through_json(self, tmp_path):
         spec = small_spec()
@@ -441,6 +445,128 @@ class TestStreamingCsv:
         assert rows_without_timing(a_path) == rows_without_timing(b_path)
 
 
+class TestShmCollection:
+    """ISSUE 3 satellite: ``collect="shm"`` must equal ``collect="pickle"``
+    cell for cell, including when the ring overflows into the fallback."""
+
+    @pytest.mark.dist
+    def test_shm_equals_pickle_two_workers(self, shm_guard):
+        spec = small_spec(systems_per_cell=4)
+        pickle_r = Campaign(spec).run(workers=2, collect="pickle")
+        shm_r = Campaign(spec).run(workers=2, collect="shm")
+        assert shm_r.metrics() == pickle_r.metrics()
+        # Everything fit the default ring: no pickle fallback.
+        assert shm_r.shm_records == len(shm_r.cells)
+        assert shm_r.shm_overflow == 0
+        # The extras dicts survive the fixed-width JSON tail bit for bit.
+        assert [c.extras for c in shm_r.cells] == [
+            c.extras for c in pickle_r.cells
+        ]
+        # And the wall-clock payloads decoded from the ring are sane f64s.
+        assert all(c.time_s > 0 for c in shm_r.cells)
+
+    @pytest.mark.dist
+    def test_ring_overflow_falls_back_to_pickle(self, shm_guard):
+        from repro.batch.campaign import SHM_RECORD_SIZE
+
+        spec = small_spec(systems_per_cell=4)
+        reference = Campaign(spec).run(workers=1)
+        # Room for exactly two records: everything else must overflow.
+        shm_r = Campaign(
+            spec
+        ).run(workers=2, collect="shm", shm_bytes=2 * SHM_RECORD_SIZE)
+        assert shm_r.metrics() == reference.metrics()
+        assert 0 < shm_r.shm_records <= 2
+        assert shm_r.shm_overflow == len(shm_r.cells) - shm_r.shm_records
+
+    @pytest.mark.dist
+    def test_oversized_extras_overflow_per_record(self, shm_guard):
+        """A record whose extras exceed the fixed width ships via pickle;
+        small records still use the ring."""
+        def chatty(system, warm_start):
+            return MethodOutcome(
+                schedulable=True, extras={"blob": "x" * 4096}
+            )
+
+        register_method("test_chatty", chatty)
+        spec = small_spec(
+            methods=("reduced", "test_chatty"), systems_per_cell=4
+        )
+        pickle_r = Campaign(spec).run(workers=2, collect="pickle")
+        shm_r = Campaign(spec).run(workers=2, collect="shm")
+        assert shm_r.metrics() == pickle_r.metrics()
+        assert [c.extras for c in shm_r.cells] == [
+            c.extras for c in pickle_r.cells
+        ]
+        n = len(shm_r.cells)
+        assert shm_r.shm_records == n // 2      # the 'reduced' cells
+        assert shm_r.shm_overflow == n // 2     # the oversized ones
+
+    @pytest.mark.dist
+    def test_shm_streaming_same_rows(self, shm_guard, tmp_path):
+        import csv as csv_mod
+
+        spec = small_spec(systems_per_cell=4)
+        a_path = tmp_path / "pickle.csv"
+        b_path = tmp_path / "shm.csv"
+        Campaign(spec).run(workers=2, stream_csv=a_path, collect="pickle")
+        Campaign(spec).run(workers=2, stream_csv=b_path, collect="shm")
+
+        def rows_without_timing(path):
+            with path.open() as fh:
+                rows = list(csv_mod.reader(fh))
+            return sorted(tuple(r[:-1]) for r in rows[1:])
+
+        assert rows_without_timing(a_path) == rows_without_timing(b_path)
+
+    @pytest.mark.dist
+    def test_json_unstable_extras_overflow_per_record(self, shm_guard):
+        """Extras that would not survive the JSON round trip unchanged
+        (e.g. int dict keys, which JSON stringifies) must ship via the
+        pickle fallback so shm stays bit-identical to pickle."""
+        def int_keyed(system, warm_start):
+            return MethodOutcome(schedulable=True, extras={1: "x"})
+
+        register_method("test_int_keyed", int_keyed)
+        spec = small_spec(methods=("test_int_keyed",), systems_per_cell=4)
+        pickle_r = Campaign(spec).run(workers=2, collect="pickle")
+        shm_r = Campaign(spec).run(workers=2, collect="shm")
+        assert [c.extras for c in shm_r.cells] == [
+            c.extras for c in pickle_r.cells
+        ]
+        assert shm_r.cells[0].extras == {1: "x"}  # key type preserved
+        assert shm_r.shm_records == 0
+        assert shm_r.shm_overflow == len(shm_r.cells)
+
+    def test_single_worker_shm_degrades_to_inline(self):
+        """workers=1 has no IPC to optimize; collect='shm' still works."""
+        spec = small_spec()
+        inline = Campaign(spec).run(workers=1, collect="shm")
+        reference = Campaign(spec).run(workers=1)
+        assert inline.metrics() == reference.metrics()
+        assert inline.shm_records == 0
+
+    def test_invalid_collect_rejected(self):
+        with pytest.raises(ValueError, match="collect"):
+            Campaign(small_spec()).run(workers=1, collect="carrier_pigeon")
+
+    def test_cli_collect_shm(self, tmp_path, capsys):
+        json_out = tmp_path / "result.json"
+        rc = cli_main([
+            "campaign",
+            "--grid", "utilization=0.3,0.6",
+            "--transactions", "2",
+            "--tasks", "1,2",
+            "--systems", "2",
+            "--workers", "2",
+            "--collect", "shm",
+            "--json", str(json_out),
+        ])
+        assert rc == 0
+        loaded = CampaignResult.load_json(json_out)
+        assert len(loaded.cells) == 4
+
+
 class TestChainScaling:
     """The sweep chains derive levels by exact utilization scaling."""
 
@@ -466,6 +592,32 @@ class TestChainScaling:
                 assert t_s.bcet == pytest.approx(t_h.bcet, rel=1e-12)
                 assert t_s.priority == t_h.priority
                 assert t_s.platform == t_h.platform
+
+    def test_scaling_across_wcet_floor_matches_regeneration(self):
+        """Downscaling a demand past the generator's 1e-6 wcet floor must
+        keep matching the system regenerated at the target utilization
+        (floored wcet, bcet = ratio * wcet)."""
+        from repro.gen import RandomSystemSpec, random_system
+        from repro.gen.random_transactions import scale_system_utilization
+
+        base_spec = dict(
+            n_platforms=2, n_transactions=2, tasks_per_transaction=(1, 2)
+        )
+        lo = random_system(
+            RandomSystemSpec(utilization=1e-4, **base_spec), seed=3
+        )
+        scaled = scale_system_utilization(lo, 1e-4)  # down to u = 1e-8
+        regen = random_system(
+            RandomSystemSpec(utilization=1e-12, **base_spec), seed=3
+        )
+        # u = 1e-12 floors every drawn demand; compare against the scaled
+        # system's floored tasks.
+        for tr_s, tr_r in zip(scaled.transactions, regen.transactions):
+            for t_s, t_r in zip(tr_s.tasks, tr_r.tasks):
+                if t_s.wcet == 1e-6:  # the floor engaged
+                    assert t_r.wcet == 1e-6
+                    assert t_s.bcet == pytest.approx(t_r.bcet, rel=1e-9)
+                assert t_s.bcet <= t_s.wcet
 
     def test_campaign_chain_metrics_deterministic_with_scaling(self):
         # The scaler is exercised by every utilization sweep; two runs of

@@ -1,0 +1,242 @@
+"""Chain-prefix resume: killed campaigns restart bit-identically.
+
+A campaign killed mid-chain (simulated deterministically with
+``max_cells``) leaves partially completed warm-start chains.  Resuming
+must (a) reuse every fully-completed sweep *prefix*, (b) re-seed the
+warm-start jitter vector by re-solving only the last completed level
+(the converged jitters are the least fixed point, hence independent of
+the starting vector), and (c) produce results -- including the
+per-cell ``fp_task_solves``/``fp_task_skips`` accounting -- equal to a
+from-scratch run.  Also covers the spec-mismatch rejection paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import Campaign, CampaignResult, CampaignSpec
+from repro.cli import main as cli_main
+
+
+def make_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        grid={"utilization": (0.3, 0.5, 0.7, 0.9)},
+        base={
+            "n_platforms": 2,
+            "n_transactions": 2,
+            "tasks_per_transaction": (1, 3),
+        },
+        methods=("gauss_seidel",),
+        systems_per_cell=3,
+        seed=23,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def cells_with_extras(result: CampaignResult) -> list[tuple]:
+    """metrics() plus the per-cell extras (fp_task_solves and friends)."""
+    return [
+        m + (tuple(sorted(c.extras.items())),)
+        for m, c in zip(result.metrics(), result.cells)
+    ]
+
+
+class TestMaxCells:
+    """The deterministic mid-chain kill switch."""
+
+    def test_truncates_and_flags(self):
+        spec = make_spec()
+        partial = Campaign(spec).run(workers=1, max_cells=5)
+        assert partial.truncated
+        assert len(partial.cells) == 5
+        full = Campaign(spec).run(workers=1)
+        assert not full.truncated
+        # The partial run is a strict prefix of the canonical cell order.
+        assert partial.metrics() == full.metrics()[:5]
+
+    def test_zero_budget(self):
+        partial = Campaign(make_spec()).run(workers=1, max_cells=0)
+        assert partial.cells == [] and partial.truncated
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_cells"):
+            Campaign(make_spec()).run(workers=1, max_cells=-1)
+
+    def test_no_op_when_budget_covers_run(self):
+        spec = make_spec()
+        result = Campaign(spec).run(workers=1, max_cells=10**9)
+        assert not result.truncated
+        assert len(result.cells) == spec.n_analyses()
+
+
+class TestPrefixResume:
+    """Killed at every possible point, resume == from-scratch."""
+
+    @pytest.mark.parametrize("cut", [1, 2, 3, 5, 7, 11])
+    def test_resume_bit_identical_at_any_cut(self, cut):
+        spec = make_spec()
+        full = Campaign(spec).run(workers=1)
+        partial = Campaign(spec).run(workers=1, max_cells=cut)
+        resumed = Campaign(spec).run(workers=1, resume_from=partial)
+        assert not resumed.truncated
+        assert resumed.metrics() == full.metrics()
+        # ... including the dirty-set / fixed-point solve accounting the
+        # gauss_seidel method threads through the extras.
+        assert cells_with_extras(resumed) == cells_with_extras(full)
+        assert resumed.reused_cells == cut
+
+    def test_mid_level_kill_reruns_that_level_whole(self):
+        # Two methods per level; an odd cut strands one method mid-level.
+        spec = make_spec(methods=("gauss_seidel", "dedicated"))
+        full = Campaign(spec).run(workers=1)
+        partial = Campaign(spec).run(workers=1, max_cells=3)
+        resumed = Campaign(spec).run(workers=1, resume_from=partial)
+        assert cells_with_extras(resumed) == cells_with_extras(full)
+        # Only the one fully-completed level (2 cells) was reusable.
+        assert resumed.reused_cells == 2
+
+    def test_reseed_accounting_reported(self):
+        spec = make_spec()
+        partial = Campaign(spec).run(workers=1, max_cells=2)
+        resumed = Campaign(spec).run(workers=1, resume_from=partial)
+        # A two-level prefix of chain 0 forces one warm-start re-seed.
+        assert resumed.reseed_solves > 0
+        assert resumed.reseed_evaluations >= resumed.reseed_solves
+        acc = resumed.accounting()
+        assert acc["reseed"]["solves"] == resumed.reseed_solves
+        assert acc["reseed"]["evaluations"] == resumed.reseed_evaluations
+        # Re-seed work is *not* charged to any reported cell: totals match
+        # the from-scratch run exactly (checked cell-by-cell above); here
+        # pin that the summary mentions it instead.
+        assert "re-seed" in resumed.format_summary()
+
+    def test_reused_cells_respects_max_cells_truncation(self):
+        """A resumed run killed again before consuming all reusable cells
+        must report only the reused cells it actually kept."""
+        spec = make_spec()
+        partial = Campaign(spec).run(workers=1, max_cells=8)
+        again = Campaign(spec).run(workers=1, resume_from=partial, max_cells=5)
+        assert again.truncated
+        assert len(again.cells) == 5
+        assert again.reused_cells == 5  # not the 8 that were matched
+
+    def test_chained_kills_resume_to_completion(self):
+        """kill -> resume-with-kill -> resume reaches the full result."""
+        spec = make_spec()
+        full = Campaign(spec).run(workers=1)
+        first = Campaign(spec).run(workers=1, max_cells=3)
+        second = Campaign(
+            spec
+        ).run(workers=1, resume_from=first, max_cells=9)
+        assert second.truncated
+        final = Campaign(spec).run(workers=1, resume_from=second)
+        assert cells_with_extras(final) == cells_with_extras(full)
+
+    def test_resume_without_warm_start(self):
+        spec = make_spec(warm_start=False)
+        full = Campaign(spec).run(workers=1)
+        partial = Campaign(spec).run(workers=1, max_cells=6)
+        resumed = Campaign(spec).run(workers=1, resume_from=partial)
+        assert cells_with_extras(resumed) == cells_with_extras(full)
+        # No warm chaining -> nothing to re-seed.
+        assert resumed.reseed_solves == 0
+
+    def test_resume_without_sweep_axis(self):
+        spec = make_spec(
+            grid={"n_transactions": (1, 2, 3)}, sweep_axis=None
+        )
+        full = Campaign(spec).run(workers=1)
+        partial = Campaign(spec).run(workers=1, max_cells=4)
+        resumed = Campaign(spec).run(workers=1, resume_from=partial)
+        assert cells_with_extras(resumed) == cells_with_extras(full)
+
+    def test_resume_round_trips_through_json(self, tmp_path):
+        spec = make_spec()
+        full = Campaign(spec).run(workers=1)
+        partial = Campaign(spec).run(workers=1, max_cells=7)
+        loaded = CampaignResult.load_json(
+            partial.save_json(tmp_path / "partial.json")
+        )
+        assert loaded.truncated
+        resumed = Campaign(spec).run(workers=1, resume_from=loaded)
+        assert cells_with_extras(resumed) == cells_with_extras(full)
+
+    @pytest.mark.dist
+    def test_parallel_resume_equals_serial(self):
+        spec = make_spec(systems_per_cell=4)
+        full = Campaign(spec).run(workers=1)
+        partial = Campaign(spec).run(workers=1, max_cells=9)
+        resumed = Campaign(spec).run(workers=2, resume_from=partial)
+        assert cells_with_extras(resumed) == cells_with_extras(full)
+
+
+class TestSpecMismatchRejection:
+    """resume_from must reject results from a different campaign."""
+
+    @pytest.mark.parametrize(
+        "field,override",
+        [
+            ("seed", {"seed": 99}),
+            ("generator", {"generator": "paper", "base": {}, "grid": {}}),
+            (
+                "base",
+                {
+                    "base": {
+                        "n_platforms": 3,
+                        "n_transactions": 2,
+                        "tasks_per_transaction": (1, 3),
+                    }
+                },
+            ),
+            ("warm_start", {"warm_start": False}),
+        ],
+    )
+    def test_mismatch_rejected(self, field, override):
+        donor = Campaign(make_spec(**override)).run(workers=1, max_cells=2)
+        with pytest.raises(ValueError, match=field):
+            Campaign(make_spec()).run(workers=1, resume_from=donor)
+
+    def test_grid_extension_is_allowed(self):
+        """A wider grid is an extension, not a mismatch: old chains that
+        still exist are reused (whole or as prefixes)."""
+        narrow = make_spec(grid={"utilization": (0.3, 0.5)})
+        wide = make_spec(grid={"utilization": (0.3, 0.5, 0.7, 0.9)})
+        done = Campaign(narrow).run(workers=1)
+        full = Campaign(wide).run(workers=1)
+        resumed = Campaign(wide).run(workers=1, resume_from=done)
+        assert cells_with_extras(resumed) == cells_with_extras(full)
+        # Every narrow-grid cell is a prefix of some wide-grid chain.
+        assert resumed.reused_cells == len(done.cells)
+
+
+class TestCliResumeAfterKill:
+    ARGS = [
+        "campaign",
+        "--grid", "utilization=0.3,0.5,0.7",
+        "--transactions", "2",
+        "--tasks", "1,2",
+        "--systems", "2",
+        "--workers", "1",
+    ]
+
+    def test_kill_then_resume_matches_uninterrupted(self, tmp_path, capsys):
+        full_json = tmp_path / "full.json"
+        assert cli_main(self.ARGS + ["--json", str(full_json)]) == 0
+        partial_json = tmp_path / "partial.json"
+        rc = cli_main(
+            self.ARGS + ["--max-cells", "4", "--json", str(partial_json)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "truncated after 4 cells" in out
+        resumed_json = tmp_path / "resumed.json"
+        rc = cli_main(
+            self.ARGS
+            + ["--resume", str(partial_json), "--json", str(resumed_json)]
+        )
+        assert rc == 0
+        assert "resumed: 4 cells" in capsys.readouterr().out
+        full = CampaignResult.load_json(full_json)
+        resumed = CampaignResult.load_json(resumed_json)
+        assert resumed.metrics() == full.metrics()

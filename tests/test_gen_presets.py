@@ -3,7 +3,15 @@
 import pytest
 
 from repro.analysis import AnalysisConfig, analyze
-from repro.gen import automotive_cluster, avionics_partitions
+from repro.gen import (
+    RandomSystemSpec,
+    automotive_cluster,
+    avionics_partitions,
+    campaign_base,
+    deep_chain_spec,
+    random_system,
+    wide_view_spec,
+)
 from repro.io import assembly_from_dict, assembly_to_dict
 from repro.sim import validate_against_analysis
 
@@ -83,3 +91,119 @@ class TestAvionicsPartitions:
     def test_exact_analysis_feasible_size(self, system):
         result = analyze(system, config=AnalysisConfig(method="exact"))
         assert result.schedulable
+
+
+def _incremental_config() -> AnalysisConfig:
+    return AnalysisConfig(
+        method="reduced", update="gauss_seidel", incremental=True
+    )
+
+
+def _skip_fraction(spec: RandomSystemSpec, seeds=range(10)) -> float:
+    """Aggregate dirty-set skip fraction over a deterministic seed set."""
+    solves = skips = 0
+    for seed in seeds:
+        result = analyze(
+            random_system(spec, seed=seed), config=_incremental_config()
+        )
+        solves += result.task_solves
+        skips += result.task_skips
+    return skips / (solves + skips)
+
+
+class TestDeepChainPreset:
+    """ROADMAP item: deep chains showcase + pin the dirty-set asymptotics."""
+
+    def test_shape(self):
+        spec = deep_chain_spec()
+        assert spec.tasks_per_transaction == (8, 16)
+        system = random_system(spec, seed=0)
+        assert max(len(tr.tasks) for tr in system.transactions) >= 8
+
+    def test_skip_fraction_grows_with_chain_depth(self):
+        """The deeper the chains, the larger the fraction of per-task
+        solves the chain-aware dirty set proves redundant."""
+        def at_depth(tpt):
+            return _skip_fraction(
+                RandomSystemSpec(
+                    n_platforms=2,
+                    n_transactions=2,
+                    tasks_per_transaction=tpt,
+                    utilization=0.4,
+                )
+            )
+
+        ladder = [at_depth(t) for t in [(1, 2), (2, 4), (8, 16)]]
+        assert ladder[0] < ladder[1] < ladder[2], ladder
+        # The deepest rung is the preset itself.
+        assert ladder[2] == pytest.approx(
+            _skip_fraction(deep_chain_spec(0.4))
+        )
+
+    def test_preset_beats_shallow_baseline(self):
+        shallow = RandomSystemSpec(
+            n_platforms=2,
+            n_transactions=2,
+            tasks_per_transaction=(1, 3),
+            utilization=0.4,
+        )
+        assert _skip_fraction(deep_chain_spec(0.4)) > _skip_fraction(shallow)
+
+
+class TestWideViewPreset:
+    """ROADMAP item: wide views make ``kernel="auto"`` pick vector."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_auto_kernel_picks_vector(self, seed):
+        from repro.analysis.busy import (
+            VECTOR_MIN_JOBS,
+            build_views,
+            resolve_kernel,
+        )
+
+        system = random_system(wide_view_spec(), seed=seed)
+        # The numerically lowest priority task observes every other task on
+        # the (single) platform: its foreign views are the widest.
+        i, j = min(
+            (
+                (i, j)
+                for i, tr in enumerate(system.transactions)
+                for j in range(len(tr.tasks))
+            ),
+            key=lambda key: system.transactions[key[0]].tasks[key[1]].priority,
+        )
+        _analyzed, _own, others = build_views(system, i, j)
+        assert others, "wide-view preset must produce foreign views"
+        for view in others:
+            batch = len(view.tasks) ** 2  # Eq. 15 batched over starters
+            assert batch >= VECTOR_MIN_JOBS
+            assert resolve_kernel("auto", batch) == "vector"
+
+    def test_single_platform_colocation(self):
+        spec = wide_view_spec()
+        assert spec.n_platforms == 1
+        system = random_system(spec, seed=0)
+        assert {t.platform for tr in system.transactions for t in tr.tasks} \
+            == {0}
+
+
+class TestCampaignBase:
+    def test_base_drives_a_campaign(self):
+        from repro.batch import Campaign, CampaignSpec
+
+        spec = CampaignSpec(
+            grid={"utilization": (0.35,)},
+            base=campaign_base(deep_chain_spec()),
+            methods=("gauss_seidel",),
+            systems_per_cell=1,
+            seed=4,
+        )
+        result = Campaign(spec).run(workers=1)
+        assert len(result.cells) == 1
+        # The dirty set engages on the deep chains.
+        assert result.cells[0].extras["fp_task_skips"] > 0
+
+    def test_base_excludes_sweep_axis(self):
+        base = campaign_base(wide_view_spec())
+        assert "utilization" not in base
+        assert base["n_platforms"] == 1

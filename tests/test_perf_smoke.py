@@ -1,11 +1,13 @@
-"""CI perf smoke and schema checks for ``BENCH_campaign.json`` (ISSUE 2).
+"""CI perf smoke and schema checks for ``BENCH_campaign.json``.
 
 Two layers of protection for the throughput numbers the ROADMAP tracks:
 
 * **Schema** -- the committed bench JSON must keep the structure the
   campaign benchmark writes (so downstream tooling and the next re-anchor
   can rely on it), and the recorded speedups must meet the ISSUE 2
-  acceptance floor.
+  acceptance floor plus the ISSUE 3 distributed-execution blocks
+  (``sharding`` with its >= 1.8x aggregate pin, ``collection``,
+  ``wide_view``).
 * **Perf smoke** -- a few-second re-measurement of the reference sweep
   that fails when systems/sec regresses more than 30% below the recorded
   reference.  Timed best-of-3 to damp container throughput jitter.
@@ -57,10 +59,31 @@ def payload() -> dict:
     return json.loads(BENCH.read_text())
 
 
+#: Fields of the ISSUE 3 sharding block.
+SHARDING_FIELDS = {
+    "shards",
+    "unsharded_wall_s",
+    "shard_wall_s",
+    "shard_systems",
+    "aggregate_systems_per_second",
+    "aggregate_speedup",
+}
+
+#: Per-mode fields of the ISSUE 3 collection block.
+COLLECTION_MODE_FIELDS = {
+    "wall_time_s",
+    "systems_per_second",
+    "shm_records",
+    "shm_overflow",
+}
+
+
 class TestBenchSchema:
     def test_top_level_keys(self, payload):
-        assert {"description", "sweep", "pr1_reference", "runs", "speedups"} \
-            <= set(payload)
+        assert {
+            "description", "sweep", "pr1_reference", "runs", "speedups",
+            "sharding", "collection", "wide_view",
+        } <= set(payload)
 
     def test_sweep_block(self, payload):
         sweep = payload["sweep"]
@@ -101,6 +124,48 @@ class TestBenchSchema:
         ref = payload["pr1_reference"]
         assert ref["systems_per_second"] == pytest.approx(350.96, abs=0.01)
         assert ref["evaluations_total"] == 34392
+
+    def test_sharding_block(self, payload):
+        """ISSUE 3 acceptance: the recorded 2-shard reference sweep must
+        deliver >= 1.8x aggregate throughput over the single-host run."""
+        sharding = payload["sharding"]
+        missing = SHARDING_FIELDS - set(sharding)
+        assert not missing, sorted(missing)
+        assert sharding["shards"] == 2
+        assert len(sharding["shard_wall_s"]) == 2
+        assert all(w > 0 for w in sharding["shard_wall_s"])
+        # Aggregate throughput models two hosts running side by side:
+        # total systems / slowest shard wall.
+        assert sharding["aggregate_speedup"] == pytest.approx(
+            sharding["unsharded_wall_s"] / max(sharding["shard_wall_s"]),
+            rel=1e-6,
+        )
+        assert sharding["aggregate_speedup"] >= 1.8
+
+    def test_collection_block(self, payload):
+        collection = payload["collection"]
+        assert {"pickle", "shm", "shm_vs_pickle"} <= set(collection)
+        for mode in ("pickle", "shm"):
+            missing = COLLECTION_MODE_FIELDS - set(collection[mode])
+            assert not missing, f"{mode} lacks {sorted(missing)}"
+            assert collection[mode]["wall_time_s"] > 0
+        # The shm run really went through the ring, not the fallback.
+        assert collection["shm"]["shm_records"] > 0
+        assert collection["pickle"]["shm_records"] == 0
+        assert collection["shm_vs_pickle"] > 0
+
+    def test_wide_view_block(self, payload):
+        wide = payload["wide_view"]
+        assert {"scalar", "vector", "vector_vs_scalar"} <= set(wide)
+        for kernel in ("scalar", "vector"):
+            assert wide[kernel]["wall_time_s"] > 0
+            assert wide[kernel]["systems_per_second"] > 0
+        # Identical fixed points: the kernels may differ only in speed.
+        assert wide["scalar"]["evaluations_total"] == \
+            wide["vector"]["evaluations_total"]
+        # The ROADMAP claim behind the preset: on wide views the vector
+        # kernel wins outright.
+        assert wide["vector_vs_scalar"] > 1.0
 
 
 class TestPerfSmoke:
