@@ -20,6 +20,14 @@ ISSUE 3 additions, recorded alongside the kernel x scheduler matrix:
   ``wide_view_spec`` generator preset (>= 100 batched jobs per Eq. 15
   call), where ``kernel="auto"`` selects the vector kernel.
 
+ISSUE 4 addition:
+
+* ``verdict_mode`` -- the reference sweep analyzed with the ``verdict``
+  method (deadline-ceiling early exits + pre-filters + monotone level
+  pruning/bisection along each chain) against the exact ``gauss_seidel``
+  baseline.  Verdicts are asserted identical cell for cell; the
+  acceptance criterion is >= 3x systems/sec.
+
 The acceptance criterion of ISSUE 2 is >=2x systems/sec over PR 1's
 ``gs_warm_cached`` run on this same sweep; PR 1's recorded numbers are
 pinned in ``PR1_REFERENCE`` below (they were re-measured against PR 1's
@@ -266,6 +274,59 @@ def _measure_collection(spec: CampaignSpec) -> dict:
     return out
 
 
+def _measure_verdict_mode(spec: CampaignSpec) -> dict:
+    """Exact vs verdict-mode throughput on the reference sweep.
+
+    Same spec, two methods: ``gauss_seidel`` (the PR 3 exact pipeline) and
+    ``verdict`` (early-exit solves, pre-filters, monotone level pruning).
+    Every cell's verdict must agree; the verdict run additionally reports
+    how many cells were *inferred* by the pruning instead of solved.
+    """
+    exact_c = Campaign(
+        CampaignSpec.from_dict({**spec.to_dict(), "methods": ["gauss_seidel"]})
+    )
+    verdict_c = Campaign(
+        CampaignSpec.from_dict({**spec.to_dict(), "methods": ["verdict"]})
+    )
+    best = _interleaved_best(
+        {
+            "exact": lambda: exact_c.run(workers=1),
+            "verdict": lambda: verdict_c.run(workers=1),
+        },
+        repeats=REPEATS + 2,
+    )
+    exact_wall, exact = best["exact"]
+    verdict_wall, verdict = best["verdict"]
+    assert [c.schedulable for c in verdict.cells] == [
+        c.schedulable for c in exact.cells
+    ], "verdict-mode verdicts diverged from exact mode"
+    inferred = sum(
+        1 for c in verdict.cells if c.extras.get("verdict_inferred")
+    )
+    return {
+        "exact": {
+            "wall_time_s": exact_wall,
+            "systems_per_second": exact.n_systems / exact_wall,
+            "evaluations_total": exact.accounting()["evaluations_total"],
+        },
+        "verdict": {
+            "wall_time_s": verdict_wall,
+            "systems_per_second": verdict.n_systems / verdict_wall,
+            "evaluations_total": verdict.accounting()["evaluations_total"],
+            "cells": len(verdict.cells),
+            "inferred_cells": inferred,
+            "solved_cells": len(verdict.cells) - inferred,
+            "ceiling_exits": sum(
+                c.extras.get("fp_ceiling_exits", 0) for c in verdict.cells
+            ),
+            "prefilter_classified": sum(
+                1 for c in verdict.cells if c.extras.get("fp_prefilter")
+            ),
+        },
+        "verdict_vs_exact": exact_wall / verdict_wall,
+    }
+
+
 def _measure_wide_view() -> dict:
     """Vector-vs-scalar kernel on the wide-view preset (ROADMAP item)."""
     kernels = {
@@ -366,6 +427,12 @@ def test_campaign_throughput(benchmark, write_artifact):
     # delivers >= 1.8x the single-host aggregate throughput.
     assert sharding["aggregate_speedup"] >= 1.8, sharding
 
+    # ISSUE 4: the verdict-mode pipeline on the reference sweep.
+    verdict_mode = _measure_verdict_mode(_spec("gauss_seidel", True))
+    # ISSUE 4 acceptance: >= 3x systems/sec over the exact pipeline.
+    assert verdict_mode["verdict_vs_exact"] >= 3.0, verdict_mode
+    assert verdict_mode["verdict"]["inferred_cells"] > 0, verdict_mode
+
     for run in runs.values():
         del run["schedulable"]  # bulky and redundant once cross-checked
     payload = {
@@ -384,6 +451,7 @@ def test_campaign_throughput(benchmark, write_artifact):
         "sharding": sharding,
         "collection": collection,
         "wide_view": wide_view,
+        "verdict_mode": verdict_mode,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     write_artifact(
@@ -394,6 +462,7 @@ def test_campaign_throughput(benchmark, write_artifact):
                 "sharding_aggregate_speedup": sharding["aggregate_speedup"],
                 "collection_shm_vs_pickle": collection["shm_vs_pickle"],
                 "wide_view_vector_vs_scalar": wide_view["vector_vs_scalar"],
+                "verdict_vs_exact": verdict_mode["verdict_vs_exact"],
             },
             indent=2,
         ) + "\n",

@@ -32,7 +32,12 @@ from repro.analysis.interfaces import (
     UNSCHEDULABLE,
 )
 from repro.analysis.report import text_report
-from repro.analysis.schedulability import analyze, is_schedulable
+from repro.analysis.schedulability import (
+    analyze,
+    is_schedulable,
+    response_bound_prefilter,
+    utilization_prefilter,
+)
 from repro.analysis.holistic import holistic_analysis
 from repro.analysis.static_offsets import response_time_exact
 from repro.analysis.reduced import response_time_reduced
@@ -66,6 +71,8 @@ __all__ = [
     "UNSCHEDULABLE",
     "analyze",
     "is_schedulable",
+    "response_bound_prefilter",
+    "utilization_prefilter",
     "text_report",
     "holistic_analysis",
     "response_time_exact",

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.analysis.busy import AnalyzedTask
-from repro.util.fixedpoint import note_solve, note_solves
+from repro.util.fixedpoint import note_ceiling_exit, note_solve, note_solves
 from repro.util.math import EPS, ceil_div, floor_div
 
 __all__ = ["ScenarioOutcome", "solve_scenario"]
@@ -61,6 +61,7 @@ def solve_scenario(
     tol: float = 1e-9,
     chain_jobs: bool = True,
     memoize: bool = True,
+    response_ceiling: float = float("inf"),
 ) -> ScenarioOutcome:
     """Solve one scenario for the analyzed task.
 
@@ -77,6 +78,16 @@ def solve_scenario(
     bound:
         Divergence bound for the inner fixed points; exceeding it makes the
         scenario report an infinite response time.
+    response_ceiling:
+        Verdict-mode deadline ceiling (mirrors ``ceiling`` of
+        :func:`repro.util.fixedpoint.iterate_fixed_point` for this inlined
+        loop): abort with an infinite response as soon as any job's
+        completion iterate *implies* a response above it.  Sound because
+        completion iterates grow from below toward the least fixed point,
+        so the implied response is a lower bound on the job's final
+        response, itself a lower bound on the scenario's worst response --
+        callers that only compare the response against a deadline already
+        have their answer.  ``inf`` (default) restores exact behavior.
     chain_jobs:
         Warm-start each job's completion fixed point from the previous
         job's completion (sound: the completion map of job ``p+1``
@@ -163,6 +174,11 @@ def solve_scenario(
     prev_completion: float | None = None
     for p in range(p0, p_last + 1):
         done = base + (p - p0 + 1) * cost
+        # Activation instant of job p measured from the transaction
+        # activation (phi + (p-1)T - phi_bar); a completion iterate above
+        # ``response_ceiling + act`` implies a response past the ceiling.
+        act = phi_ab + (p - 1) * T - analyzed.phi
+        limit = response_ceiling + act
         warm = (
             chain_jobs
             and prev_completion is not None
@@ -186,6 +202,17 @@ def solve_scenario(
                     response=float("inf"), worst_job=p, busy_length=L,
                     jobs_checked=checked, evaluations=evaluations + evals,
                 )
+            if nxt > limit:
+                # Verdict-mode early exit: the iterate is a lower bound on
+                # this job's response, which lower-bounds the scenario's
+                # worst response -- the deadline miss is already proven.
+                note_solves(evaluations, solves, warm_started=warm_solves)
+                note_solve(evals, warm_started=warm)
+                note_ceiling_exit()
+                return ScenarioOutcome(
+                    response=float("inf"), worst_job=p, busy_length=L,
+                    jobs_checked=checked, evaluations=evaluations + evals,
+                )
             if -tol <= nxt - w <= tol:
                 break
             if evals >= _MAX_ITERATIONS:
@@ -203,8 +230,8 @@ def solve_scenario(
             warm_solves += 1
         prev_completion = w
         # Response measured from the transaction activation that released
-        # job p: the activation instant is phi + (p-1)T - phi_bar.
-        r = w - (phi_ab + (p - 1) * T - analyzed.phi)
+        # job p (see ``act`` above).
+        r = w - act
         checked += 1
         if r > worst:
             worst = r

@@ -150,6 +150,39 @@ def holistic_analysis(
         for i, tr in enumerate(work.transactions)
         for j in range(len(tr.tasks))
     ]
+    verdict = config.mode == "verdict"
+
+    # Round visit order.  In verdict mode the most-constrained transactions
+    # (highest rate-scaled demand relative to their end-to-end deadline) go
+    # first, so a provable miss aborts the round before the easy
+    # transactions are paid for; precedence order is preserved within each
+    # transaction (the in-round Eq. 18 refresh needs predecessors first)
+    # and any visit order converges to the same least fixed point.
+    order = all_keys
+    if verdict:
+        def _txn_pressure(i: int) -> float:
+            tr = work.transactions[i]
+            demand = sum(
+                t.wcet / work.platforms[t.platform].rate for t in tr.tasks
+            )
+            dl = float(tr.deadline)
+            return demand / dl if dl > 0 else math.inf
+
+        txn_order = sorted(range(n_txn), key=lambda i: (-_txn_pressure(i), i))
+        order = [
+            (i, j)
+            for i in txn_order
+            for j in range(len(work.transactions[i].tasks))
+        ]
+    # Per-transaction verdict ceiling for the inner solves: a response
+    # iterate past ``deadline + tol`` proves the end-to-end miss (responses
+    # are non-decreasing along a precedence chain, and outer rounds
+    # approach the fixed point from below), so the solve aborts there.
+    txn_ceiling = (
+        [float(tr.deadline) + config.tol for tr in work.transactions]
+        if verdict
+        else None
+    )
 
     best = best_case_response_times(work, method=config.best_case)
 
@@ -187,6 +220,7 @@ def holistic_analysis(
         task_solves += 1
         if math.isinf(work.transactions[i].tasks[j].jitter):
             return UNSCHEDULABLE
+        ceiling = txn_ceiling[i] if txn_ceiling is not None else math.inf
         if config.driver_cache:
             projector = projectors.get((i, j))
             if projector is None:
@@ -201,18 +235,27 @@ def holistic_analysis(
             cache = None
         if config.method == "exact":
             res = response_time_exact(
-                work, i, j, config=config, views=views, bound=busy_bound
+                work, i, j, config=config, views=views, bound=busy_bound,
+                ceiling=ceiling,
             )
         else:
             res = response_time_reduced(
                 work, i, j, config=config, views=views, bound=busy_bound,
-                compile_cache=cache,
+                compile_cache=cache, ceiling=ceiling,
             )
         evaluations += res.evaluations
         return res.wcrt
 
     incremental = config.update == "gauss_seidel" and config.incremental
     dependents = _jitter_dependents(work) if incremental else {}
+    # Visit rank for the "already visited this round?" test of the dirty
+    # marking; only needed when the verdict ordering departs from the
+    # canonical key order (where tuple comparison is the rank).
+    rank = (
+        {key: pos for pos, key in enumerate(order)}
+        if incremental and verdict
+        else None
+    )
     # Tasks whose inputs may have moved since their last solve.  Everything
     # is dirty before the first round; Jacobi and the full Gauss-Seidel
     # sweep simply re-dirty everything each round.
@@ -235,7 +278,7 @@ def holistic_analysis(
 
     def compute_round(
         prev: dict[tuple[int, int], float],
-    ) -> tuple[dict[tuple[int, int], float], list[tuple[int, int]]]:
+    ) -> tuple[dict[tuple[int, int], float], list[tuple[int, int]], bool]:
         """One outer round.
 
         Jacobi: plain sweep with the jitters of the previous round.
@@ -246,41 +289,52 @@ def holistic_analysis(
         previous response; a jitter assignment that moves by more than the
         tolerance re-dirties every dependent task (in this round when it
         has not been visited yet, else in the next).
+
+        In verdict mode an infinite response (deadline-ceiling abort or
+        divergence) short-circuits the round: the verdict is already
+        final, so the returned ``aborted`` flag tells the outer loop to
+        stop without finishing the sweep (the round's remaining responses
+        stay uncomputed).
         """
         nonlocal task_skips
         out: dict[tuple[int, int], float] = {}
         skipped: list[tuple[int, int]] = []
-        for i, tr in enumerate(work.transactions):
-            for j in range(len(tr.tasks)):
-                key = (i, j)
-                if incremental and key not in dirty:
-                    out[key] = prev[key]
-                    skipped.append(key)
-                    task_skips += 1
-                else:
-                    out[key] = compute_one(i, j)
+        for key in order:
+            i, j = key
+            tr = work.transactions[i]
+            if incremental and key not in dirty:
+                out[key] = prev[key]
+                skipped.append(key)
+                task_skips += 1
+            else:
+                out[key] = compute_one(i, j)
+                if verdict and math.isinf(out[key]):
+                    return out, skipped, True
+            if (
+                config.update == "gauss_seidel"
+                and j + 1 < len(tr.tasks)
+                and not math.isinf(out[key])
+            ):
+                succ = tr.tasks[j + 1]
+                new_jit = max(succ.jitter, out[key] - best[key])
                 if (
-                    config.update == "gauss_seidel"
-                    and j + 1 < len(tr.tasks)
-                    and not math.isinf(out[key])
+                    incremental
+                    and new_jit - dirty_baseline[(i, j + 1)] > config.tol
                 ):
-                    succ = tr.tasks[j + 1]
-                    new_jit = max(succ.jitter, out[key] - best[key])
-                    if (
-                        incremental
-                        and new_jit - dirty_baseline[(i, j + 1)] > config.tol
-                    ):
-                        # (i, j+1) itself is visited later in this same
-                        # round; interference dependents positioned at or
-                        # before the current task re-solve next round.
-                        dirty_baseline[(i, j + 1)] = new_jit
-                        for dep in dependents[(i, j + 1)]:
-                            if dep > key:
-                                dirty.add(dep)
-                            else:
-                                next_dirty.add(dep)
-                    succ.jitter = new_jit
-        return out, skipped
+                    # (i, j+1) itself is visited later in this same
+                    # round; interference dependents positioned at or
+                    # before the current task re-solve next round.
+                    dirty_baseline[(i, j + 1)] = new_jit
+                    for dep in dependents[(i, j + 1)]:
+                        later = (
+                            dep > key if rank is None else rank[dep] > rank[key]
+                        )
+                        if later:
+                            dirty.add(dep)
+                        else:
+                            next_dirty.add(dep)
+                succ.jitter = new_jit
+        return out, skipped, False
 
     rows: list[IterationRow] = []
     responses: dict[tuple[int, int], float] = {}
@@ -321,8 +375,15 @@ def holistic_analysis(
             for i, tr in enumerate(work.transactions)
             for j in range(1, len(tr.tasks))
         }
-        responses, skipped = compute_round(responses)
-        note_outer_tasks(len(all_keys) - len(skipped), len(skipped))
+        responses, skipped, aborted = compute_round(responses)
+        note_outer_tasks(len(responses) - len(skipped), len(skipped))
+        if aborted:
+            # The short-circuited round left the remaining responses
+            # uncomputed; the verdict is final, so report them as
+            # UNSCHEDULABLE right away -- trace rows and the result tables
+            # below then always carry every task key.
+            for key in all_keys:
+                responses.setdefault(key, UNSCHEDULABLE)
         if trace:
             rows.append(
                 IterationRow(
@@ -336,7 +397,7 @@ def holistic_analysis(
                     skipped=tuple(skipped),
                 )
             )
-        if any(math.isinf(r) for r in responses.values()):
+        if aborted or any(math.isinf(r) for r in responses.values()):
             diverged = True
             converged = True  # the fixed point is +inf; no point iterating
             break
@@ -373,7 +434,9 @@ def holistic_analysis(
             break
 
     # Propagate divergence down each chain: a successor of an unbounded task
-    # is unbounded too.
+    # is unbounded too.  (A verdict-mode mid-round abort already filled its
+    # uncomputed responses with UNSCHEDULABLE above -- verdict mode gives
+    # up exact per-task response times once the verdict is decided.)
     if diverged:
         for i, tr in enumerate(work.transactions):
             dead = False

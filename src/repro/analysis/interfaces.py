@@ -73,6 +73,22 @@ class AnalysisConfig:
         memoization and job-chained completion warm starts.  Off, every
         solve recomputes from scratch -- the PR 1 cost model, kept so the
         campaign benchmark can A/B the driver work honestly.
+    mode:
+        ``"exact"`` (default) computes exact worst-case response times for
+        every task -- the full PR 3 cost model, byte for byte.
+        ``"verdict"`` computes only the schedulability *verdict*, spending
+        as little as possible on everything else: inner solves abort at a
+        deadline ceiling the moment an iterate proves a miss, the outer
+        sweep visits the most-constrained transactions first and stops as
+        soon as any task provably misses, and cheap pre-filters (see
+        :mod:`repro.analysis.schedulability`) classify easy systems without
+        entering the holistic loop at all.  Verdicts are identical to exact
+        mode; per-task response times are NOT (they may be partial, upper
+        bounds, or :data:`UNSCHEDULABLE` once the verdict is decided).
+    prefilters:
+        Verdict mode only: enable the necessary utilization test and the
+        sufficient response-time upper bound.  Off, verdict mode still
+        early-exits but always runs the holistic loop (for A/B accounting).
     """
 
     method: str = "reduced"
@@ -86,8 +102,14 @@ class AnalysisConfig:
     kernel: str = "auto"
     incremental: bool = True
     driver_cache: bool = True
+    mode: str = "exact"
+    prefilters: bool = True
 
     def __post_init__(self) -> None:
+        if self.mode not in ("exact", "verdict"):
+            raise ValueError(
+                f"mode must be 'exact' or 'verdict', got {self.mode!r}"
+            )
         if self.method not in ("reduced", "exact"):
             raise ValueError(f"method must be 'reduced' or 'exact', got {self.method!r}")
         if self.best_case not in ("simple", "sound", "iterative"):
@@ -176,6 +198,13 @@ class SystemAnalysis:
     #: jitter had moved.  ``task_solves + task_skips == rounds x tasks``.
     task_solves: int = 0
     task_skips: int = 0
+    #: Verdict mode: the pre-filter that classified the system without
+    #: running the holistic loop (``"utilization"`` for the necessary
+    #: utilization reject, ``"bound"`` for the sufficient response-time
+    #: upper-bound accept), or ``None`` when the holistic analysis ran.
+    #: When set, per-task values in ``tasks`` are filter artifacts (upper
+    #: bounds, or :data:`UNSCHEDULABLE`), not exact response times.
+    prefilter: str | None = None
 
     def final_jitters(self) -> dict[tuple[int, int], float]:
         """The converged jitter vector, usable as a warm start for the

@@ -59,6 +59,7 @@ def response_time_reduced(
     views: tuple | None = None,
     bound: float | None = None,
     compile_cache: dict | None = None,
+    ceiling: float = float("inf"),
 ) -> ReducedResult:
     """Upper bound on the worst-case response time of task ``(a, b)`` (Eq. 16).
 
@@ -67,7 +68,10 @@ def response_time_reduced(
     so the outer holistic rounds skip re-projection; ``bound`` an already
     computed divergence bound; ``compile_cache`` a per-task dict the outer
     rounds thread through so compiled W closures are rebuilt only when the
-    jitters they bake in actually moved.
+    jitters they bake in actually moved; ``ceiling`` the verdict-mode
+    response ceiling (``wcrt`` is reported as ``inf`` as soon as any
+    scenario proves the response exceeds it -- see
+    :func:`repro.analysis._scenario.solve_scenario`).
     """
     config = config or AnalysisConfig()
     analyzed, own, others = views if views is not None else build_views(system, a, b)
@@ -174,6 +178,7 @@ def response_time_reduced(
         outcome = solve_scenario(
             analyzed, phi_ab, interference, bound=bound, tol=config.tol,
             chain_jobs=config.driver_cache, memoize=config.driver_cache,
+            response_ceiling=ceiling,
         )
         evaluated += 1
         evaluations += outcome.evaluations

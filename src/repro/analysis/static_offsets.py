@@ -61,13 +61,16 @@ def response_time_exact(
     config: AnalysisConfig | None = None,
     views: tuple | None = None,
     bound: float | None = None,
+    ceiling: float = float("inf"),
 ) -> ExactResult:
     """Worst-case response time of task ``(a, b)`` by full scenario enumeration.
 
     ``views`` optionally supplies a pre-projected ``(analyzed, own,
     others)`` triple (from a cached :class:`~repro.analysis.busy.ViewProjector`)
     so the outer holistic rounds skip re-projection; ``bound`` an already
-    computed divergence bound.
+    computed divergence bound; ``ceiling`` the verdict-mode response
+    ceiling (``wcrt`` reported as ``inf`` as soon as any scenario proves
+    the response exceeds it).
 
     Raises
     ------
@@ -136,6 +139,7 @@ def response_time_exact(
             outcome = solve_scenario(
                 analyzed, phi_ab, interference, bound=bound, tol=config.tol,
                 chain_jobs=config.driver_cache, memoize=config.driver_cache,
+                response_ceiling=ceiling,
             )
             evaluated += 1
             evaluations += outcome.evaluations

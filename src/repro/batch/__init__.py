@@ -29,6 +29,7 @@ The CLI front end is ``python -m repro campaign``.
 """
 
 from repro.batch.methods import (
+    MethodInfo,
     MethodOutcome,
     available_methods,
     holistic_method,
@@ -55,6 +56,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CellResult",
+    "MethodInfo",
     "MethodOutcome",
     "available_generators",
     "available_methods",

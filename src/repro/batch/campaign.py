@@ -22,6 +22,14 @@ fixed point in fewer rounds).  Chains are chunked and dispatched to a
 ``numpy.random.SeedSequence`` so results are identical for any worker
 count, and cells are re-sorted into canonical order on collection.
 
+Chains of *verdict-monotone* methods (``verdict`` -- see
+:mod:`repro.batch.methods`) exploit the same scaling monotonicity the
+warm starts rest on: a level that misses its deadline implies every
+higher level does too, so the chain bisects the sweep for the threshold
+level and emits the remaining cells with *inferred* verdicts
+(``verdict_inferred``/``from_level`` provenance extras) instead of
+solving them -- see :func:`_run_chain_pruned`.
+
 Distributed execution
 ---------------------
 The chain is also the unit of *distributed* work.  ``run(shard=(k, n))``
@@ -35,7 +43,10 @@ incompatible specs and overlapping cells.  ``resume_from`` reuses the
 longest fully-completed sweep *prefix* of each partial chain, re-seeding
 the warm-start jitters by re-solving only the last completed level (the
 converged jitter vector is the least fixed point -- start-independent --
-so the resumed suffix is bit-identical to a from-scratch run).  With
+so the resumed suffix is bit-identical to a from-scratch run for
+ascending-walk chains; pruned verdict chains bisect a different level
+subset on resume, so there only the *verdicts* are guaranteed
+identical).  With
 ``collect="shm"`` pool workers write fixed-width result records into a
 preallocated ``multiprocessing.shared_memory`` ring instead of
 round-tripping pickled chunk lists; records that do not fit (oversized
@@ -895,31 +906,104 @@ def merge_campaign_results(
 # --------------------------------------------------------------------------
 
 
-def _run_chain(spec: CampaignSpec, chain: dict) -> dict:
-    """Execute one warm-start chain.
+def _analyze_cell(
+    spec: CampaignSpec,
+    chain: dict,
+    step: int,
+    m_idx: int,
+    name: str,
+    fn,
+    system: TransactionSystem,
+    warm_vector: dict | None,
+) -> tuple[Any, dict]:
+    """Run one (system, method) analysis and tag the resulting cell dict."""
+    hits0, misses0 = phase_cache_stats()
+    t0 = time.perf_counter()
+    outcome = fn(system, warm_vector)
+    dt = time.perf_counter() - t0
+    hits1, misses1 = phase_cache_stats()
+    return outcome, {
+        "order": (chain["index"], step, m_idx),
+        "cell": {
+            "params": _jsonify(_chain_point_params(spec, chain["point"], step)),
+            "seed": chain["seed"],
+            "replicate": chain["replicate"],
+            "method": name,
+            "schedulable": bool(outcome.schedulable),
+            "converged": bool(outcome.converged),
+            "outer_iterations": int(outcome.outer_iterations),
+            "evaluations": int(outcome.evaluations),
+            "warm_started": bool(outcome.warm_started),
+            "max_wcrt_ratio": float(outcome.max_wcrt_ratio),
+            "time_s": dt,
+            "phase_cache_hits": hits1 - hits0,
+            "phase_cache_misses": misses1 - misses0,
+            "extras": _jsonify(outcome.extras),
+        },
+    }
 
-    Returns ``{"cells": [tagged cell dicts], "reseed_solves": int,
-    "reseed_evaluations": int}``.  When ``chain["resume_step"]`` is set
-    (chain-prefix resume), sweep steps before it are already recorded:
-    their analyses are skipped, but generation/scaling is replayed so the
-    chain's scaling base evolves exactly as in a from-scratch run -- a
-    custom sweep scaler may *decline* (return ``None``) at any level,
-    which regenerates and re-bases the chain there, so the skipped levels'
-    scaler calls cannot be elided in general (for the built-in linear
-    scaler the base never moves and the replay is redundant-but-cheap,
-    O(tasks) per skipped level).  The last completed step is then
-    re-solved (cold, unreported) purely to recover the warm-start jitter
-    vector the remaining steps chain from -- the converged jitters are
-    the least fixed point, so the re-solve hands the suffix exactly the
-    vector the original run would have.
+
+def _inferred_cell(
+    spec: CampaignSpec,
+    chain: dict,
+    step: int,
+    m_idx: int,
+    name: str,
+    schedulable: bool,
+    witness_level: Any,
+) -> dict:
+    """Tagged cell whose verdict is *inferred* from monotone level pruning.
+
+    ``witness_level`` is the sweep value of the solved level whose verdict
+    implies this one (a schedulable level above, or an unschedulable level
+    below) -- the provenance trail of the inference.
+    """
+    return {
+        "order": (chain["index"], step, m_idx),
+        "cell": {
+            "params": _jsonify(_chain_point_params(spec, chain["point"], step)),
+            "seed": chain["seed"],
+            "replicate": chain["replicate"],
+            "method": name,
+            "schedulable": schedulable,
+            "converged": True,
+            "outer_iterations": 0,
+            "evaluations": 0,
+            "warm_started": False,
+            "max_wcrt_ratio": float("nan"),
+            "time_s": 0.0,
+            "phase_cache_hits": 0,
+            "phase_cache_misses": 0,
+            "extras": {
+                "verdict_inferred": True,
+                "inference": "monotone_utilization",
+                "from_level": witness_level,
+            },
+        },
+    }
+
+
+def _run_chain_sweep(spec: CampaignSpec, chain: dict) -> list[dict]:
+    """The ascending warm-start walk over one chain's sweep levels.
+
+    When ``chain["resume_step"]`` is set (chain-prefix resume), sweep
+    steps before it are already recorded: their analyses are skipped, but
+    generation/scaling is replayed so the chain's scaling base evolves
+    exactly as in a from-scratch run -- a custom sweep scaler may
+    *decline* (return ``None``) at any level, which regenerates and
+    re-bases the chain there, so the skipped levels' scaler calls cannot
+    be elided in general (for the built-in linear scaler the base never
+    moves and the replay is redundant-but-cheap, O(tasks) per skipped
+    level).  The last completed step is then re-solved (cold, unreported)
+    purely to recover the warm-start jitter vector the remaining steps
+    chain from -- the converged jitters are the least fixed point, so the
+    re-solve hands the suffix exactly the vector the original run would
+    have.
     """
     point: dict[str, Any] = chain["point"]
     seed: int = chain["seed"]
-    replicate: int = chain["replicate"]
-    chain_index: int = chain["index"]
     resume_step: int = int(chain.get("resume_step", 0))
 
-    stats0 = fixed_point_stats()
     warm: dict[str, dict | None] = {m: None for m in spec.methods}
     out: list[dict] = []
     scaler = (
@@ -956,40 +1040,160 @@ def _run_chain(spec: CampaignSpec, chain: dict) -> dict:
                     warm[name] = reseed_jitters(name, system)
             continue
         for m_idx, name in enumerate(spec.methods):
-            fn, supports_warm = resolve_method(name)
+            info = resolve_method(name)
             warm_vector = (
-                warm[name] if (spec.warm_start and supports_warm) else None
+                warm[name]
+                if (spec.warm_start and info.supports_warm_start)
+                else None
             )
-            hits0, misses0 = phase_cache_stats()
-            t0 = time.perf_counter()
-            outcome = fn(system, warm_vector)
-            dt = time.perf_counter() - t0
-            hits1, misses1 = phase_cache_stats()
+            outcome, tagged = _analyze_cell(
+                spec, chain, step, m_idx, name, info.fn, system, warm_vector
+            )
             warm[name] = outcome.jitters
-            out.append(
-                {
-                    "order": (chain_index, step, m_idx),
-                    "cell": {
-                        "params": _jsonify(params),
-                        "seed": seed,
-                        "replicate": replicate,
-                        "method": name,
-                        "schedulable": bool(outcome.schedulable),
-                        "converged": bool(outcome.converged),
-                        "outer_iterations": int(outcome.outer_iterations),
-                        "evaluations": int(outcome.evaluations),
-                        "warm_started": bool(outcome.warm_started),
-                        "max_wcrt_ratio": float(outcome.max_wcrt_ratio),
-                        "time_s": dt,
-                        "phase_cache_hits": hits1 - hits0,
-                        "phase_cache_misses": misses1 - misses0,
-                        "extras": _jsonify(outcome.extras),
-                    },
-                }
+            out.append(tagged)
+    return out
+
+
+def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
+    """Monotone-level-pruned execution of one chain (verdict methods).
+
+    Along a warm-start chain every sweep level is the *same* drawn system
+    with all execution times scaled by the utilization ratio, and response
+    times are monotone in the execution times -- so once a level is
+    unschedulable, every higher level is too, and once a level is
+    schedulable, every lower level is too.  Methods flagged
+    ``verdict_monotone`` therefore *bisect* the sweep for the lowest
+    unschedulable level (~log2 solves) and emit the remaining cells with
+    inferred verdicts carrying provenance extras (``verdict_inferred``,
+    ``from_level``); other methods in the same spec run the plain
+    ascending walk.  Returns ``None`` when the chain's levels cannot all
+    be derived from one base system through the registered sweep scaler
+    (no scaler, or it declined some level) -- the monotonicity premise is
+    then unavailable and the caller falls back to the ascending walk.
+
+    Only the ``"utilization"`` sweep axis qualifies: the inference needs
+    ascending levels to scale *demand up* (higher level => responses can
+    only grow).  A custom scaler on some other axis -- say a deadline
+    factor, where larger values make systems easier -- would invert the
+    direction and the bisection invariant with it, so any other axis
+    falls back to the ascending walk too.
+    """
+    scaler = GENERATOR_SWEEP_SCALERS.get(spec.generator)
+    if scaler is None or spec.sweep_axis != "utilization":
+        return None
+    point: dict[str, Any] = chain["point"]
+    seed: int = chain["seed"]
+    resume_step: int = int(chain.get("resume_step", 0))
+    resume_unsched: dict = chain.get("resume_unsched") or {}
+    sweep_values = spec.sweep_values()
+    n_steps = len(sweep_values)
+
+    base_system = GENERATORS[spec.generator](
+        _chain_point_params(spec, point, 0), seed
+    )
+    systems: list[TransactionSystem] = [base_system]
+    for step in range(1, n_steps):
+        scaled = scaler(
+            base_system, spec.sweep_axis, sweep_values[0], sweep_values[step]
+        )
+        if scaled is None:
+            return None
+        systems.append(scaled)
+
+    out: list[dict] = []
+    for m_idx, name in enumerate(spec.methods):
+        info = resolve_method(name)
+        warm: dict | None = None
+        if (
+            resume_step > 0
+            and spec.warm_start
+            and not resume_unsched.get(name)
+        ):
+            warm = reseed_jitters(name, systems[resume_step - 1])
+
+        def solve(step: int, warm_vector: dict | None) -> tuple[Any, dict]:
+            clear_phase_cache()
+            return _analyze_cell(
+                spec, chain, step, m_idx, name, info.fn, systems[step],
+                warm_vector,
             )
+
+        use_warm = spec.warm_start and info.supports_warm_start
+        if not info.verdict_monotone:
+            for step in range(resume_step, n_steps):
+                outcome, tagged = solve(step, warm if use_warm else None)
+                warm = outcome.jitters
+                out.append(tagged)
+            continue
+
+        # Bisect [resume_step, n_steps) for the lowest unschedulable
+        # level.  Warm starts flow only upward: a schedulable probe's
+        # converged jitters seed higher probes (they lie below the higher
+        # level's fixed point); unschedulable probes never seed anything
+        # (all later probes are below them).
+        solved: dict[int, dict] = {}
+        lo, hi = resume_step, n_steps
+        if resume_unsched.get(name):
+            hi = lo  # the reused prefix already contains a miss
+        while lo < hi:
+            mid = (lo + hi) // 2
+            outcome, tagged = solve(mid, warm if use_warm else None)
+            solved[mid] = tagged
+            if tagged["cell"]["schedulable"]:
+                if outcome.jitters is not None:
+                    warm = outcome.jitters
+                lo = mid + 1
+            else:
+                hi = mid
+        threshold = lo
+        for step in range(resume_step, n_steps):
+            if step in solved:
+                out.append(solved[step])
+            elif step < threshold:
+                out.append(
+                    _inferred_cell(
+                        spec, chain, step, m_idx, name, True,
+                        sweep_values[threshold - 1],
+                    )
+                )
+            else:
+                witness = (
+                    sweep_values[threshold]
+                    if threshold in solved
+                    else sweep_values[resume_step - 1]
+                )
+                out.append(
+                    _inferred_cell(
+                        spec, chain, step, m_idx, name, False, witness
+                    )
+                )
+    # Canonical (step, method) order: truncation (--max-cells) and the
+    # streaming CSV then see whole levels complete in sweep order, exactly
+    # like the ascending walk -- the invariant chain-prefix resume needs.
+    out.sort(key=lambda item: item["order"])
+    return out
+
+
+def _run_chain(spec: CampaignSpec, chain: dict) -> dict:
+    """Execute one warm-start chain.
+
+    Returns ``{"cells": [tagged cell dicts], "reseed_solves": int,
+    "reseed_evaluations": int}``.  Chains whose spec includes a
+    verdict-monotone method take the pruned path (:func:`_run_chain_pruned`)
+    when the sweep levels are derivable from one base system; everything
+    else runs the ascending walk (:func:`_run_chain_sweep`).
+    """
+    stats0 = fixed_point_stats()
+    cells: list[dict] | None = None
+    if spec.sweep_axis is not None and any(
+        resolve_method(name).verdict_monotone for name in spec.methods
+    ):
+        cells = _run_chain_pruned(spec, chain)
+    if cells is None:
+        cells = _run_chain_sweep(spec, chain)
     reseed_delta = fixed_point_stats().delta(stats0)
     return {
-        "cells": out,
+        "cells": cells,
         "reseed_solves": reseed_delta.reseed_solves,
         "reseed_evaluations": reseed_delta.reseed_evaluations,
     }
@@ -1365,7 +1569,11 @@ class Campaign:
             partially completed chain reuses its longest fully-completed
             sweep *prefix* -- the warm-start state is re-seeded by
             re-solving the last completed level, so the re-run suffix is
-            bit-identical to a from-scratch execution.
+            bit-identical to a from-scratch execution for ascending-walk
+            chains.  Pruned verdict chains bisect the remaining levels,
+            which generally solves a different subset than a from-scratch
+            run would: verdicts are identical, the solved-vs-inferred
+            split (and with it per-cell accounting) is not.
         stream_csv:
             Append each finished cell to this CSV as its chain completes,
             instead of waiting for the whole campaign.
@@ -1375,7 +1583,9 @@ class Campaign:
             workers pack fixed-width records into a shared-memory ring
             (see :class:`_ShmArena`) with per-record pickle fallback;
             ``"none"`` (or ``False``, requires *stream_csv*) keeps no
-            cells in memory, for arbitrarily large streamed sweeps.
+            cells in memory, for arbitrarily large streamed sweeps --
+            streamed rows then also travel through the shared-memory ring
+            (same pickle fallback), not the executor's pickle channel.
         shard:
             ``(k, n)`` runs only the chains of shard ``k`` of a
             deterministic ``n``-way partition (see :func:`shard_chains`);
@@ -1427,6 +1637,10 @@ class Campaign:
                 _cell_identity(c.params, c.seed, c.method): c
                 for c in resume_from.cells
             }
+            monotone = {
+                name: resolve_method(name).verdict_monotone
+                for name in self.spec.methods
+            }
             pending: list[dict] = []
             for chain in chains:
                 cells, steps = self._chain_prefix_from(chain, index)
@@ -1435,7 +1649,19 @@ class Campaign:
                     continue
                 if steps:
                     reused.extend(cells)
-                    pending.append({**chain, "resume_step": steps})
+                    resumed = {**chain, "resume_step": steps}
+                    # A miss already recorded for a verdict-monotone method
+                    # decides every remaining level of its chain: the
+                    # runner then infers the suffix instead of probing it.
+                    flags = {
+                        self.spec.methods[item["order"][2]]: True
+                        for item in cells
+                        if monotone[self.spec.methods[item["order"][2]]]
+                        and not item["cell"]["schedulable"]
+                    }
+                    if flags:
+                        resumed["resume_unsched"] = flags
+                    pending.append(resumed)
                 else:
                     pending.append(chain)
             chains = pending
@@ -1492,7 +1718,13 @@ class Campaign:
                     chains[i:i + chunk_size]
                     for i in range(0, len(chains), chunk_size)
                 ]
-                if collect_mode == "shm":
+                # The ring also carries stream-only runs (collect="none"
+                # with a CSV stream): rows are decoded straight from shared
+                # memory and appended, dropping the pickle round-trip from
+                # bounded-memory streaming sweeps.
+                if collect_mode == "shm" or (
+                    collect_mode == "none" and stream is not None
+                ):
                     arena = _ShmArena.create(chunks, self.spec, shm_bytes)
                 chain_by_index = {c["index"]: c for c in chains}
                 payloads = [

@@ -18,6 +18,14 @@ built-in entries cover the paper's comparison axes:
     The same Gauss-Seidel fixed point without the dirty set -- every round
     re-solves every task (the PR 1 behavior, kept as the A/B reference for
     the campaign benchmarks).
+``verdict``
+    The verdict-mode pipeline (``AnalysisConfig(mode="verdict")``) over the
+    incremental Gauss-Seidel analysis: deadline-ceiling early exits, cheap
+    pre-filters, most-constrained-first sweeps.  Verdicts are identical to
+    ``gauss_seidel`` (and ``reduced``); per-task accounting is not.  Marked
+    *verdict-monotone*: along a utilization-scaled warm-start chain, a miss
+    at one level implies a miss at every higher level, which lets the
+    campaign engine bisect the sweep instead of solving every cell.
 ``exact``
     The holistic analysis with the exact scenario enumeration (Sec. 3.1.1);
     guard the combinatorics with small systems.
@@ -40,7 +48,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, NamedTuple
 
 from repro.analysis import AnalysisConfig, analyze, analyze_dedicated
 from repro.analysis.compositional import LocalTask, fp_component_schedulable
@@ -49,6 +57,7 @@ from repro.model.system import TransactionSystem
 from repro.util.fixedpoint import fixed_point_stats, reseed_scope
 
 __all__ = [
+    "MethodInfo",
     "MethodOutcome",
     "available_methods",
     "holistic_method",
@@ -88,6 +97,21 @@ MethodFn = Callable[
 ]
 
 
+class MethodInfo(NamedTuple):
+    """Registry entry of one campaign method."""
+
+    fn: MethodFn
+    #: Whether the method accepts (and benefits from) a warm-start jitter
+    #: vector chained along the sweep axis.
+    supports_warm_start: bool
+    #: Whether the method's verdict is monotone along a utilization-scaled
+    #: sweep chain (unschedulable at level *u* implies unschedulable at
+    #: every higher level).  Verdict-mode holistic methods set this; the
+    #: campaign engine then bisects the sweep for the method's chains and
+    #: infers the remaining verdicts instead of solving them.
+    verdict_monotone: bool = False
+
+
 def outcome_from_analysis(result: SystemAnalysis) -> MethodOutcome:
     """Convert a :class:`SystemAnalysis` into a :class:`MethodOutcome`."""
     ratio = max(
@@ -95,8 +119,13 @@ def outcome_from_analysis(result: SystemAnalysis) -> MethodOutcome:
         for r, d in zip(result.transaction_wcrt, result.transaction_deadline)
     )
     jitters = result.final_jitters()
-    usable_warm = result.converged and all(
-        math.isfinite(v) for v in jitters.values()
+    # A pre-filter-classified result carries cap/zero jitters, not the
+    # converged least fixed point -- the caps sit *above* it, so handing
+    # them to the next sweep level as a warm start would be unsound.
+    usable_warm = (
+        result.converged
+        and result.prefilter is None
+        and all(math.isfinite(v) for v in jitters.values())
     )
     return MethodOutcome(
         schedulable=result.schedulable,
@@ -143,6 +172,12 @@ def holistic_method(config: AnalysisConfig, *, dedicated: bool = False) -> Metho
         outcome.extras["fp_evaluations"] = stats.evaluations
         outcome.extras["fp_task_solves"] = result.task_solves
         outcome.extras["fp_task_skips"] = result.task_skips
+        if config.mode == "verdict":
+            # Verdict-layer accounting only exists in verdict mode; keeping
+            # the keys out of exact-mode extras preserves the PR 3 cell
+            # payload byte for byte.
+            outcome.extras["fp_ceiling_exits"] = stats.ceiling_exits
+            outcome.extras["fp_prefilter"] = result.prefilter or ""
         return outcome
 
     return run
@@ -171,14 +206,16 @@ def _compositional_method(
     )
 
 
-#: name -> (method function, supports warm-start chaining)
-_METHODS: dict[str, tuple[MethodFn, bool]] = {
-    "reduced": (holistic_method(AnalysisConfig(method="reduced")), True),
-    "gauss_seidel": (
+#: name -> MethodInfo(fn, supports warm-start chaining, verdict-monotone)
+_METHODS: dict[str, MethodInfo] = {
+    "reduced": MethodInfo(
+        holistic_method(AnalysisConfig(method="reduced")), True
+    ),
+    "gauss_seidel": MethodInfo(
         holistic_method(AnalysisConfig(method="reduced", update="gauss_seidel")),
         True,
     ),
-    "gauss_seidel_full": (
+    "gauss_seidel_full": MethodInfo(
         holistic_method(
             AnalysisConfig(
                 method="reduced", update="gauss_seidel", incremental=False
@@ -186,14 +223,29 @@ _METHODS: dict[str, tuple[MethodFn, bool]] = {
         ),
         True,
     ),
-    "exact": (holistic_method(AnalysisConfig(method="exact")), True),
-    "dedicated": (holistic_method(AnalysisConfig(), dedicated=True), True),
-    "compositional": (_compositional_method, False),
+    "verdict": MethodInfo(
+        holistic_method(
+            AnalysisConfig(
+                method="reduced", update="gauss_seidel", mode="verdict"
+            )
+        ),
+        True,
+        verdict_monotone=True,
+    ),
+    "exact": MethodInfo(holistic_method(AnalysisConfig(method="exact")), True),
+    "dedicated": MethodInfo(
+        holistic_method(AnalysisConfig(), dedicated=True), True
+    ),
+    "compositional": MethodInfo(_compositional_method, False),
 }
 
 
 def register_method(
-    name: str, fn: MethodFn, *, supports_warm_start: bool = False
+    name: str,
+    fn: MethodFn,
+    *,
+    supports_warm_start: bool = False,
+    verdict_monotone: bool = False,
 ) -> None:
     """Register (or replace) a campaign method under *name*.
 
@@ -204,11 +256,17 @@ def register_method(
     is why the built-ins can skip the defensive clone).  A custom method
     that reads raw task offsets/jitters should either be listed before the
     holistic methods or treat those fields as derived state.
+
+    ``verdict_monotone`` declares the method's verdict monotone along a
+    utilization-scaled sweep chain (see :class:`MethodInfo`); only set it
+    for methods whose verdict can never flip back to schedulable as
+    utilization grows -- the campaign engine will *infer* pruned verdicts
+    from it.
     """
-    _METHODS[name] = (fn, supports_warm_start)
+    _METHODS[name] = MethodInfo(fn, supports_warm_start, verdict_monotone)
 
 
-def resolve_method(name: str) -> tuple[MethodFn, bool]:
+def resolve_method(name: str) -> MethodInfo:
     """Look up a method; raises :class:`KeyError` with the known names."""
     try:
         return _METHODS[name]
@@ -241,9 +299,9 @@ def reseed_jitters(
     The re-solve's cost is charged to the ``reseed_*`` counters of
     :mod:`repro.util.fixedpoint` instead of any reported cell.
     """
-    fn, supports_warm = resolve_method(name)
-    if not supports_warm:
+    info = resolve_method(name)
+    if not info.supports_warm_start:
         return None
     with reseed_scope():
-        outcome = fn(system, None)
+        outcome = info.fn(system, None)
     return outcome.jitters

@@ -50,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--best-case", choices=("simple", "sound", "iterative"), default="simple"
     )
+    p_an.add_argument(
+        "--mode", choices=("exact", "verdict"), default="exact",
+        help="'verdict' computes only the schedulability verdict "
+        "(identical to exact mode) with early-exit solves and cheap "
+        "pre-filters; response times are then partial/upper bounds",
+    )
     p_an.add_argument("--trace", action="store_true",
                       help="print the (J, R) iteration table")
     p_an.add_argument("--report", action="store_true",
@@ -120,7 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cp.add_argument("--systems", type=int, default=20,
                       help="random systems per grid cell (default 20)")
     p_cp.add_argument("--methods", default="reduced",
-                      help="comma-separated method names (default 'reduced')")
+                      help="comma-separated method names (default 'reduced'; "
+                      "'verdict' runs the early-exit verdict pipeline with "
+                      "monotone level pruning along the utilization sweep -- "
+                      "identical verdicts, no exact WCRTs on pruned cells)")
     p_cp.add_argument("--generator", default="random_system")
     p_cp.add_argument("--seed", type=int, default=0)
     p_cp.add_argument("--workers", type=int, default=1,
@@ -144,7 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
                       "completes (bounded-memory export for huge sweeps)")
     p_cp.add_argument("--no-collect", action="store_true",
                       help="with --stream-csv: do not keep cells in memory "
-                      "(summary output and --json/--csv are then empty)")
+                      "(summary output and --json/--csv are then empty); "
+                      "streamed rows travel through the shared-memory ring "
+                      "instead of the executor's pickle channel")
     p_cp.add_argument("--shard", metavar="K/N",
                       help="run only shard K of a deterministic N-way "
                       "chain partition (0-based, e.g. 0/2); the union of "
@@ -212,7 +223,9 @@ def _parse_grid_axis(text: str) -> tuple[str, tuple]:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     system = load_system(args.system)
-    config = AnalysisConfig(method=args.method, best_case=args.best_case)
+    config = AnalysisConfig(
+        method=args.method, best_case=args.best_case, mode=args.mode
+    )
     result = analyze(system, config=config, trace=args.trace or args.report)
 
     if args.report:

@@ -23,6 +23,7 @@ from repro.gen.presets import (
     avionics_partitions,
     campaign_base,
     deep_chain_spec,
+    independent_tasks_spec,
     wide_view_spec,
 )
 
@@ -37,5 +38,6 @@ __all__ = [
     "avionics_partitions",
     "campaign_base",
     "deep_chain_spec",
+    "independent_tasks_spec",
     "wide_view_spec",
 ]

@@ -27,10 +27,15 @@ down where the PR 2 performance layers pay off --
 * :func:`wide_view_spec` -- everything on one platform with 10-14 tasks
   per transaction: every foreign transaction view batches well past
   :data:`repro.analysis.busy.VECTOR_MIN_JOBS` (starters x tasks), so
-  ``kernel="auto"`` selects the NumPy vector kernel.
+  ``kernel="auto"`` selects the NumPy vector kernel;
+* :func:`independent_tasks_spec` -- single-task transactions only: the
+  regime where the verdict-mode sufficient pre-filter (capped-jitter
+  response bound, see :mod:`repro.analysis.schedulability`) classifies
+  schedulable systems without entering the holistic loop at all -- with
+  no derived jitters to cap, the one filter round *is* the analysis.
 
-:func:`campaign_base` converts either into the ``base`` params dict of a
-:class:`~repro.batch.campaign.CampaignSpec` utilization sweep.
+:func:`campaign_base` converts any of them into the ``base`` params dict
+of a :class:`~repro.batch.campaign.CampaignSpec` utilization sweep.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ __all__ = [
     "avionics_partitions",
     "campaign_base",
     "deep_chain_spec",
+    "independent_tasks_spec",
     "wide_view_spec",
 ]
 
@@ -86,6 +92,27 @@ def wide_view_spec(utilization: float = 0.5) -> RandomSystemSpec:
         n_platforms=1,
         n_transactions=3,
         tasks_per_transaction=(10, 14),
+        utilization=utilization,
+    )
+
+
+def independent_tasks_spec(utilization: float = 0.4) -> RandomSystemSpec:
+    """Independent tasks: 4 single-task transactions on 2 platforms.
+
+    The showcase (and regression pin) for the verdict-mode sufficient
+    pre-filter: single-task transactions carry no derived jitters, so the
+    one capped-jitter solve round of
+    :func:`repro.analysis.schedulability.response_bound_prefilter`
+    evaluates the exact final jitter vector -- every schedulable draw is
+    accepted without entering the holistic loop (``prefilter_accepts`` in
+    the fixed-point stats).  Multi-task chains leave this regime quickly:
+    the deadline-sized jitter caps inflate the one-round bound past the
+    deadline, and the filter correctly declines to classify.
+    """
+    return RandomSystemSpec(
+        n_platforms=2,
+        n_transactions=4,
+        tasks_per_transaction=(1, 1),
         utilization=utilization,
     )
 

@@ -18,13 +18,16 @@ from typing import Callable, Iterator
 from repro.util.math import EPS
 
 __all__ = [
+    "FixedPointCeilingHit",
     "FixedPointDiverged",
     "FixedPointResult",
     "FixedPointStats",
     "fixed_point_stats",
     "iterate_fixed_point",
     "iterate_monotone",
+    "note_ceiling_exit",
     "note_outer_tasks",
+    "note_prefilter",
     "note_solve",
     "note_solves",
     "reseed_scope",
@@ -66,6 +69,15 @@ class FixedPointStats:
     #: ``CampaignResult.reseed_*``.
     reseed_solves: int = 0
     reseed_evaluations: int = 0
+    #: Verdict-mode accounting (``AnalysisConfig.mode="verdict"``), all zero
+    #: in exact mode: solves abandoned at a caller's deadline ceiling (the
+    #: iterate provably passed the deadline, so the exact fixed point is no
+    #: longer needed), systems the necessary utilization pre-filter rejected
+    #: and systems the sufficient response-bound pre-filter accepted without
+    #: running the holistic outer iteration.
+    ceiling_exits: int = 0
+    prefilter_rejects: int = 0
+    prefilter_accepts: int = 0
 
     def snapshot(self) -> "FixedPointStats":
         # Positional construction: dataclasses.replace() re-introspects the
@@ -81,6 +93,9 @@ class FixedPointStats:
             self.outer_task_skips,
             self.reseed_solves,
             self.reseed_evaluations,
+            self.ceiling_exits,
+            self.prefilter_rejects,
+            self.prefilter_accepts,
         )
 
     def delta(self, before: "FixedPointStats") -> "FixedPointStats":
@@ -94,6 +109,9 @@ class FixedPointStats:
             outer_task_skips=self.outer_task_skips - before.outer_task_skips,
             reseed_solves=self.reseed_solves - before.reseed_solves,
             reseed_evaluations=self.reseed_evaluations - before.reseed_evaluations,
+            ceiling_exits=self.ceiling_exits - before.ceiling_exits,
+            prefilter_rejects=self.prefilter_rejects - before.prefilter_rejects,
+            prefilter_accepts=self.prefilter_accepts - before.prefilter_accepts,
         )
 
 
@@ -116,6 +134,9 @@ def reset_fixed_point_stats() -> None:
     _STATS.outer_task_skips = 0
     _STATS.reseed_solves = 0
     _STATS.reseed_evaluations = 0
+    _STATS.ceiling_exits = 0
+    _STATS.prefilter_rejects = 0
+    _STATS.prefilter_accepts = 0
 
 
 @contextmanager
@@ -140,6 +161,24 @@ def note_outer_tasks(solved: int, skipped: int) -> None:
     """Charge one outer round's per-task solve/skip counts to the stats."""
     _STATS.outer_task_solves += solved
     _STATS.outer_task_skips += skipped
+
+
+def note_ceiling_exit() -> None:
+    """Charge one verdict-mode deadline-ceiling abort to the stats.
+
+    Distinct from :attr:`FixedPointStats.diverged`: the recurrence did not
+    blow past the divergence bound, the *caller* proved it no longer needs
+    the exact fixed point (the iterate already implies a deadline miss).
+    """
+    _STATS.ceiling_exits += 1
+
+
+def note_prefilter(*, accepted: bool) -> None:
+    """Charge one verdict-mode pre-filter classification to the stats."""
+    if accepted:
+        _STATS.prefilter_accepts += 1
+    else:
+        _STATS.prefilter_rejects += 1
 
 
 def note_solve(
@@ -185,6 +224,20 @@ class FixedPointDiverged(RuntimeError):
         self.iterations = iterations
 
 
+class FixedPointCeilingHit(FixedPointDiverged):
+    """Raised when an iterate crosses the caller's *ceiling* (not *bound*).
+
+    The verdict-mode generalization of the divergence ceiling: iterating
+    from below a monotone map, every iterate is a lower bound on the least
+    fixed point, so an iterate above the caller's ceiling proves the fixed
+    point lies above it too.  Callers that only need "is the fixed point at
+    most the ceiling?" (a deadline check) can abort the solve there --
+    hundreds of evaluations before either convergence or the much larger
+    divergence bound would fire.  Subclasses :class:`FixedPointDiverged`
+    so existing handlers keep treating it as "no useful fixed point".
+    """
+
+
 @dataclass(frozen=True)
 class FixedPointResult:
     """Outcome of a convergent fixed-point iteration."""
@@ -206,6 +259,7 @@ def iterate_fixed_point(
     max_iterations: int = 100_000,
     tol: float = EPS,
     warm_start: float | None = None,
+    ceiling: float | None = None,
 ) -> FixedPointResult:
     """Iterate ``x <- func(x)`` from *start* until two iterates agree.
 
@@ -232,9 +286,18 @@ def iterate_fixed_point(
         begins from ``max(start, warm_start)``; for a monotone map this
         converges to the same least fixed point as starting from *start*
         whenever ``warm_start`` does not exceed that fixed point.
+    ceiling:
+        Optional verdict ceiling, typically far below *bound*: abort with
+        :class:`FixedPointCeilingHit` as soon as an iterate exceeds it.
+        Sound whenever the caller only needs to compare the least fixed
+        point against the ceiling (iterates from below are lower bounds on
+        the fixed point) -- the verdict-mode deadline test.
 
     Raises
     ------
+    FixedPointCeilingHit
+        If an iterate exceeds *ceiling* (charged to ``ceiling_exits``, not
+        to ``diverged``).
     FixedPointDiverged
         If an iterate exceeds *bound* or the iteration cap is hit.
     """
@@ -244,6 +307,20 @@ def iterate_fixed_point(
         _STATS.warm_started += 1
     for n in range(1, max_iterations + 1):
         nxt = func(x)
+        # Checked after the bound below mirrors the inlined scenario
+        # solver: an iterate exceeding *both* counts as a divergence, not
+        # a ceiling exit, so the stats stay consistent across the two
+        # implementations.
+        if ceiling is not None and nxt > ceiling and nxt <= bound:
+            _STATS.evaluations += n
+            _STATS.solves += 1
+            _STATS.ceiling_exits += 1
+            raise FixedPointCeilingHit(
+                f"fixed-point iterate passed the verdict ceiling {ceiling!r} "
+                f"after {n} iterations (last value {nxt!r})",
+                last_value=nxt,
+                iterations=n,
+            )
         if nxt > bound:
             _STATS.evaluations += n
             _STATS.solves += 1
@@ -278,6 +355,7 @@ def iterate_monotone(
     max_iterations: int = 100_000,
     tol: float = EPS,
     warm_start: float | None = None,
+    ceiling: float | None = None,
 ) -> FixedPointResult:
     """Like :func:`iterate_fixed_point` but verifies monotonicity.
 
@@ -300,6 +378,18 @@ def iterate_monotone(
             raise AssertionError(
                 f"monotone iteration decreased from {x!r} to {nxt!r}; "
                 "the iterated map is not monotone non-decreasing"
+            )
+        # Same ordering contract as iterate_fixed_point: the divergence
+        # bound takes precedence over the verdict ceiling.
+        if ceiling is not None and nxt > ceiling and nxt <= bound:
+            _STATS.evaluations += n
+            _STATS.solves += 1
+            _STATS.ceiling_exits += 1
+            raise FixedPointCeilingHit(
+                f"monotone iterate passed the verdict ceiling {ceiling!r} "
+                f"after {n} iterations (last value {nxt!r})",
+                last_value=nxt,
+                iterations=n,
             )
         if nxt > bound:
             _STATS.evaluations += n

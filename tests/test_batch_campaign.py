@@ -520,6 +520,52 @@ class TestShmCollection:
         assert rows_without_timing(a_path) == rows_without_timing(b_path)
 
     @pytest.mark.dist
+    def test_stream_only_runs_route_through_the_ring(self, shm_guard, tmp_path):
+        """ISSUE 4 satellite (ROADMAP open item): ``--stream-csv`` with
+        ``collect="none"`` carries rows through the shared-memory ring --
+        no pickle round-trip -- and writes the same CSV as the pickle
+        transport."""
+        import csv as csv_mod
+
+        spec = small_spec(systems_per_cell=4)
+        ring_path = tmp_path / "ring.csv"
+        pickle_path = tmp_path / "pickle.csv"
+        ring_r = Campaign(spec).run(
+            workers=2, stream_csv=ring_path, collect="none"
+        )
+        pickle_r = Campaign(spec).run(
+            workers=2, stream_csv=pickle_path, collect="pickle"
+        )
+        # The stream-only run really used the ring...
+        assert ring_r.shm_records == ring_r.streamed_cells > 0
+        assert ring_r.shm_overflow == 0
+        # ...kept nothing in memory...
+        assert ring_r.cells == []
+        # ...and streamed the identical rows, in the identical order.
+        def rows_without_timing(path):
+            with path.open() as fh:
+                rows = list(csv_mod.reader(fh))
+            return [tuple(r[:-1]) for r in rows]
+
+        assert rows_without_timing(ring_path) == rows_without_timing(pickle_path)
+
+    @pytest.mark.dist
+    def test_stream_only_ring_overflow_still_streams_everything(
+        self, shm_guard, tmp_path
+    ):
+        from repro.batch.campaign import SHM_RECORD_SIZE
+
+        spec = small_spec(systems_per_cell=4)
+        path = tmp_path / "tiny_ring.csv"
+        result = Campaign(spec).run(
+            workers=2, stream_csv=path, collect="none",
+            shm_bytes=2 * SHM_RECORD_SIZE,
+        )
+        assert result.streamed_cells == spec.n_analyses()
+        assert 0 < result.shm_records <= 2
+        assert result.shm_overflow == result.streamed_cells - result.shm_records
+
+    @pytest.mark.dist
     def test_json_unstable_extras_overflow_per_record(self, shm_guard):
         """Extras that would not survive the JSON round trip unchanged
         (e.g. int dict keys, which JSON stringifies) must ship via the

@@ -7,7 +7,9 @@ Two layers of protection for the throughput numbers the ROADMAP tracks:
   can rely on it), and the recorded speedups must meet the ISSUE 2
   acceptance floor plus the ISSUE 3 distributed-execution blocks
   (``sharding`` with its >= 1.8x aggregate pin, ``collection``,
-  ``wide_view``).
+  ``wide_view``) and the ISSUE 4 ``verdict_mode`` block (verdict-mode
+  pipeline >= 2.5x the exact pipeline on the reference sweep, with the
+  benchmark itself asserting >= 3x at measurement time).
 * **Perf smoke** -- a few-second re-measurement of the reference sweep
   that fails when systems/sec regresses more than 30% below the recorded
   reference.  Timed best-of-3 to damp container throughput jitter.
@@ -78,11 +80,25 @@ COLLECTION_MODE_FIELDS = {
 }
 
 
+#: Fields of the ISSUE 4 verdict_mode block.
+VERDICT_EXACT_FIELDS = {"wall_time_s", "systems_per_second",
+                        "evaluations_total"}
+VERDICT_FIELDS = VERDICT_EXACT_FIELDS | {
+    "cells", "inferred_cells", "solved_cells", "ceiling_exits",
+    "prefilter_classified",
+}
+
+#: Committed floor for the recorded verdict-vs-exact speedup; the
+#: benchmark asserts the full >= 3x at measurement time, the schema pin
+#: keeps a margin for cross-machine drift of the committed numbers.
+VERDICT_SPEEDUP_FLOOR = 2.5
+
+
 class TestBenchSchema:
     def test_top_level_keys(self, payload):
         assert {
             "description", "sweep", "pr1_reference", "runs", "speedups",
-            "sharding", "collection", "wide_view",
+            "sharding", "collection", "wide_view", "verdict_mode",
         } <= set(payload)
 
     def test_sweep_block(self, payload):
@@ -153,6 +169,29 @@ class TestBenchSchema:
         assert collection["shm"]["shm_records"] > 0
         assert collection["pickle"]["shm_records"] == 0
         assert collection["shm_vs_pickle"] > 0
+
+    def test_verdict_mode_block(self, payload):
+        """ISSUE 4 acceptance: the verdict-mode pipeline on the reference
+        sweep, recorded against the exact pipeline, with the >= 2.5x
+        schema floor (the benchmark gates >= 3x when it runs)."""
+        block = payload["verdict_mode"]
+        assert {"exact", "verdict", "verdict_vs_exact"} <= set(block)
+        assert VERDICT_EXACT_FIELDS <= set(block["exact"])
+        assert VERDICT_FIELDS <= set(block["verdict"])
+        verdict = block["verdict"]
+        assert verdict["cells"] == (
+            verdict["solved_cells"] + verdict["inferred_cells"]
+        )
+        # The pruning really engaged: a majority of the sweep's cells were
+        # inferred from monotone level pruning, not solved.
+        assert verdict["inferred_cells"] > 0
+        # Early exits engaged too.
+        assert verdict["ceiling_exits"] > 0
+        # And the whole pipeline pays off end to end.
+        assert block["verdict_vs_exact"] == pytest.approx(
+            block["exact"]["wall_time_s"] / verdict["wall_time_s"], rel=1e-6
+        )
+        assert block["verdict_vs_exact"] >= VERDICT_SPEEDUP_FLOOR
 
     def test_wide_view_block(self, payload):
         wide = payload["wide_view"]
