@@ -42,6 +42,7 @@ workloads, not the very same 84 systems; within-tree comparisons (every
 assertion below except the calibrated one) are unaffected.
 """
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -97,6 +98,9 @@ BASE = {
 }
 LEVELS = linspace_levels(0.30, 0.95, 14)
 REPEATS = 3
+#: Replicates per grid cell of the matrix sweep / the sharding sweep.
+SYSTEMS_PER_CELL = 6
+SHARD_REPLICATES = 64
 
 #: Extra method variants spanning the kernel/scheduler matrix; the
 #: built-in ``gauss_seidel`` (dirty set + auto kernel) is the new default
@@ -120,7 +124,7 @@ def _spec(method: str, warm: bool) -> CampaignSpec:
         grid={"utilization": LEVELS},
         base=BASE,
         methods=(method,),
-        systems_per_cell=6,
+        systems_per_cell=SYSTEMS_PER_CELL,
         seed=3,
         warm_start=warm,
     )
@@ -183,7 +187,7 @@ def _matrix_runs() -> dict:
     return runs
 
 
-def _interleaved_best(fns: dict, repeats: int = REPEATS) -> dict:
+def _interleaved_best(fns: dict, repeats: int | None = None) -> dict:
     """Best-of-*repeats* walls for several configurations, interleaved.
 
     Ratios between configurations are what the acceptance asserts check,
@@ -193,6 +197,8 @@ def _interleaved_best(fns: dict, repeats: int = REPEATS) -> dict:
     every configuration sample the same machine phases, so their best-of
     walls stay comparable.  Returns ``{name: (wall, result)}``.
     """
+    if repeats is None:
+        repeats = REPEATS  # read at call time so --quick can shrink it
     for fn in fns.values():  # warm interpreter/caches per config
         fn()
     best: dict = {name: None for name in fns}
@@ -222,7 +228,9 @@ def _measure_sharding(spec: CampaignSpec) -> dict:
     imbalance average out, which is the regime the shard flag exists
     for (at 64 chains the seed-3 split balances to < 1%).
     """
-    spec = CampaignSpec.from_dict({**spec.to_dict(), "systems_per_cell": 64})
+    spec = CampaignSpec.from_dict(
+        {**spec.to_dict(), "systems_per_cell": SHARD_REPLICATES}
+    )
     campaign = Campaign(spec)
     # max(shard walls) is biased upward by per-run scheduler noise (it
     # takes the worse of two noisy samples); extra best-of repeats debias
@@ -371,7 +379,14 @@ def _measure_wide_view() -> dict:
     return out
 
 
-def test_campaign_throughput(benchmark, write_artifact):
+def run_bench(*, gating: bool = True, out_path: Path = BENCH_JSON) -> dict:
+    """Measure every block and write the bench JSON.
+
+    ``gating=False`` (the CI ``--quick`` smoke) keeps the deterministic
+    cost-model asserts (eval-count relations, verdict equality, shard
+    union exactness) but skips the wall-clock *ratio* asserts -- shared
+    CI runners are too noisy to gate on; the artifact is the point.
+    """
     for name, config in VARIANTS.items():
         register_method(name, holistic_method(config), supports_warm_start=True)
 
@@ -416,7 +431,8 @@ def test_campaign_throughput(benchmark, write_artifact):
 
     # ISSUE 2 acceptance: >=2x systems/sec over PR 1's gs_warm_cached
     # reference on the same sweep (phase-calibrated, see above).
-    assert speedups["vs_pr1_calibrated"] >= 2.0, speedups
+    if gating:
+        assert speedups["vs_pr1_calibrated"] >= 2.0, speedups
 
     # ISSUE 3: the distributed-execution measurements.
     sharding = _measure_sharding(_spec("gauss_seidel", True))
@@ -425,12 +441,14 @@ def test_campaign_throughput(benchmark, write_artifact):
 
     # ISSUE 3 acceptance: a 2-shard deployment of the reference sweep
     # delivers >= 1.8x the single-host aggregate throughput.
-    assert sharding["aggregate_speedup"] >= 1.8, sharding
+    if gating:
+        assert sharding["aggregate_speedup"] >= 1.8, sharding
 
     # ISSUE 4: the verdict-mode pipeline on the reference sweep.
     verdict_mode = _measure_verdict_mode(_spec("gauss_seidel", True))
     # ISSUE 4 acceptance: >= 3x systems/sec over the exact pipeline.
-    assert verdict_mode["verdict_vs_exact"] >= 3.0, verdict_mode
+    if gating:
+        assert verdict_mode["verdict_vs_exact"] >= 3.0, verdict_mode
     assert verdict_mode["verdict"]["inferred_cells"] > 0, verdict_mode
 
     for run in runs.values():
@@ -441,7 +459,7 @@ def test_campaign_throughput(benchmark, write_artifact):
         "benchmarks/bench_campaign_engine.py",
         "sweep": {
             "levels": list(LEVELS),
-            "systems_per_cell": 6,
+            "systems_per_cell": SYSTEMS_PER_CELL,
             "base": {k: list(v) if isinstance(v, tuple) else v
                      for k, v in BASE.items()},
         },
@@ -453,16 +471,26 @@ def test_campaign_throughput(benchmark, write_artifact):
         "wide_view": wide_view,
         "verdict_mode": verdict_mode,
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_campaign_throughput(benchmark, write_artifact):
+    payload = run_bench(gating=True)
+
     write_artifact(
         "campaign_engine.txt",
         json.dumps(
             {
                 "speedups": payload["speedups"],
-                "sharding_aggregate_speedup": sharding["aggregate_speedup"],
-                "collection_shm_vs_pickle": collection["shm_vs_pickle"],
-                "wide_view_vector_vs_scalar": wide_view["vector_vs_scalar"],
-                "verdict_vs_exact": verdict_mode["verdict_vs_exact"],
+                "sharding_aggregate_speedup":
+                    payload["sharding"]["aggregate_speedup"],
+                "collection_shm_vs_pickle":
+                    payload["collection"]["shm_vs_pickle"],
+                "wide_view_vector_vs_scalar":
+                    payload["wide_view"]["vector_vs_scalar"],
+                "verdict_vs_exact":
+                    payload["verdict_mode"]["verdict_vs_exact"],
             },
             indent=2,
         ) + "\n",
@@ -477,3 +505,46 @@ def test_campaign_throughput(benchmark, write_artifact):
             seed=3,
         )
     ).run(workers=1))
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (CI smoke): ``python benchmarks/bench_campaign_engine.py``.
+
+    ``--quick`` shrinks the sweep and skips the wall-clock ratio gates so
+    the run fits a non-gating CI smoke step in well under a minute while
+    still writing the full-schema bench JSON artifact.
+    """
+    global LEVELS, REPEATS, SYSTEMS_PER_CELL, SHARD_REPLICATES
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep, one repeat, no wall-clock ratio gates",
+    )
+    parser.add_argument(
+        "--out", default=str(BENCH_JSON), metavar="PATH",
+        help="where to write the bench JSON (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        LEVELS = linspace_levels(0.30, 0.90, 5)
+        REPEATS = 1
+        SYSTEMS_PER_CELL = 3
+        SHARD_REPLICATES = 12
+    payload = run_bench(gating=not args.quick, out_path=Path(args.out))
+    print(json.dumps(
+        {
+            "quick": args.quick,
+            "speedups": payload["speedups"],
+            "sharding_aggregate_speedup":
+                payload["sharding"]["aggregate_speedup"],
+            "verdict_vs_exact": payload["verdict_mode"]["verdict_vs_exact"],
+            "written": str(Path(args.out)),
+        },
+        indent=2,
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -88,6 +88,15 @@ def solve_scenario(
         response, itself a lower bound on the scenario's worst response --
         callers that only compare the response against a deadline already
         have their answer.  ``inf`` (default) restores exact behavior.
+
+        A finite ceiling also restructures the solve around the busy-
+        period *length* loop (see :func:`_solve_scenario_verdict`): job
+        completions are solved incrementally as busy iterates widen the
+        window, so a first-job deadline miss aborts the scenario without
+        paying the full busy-length solve -- near-saturated levels used
+        to spend hundreds of busy evaluations before the first
+        completion abort could fire.  Job set, per-job iterate sequences
+        and the final outcome are identical to the two-phase order.
     chain_jobs:
         Warm-start each job's completion fixed point from the previous
         job's completion (sound: the completion map of job ``p+1``
@@ -100,6 +109,13 @@ def solve_scenario(
         are inlined in the loops, so a hit costs one lookup instead of the
         whole interference sum.  Disabled by the benchmark reference mode.
     """
+    if response_ceiling != float("inf"):
+        return _solve_scenario_verdict(
+            analyzed, phi_ab, interference,
+            bound=bound, tol=tol, chain_jobs=chain_jobs, memoize=memoize,
+            response_ceiling=response_ceiling,
+        )
+
     T = analyzed.period
     base = analyzed.delay + analyzed.blocking
     cost = analyzed.cost
@@ -240,4 +256,194 @@ def solve_scenario(
     return ScenarioOutcome(
         response=worst, worst_job=worst_job, busy_length=L, jobs_checked=checked,
         evaluations=evaluations,
+    )
+
+
+def _solve_scenario_verdict(
+    analyzed: AnalyzedTask,
+    phi_ab: float,
+    interference: Callable[[float], float],
+    *,
+    bound: float,
+    tol: float,
+    chain_jobs: bool,
+    memoize: bool,
+    response_ceiling: float,
+) -> ScenarioOutcome:
+    """Verdict-mode scenario solve: the busy-*length* loop has a ceiling too.
+
+    The two-phase order of :func:`solve_scenario` (busy length to
+    convergence, then per-job completions) pays the whole length solve
+    before the first completion's ceiling abort can fire -- and near
+    saturation the length solve is exactly the expensive part.  A long
+    busy iterate alone proves nothing (interference released *after* a
+    job completes can stretch the busy period with every job still making
+    its deadline), so the sound restructuring interleaves instead: every
+    busy iterate is a lower bound on the busy length, so every own job
+    activated inside the current window is already known to lie in the
+    busy period and its completion can be solved -- and its deadline
+    ceiling abort taken -- immediately.  Job set (``p0..p_last``), per-job
+    iterate sequences, job-chained warm starts and the returned outcome
+    are identical to the two-phase order; only the abort arrives before
+    the length solve converges, skipping its remaining iterations.
+
+    Accounting matches :func:`solve_scenario`'s shapes: completed solves
+    are batched through ``note_solves``, the aborting solve goes through
+    ``note_solve`` + ``note_ceiling_exit``, and evaluations spent on a
+    still-open busy solve at abort time are charged as evaluations
+    without a closing solve count.
+    """
+    T = analyzed.period
+    base = analyzed.delay + analyzed.blocking
+    cost = analyzed.cost
+    ceil_ = math.ceil
+    memo: dict[float, float] | None = {} if memoize else None
+
+    p0 = 1 - floor_div(analyzed.jitter + phi_ab, T)
+    shift = 1 - p0
+    start = base + cost
+
+    def eval_inter(t: float) -> float:
+        if memo is None:
+            return interference(t)
+        v = memo.get(t)
+        if v is None:
+            v = memo[t] = interference(t)
+        return v
+
+    evaluations = 0
+    solves = 0
+    warm_solves = 0
+    worst = float("-inf")
+    worst_job: int | None = None
+    checked = 0
+    prev_completion: float | None = None
+    next_p = p0  # next own job awaiting its completion solve
+
+    def complete_jobs(p_hi: int, busy_evals: int) -> ScenarioOutcome | None:
+        """Solve completions for jobs ``next_p..p_hi`` (all provably in
+        the busy period); an abort outcome, or ``None`` to continue."""
+        nonlocal evaluations, solves, warm_solves, worst, worst_job
+        nonlocal checked, prev_completion, next_p
+        while next_p <= p_hi:
+            p = next_p
+            done = base + (p - p0 + 1) * cost
+            act = phi_ab + (p - 1) * T - analyzed.phi
+            limit = response_ceiling + act
+            warm = (
+                chain_jobs
+                and prev_completion is not None
+                and prev_completion > start
+            )
+            w = prev_completion if warm else start
+            evals = 0
+            while True:
+                evals += 1
+                nxt = done + eval_inter(w)
+                if nxt > bound:
+                    note_solves(
+                        evaluations + busy_evals, solves,
+                        warm_started=warm_solves,
+                    )
+                    note_solve(evals, diverged=True, warm_started=warm)
+                    return ScenarioOutcome(
+                        response=float("inf"), worst_job=p,
+                        busy_length=float("inf"), jobs_checked=checked,
+                        evaluations=evaluations + busy_evals + evals,
+                    )
+                if nxt > limit:
+                    note_solves(
+                        evaluations + busy_evals, solves,
+                        warm_started=warm_solves,
+                    )
+                    note_solve(evals, warm_started=warm)
+                    note_ceiling_exit()
+                    return ScenarioOutcome(
+                        response=float("inf"), worst_job=p,
+                        busy_length=float("inf"), jobs_checked=checked,
+                        evaluations=evaluations + busy_evals + evals,
+                    )
+                if -tol <= nxt - w <= tol:
+                    break
+                if evals >= _MAX_ITERATIONS:
+                    note_solves(
+                        evaluations + busy_evals, solves,
+                        warm_started=warm_solves,
+                    )
+                    note_solve(evals, diverged=True, warm_started=warm)
+                    return ScenarioOutcome(
+                        response=float("inf"), worst_job=p,
+                        busy_length=float("inf"), jobs_checked=checked,
+                        evaluations=evaluations + busy_evals + evals,
+                    )
+                w = nxt
+            evaluations += evals
+            solves += 1
+            if warm:
+                warm_solves += 1
+            prev_completion = nxt
+            r = nxt - act
+            checked += 1
+            if r > worst:
+                worst = r
+                worst_job = p
+            next_p += 1
+        return None
+
+    # Busy-period length loop, with incremental completion solves: the
+    # iterate sequence, own-job window arithmetic and divergence handling
+    # mirror solve_scenario exactly.
+    x = start
+    busy_evals = 0
+    while True:
+        xx = (x - phi_ab) / T
+        nearest = round(xx)
+        own_jobs = (
+            nearest if abs(xx - nearest) <= EPS else ceil_(xx)
+        ) + shift
+        if own_jobs < 0:
+            own_jobs = 0
+        if own_jobs > next_p - p0:
+            abort = complete_jobs(p0 + own_jobs - 1, busy_evals)
+            if abort is not None:
+                return abort
+        busy_evals += 1
+        nxt = base + own_jobs * cost + eval_inter(x)
+        if nxt > bound:
+            note_solves(evaluations, solves, warm_started=warm_solves)
+            note_solve(busy_evals, diverged=True)
+            return ScenarioOutcome(
+                response=float("inf"), worst_job=None,
+                busy_length=float("inf"), jobs_checked=checked,
+                evaluations=evaluations + busy_evals,
+            )
+        if -tol <= nxt - x <= tol:
+            break
+        if busy_evals >= _MAX_ITERATIONS:
+            note_solves(evaluations, solves, warm_started=warm_solves)
+            note_solve(busy_evals, diverged=True)
+            return ScenarioOutcome(
+                response=float("inf"), worst_job=None,
+                busy_length=float("inf"), jobs_checked=checked,
+                evaluations=evaluations + busy_evals,
+            )
+        x = nxt
+    L = nxt
+    evaluations += busy_evals
+    solves += 1
+
+    p_last = ceil_div(L - phi_ab, T)  # Eq. 14
+    if p_last < p0:
+        note_solves(evaluations, solves, warm_started=warm_solves)
+        return ScenarioOutcome(
+            response=float("-inf"), worst_job=None, busy_length=L,
+            jobs_checked=0, evaluations=evaluations,
+        )
+    abort = complete_jobs(p_last, 0)
+    if abort is not None:
+        return abort
+    note_solves(evaluations, solves, warm_started=warm_solves)
+    return ScenarioOutcome(
+        response=worst, worst_job=worst_job, busy_length=L,
+        jobs_checked=checked, evaluations=evaluations,
     )

@@ -23,7 +23,11 @@ single run), merge back with :func:`merge_campaign_results`
 (``python -m repro campaign-merge``), resume partially completed chains
 from their longest finished sweep prefix, and optionally collect worker
 results through a ``multiprocessing.shared_memory`` ring
-(``collect="shm"``).
+(``collect="shm"``).  :mod:`repro.batch.dispatch` drives a whole sharded
+deployment unattended: over-partitioned shards on a work-stealing queue
+of subprocess slots, cost-aware ``lpt`` partitions fed by the
+``chain_costs`` every result records, fault-tolerant relaunch-with-resume
+and auto-merge (``python -m repro campaign-dispatch``).
 
 The CLI front end is ``python -m repro campaign``.
 """
@@ -43,27 +47,47 @@ from repro.batch.campaign import (
     CampaignSpec,
     CellResult,
     available_generators,
+    chain_cost_estimates,
     linspace_levels,
+    load_cost_manifest,
+    lpt_shard_chains,
     merge_campaign_results,
     parse_shard,
+    partition_chains,
     register_generator,
     run_campaign,
     shard_chains,
 )
+from repro.batch.dispatch import (
+    CampaignDispatcher,
+    DispatchError,
+    DispatchReport,
+    LocalBackend,
+    SshBackend,
+)
 
 __all__ = [
     "Campaign",
+    "CampaignDispatcher",
     "CampaignResult",
     "CampaignSpec",
     "CellResult",
+    "DispatchError",
+    "DispatchReport",
+    "LocalBackend",
     "MethodInfo",
     "MethodOutcome",
+    "SshBackend",
     "available_generators",
     "available_methods",
+    "chain_cost_estimates",
     "holistic_method",
     "linspace_levels",
+    "load_cost_manifest",
+    "lpt_shard_chains",
     "merge_campaign_results",
     "parse_shard",
+    "partition_chains",
     "register_generator",
     "register_method",
     "reseed_jitters",

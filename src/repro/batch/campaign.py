@@ -57,8 +57,10 @@ cell by cell, so the collected result is identical either way.
 from __future__ import annotations
 
 import csv
+import heapq
 import json
 import math
+import os
 import struct
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -82,9 +84,13 @@ __all__ = [
     "CampaignSpec",
     "CellResult",
     "available_generators",
+    "chain_cost_estimates",
     "linspace_levels",
+    "load_cost_manifest",
+    "lpt_shard_chains",
     "merge_campaign_results",
     "parse_shard",
+    "partition_chains",
     "register_generator",
     "run_campaign",
     "shard_chains",
@@ -427,6 +433,130 @@ def shard_chains(chains: Sequence[dict], shard: tuple[int, int]) -> list[dict]:
     return [c for i, c in enumerate(chains) if i in mine]
 
 
+def chain_cost_estimates(
+    spec: CampaignSpec,
+    chains: Sequence[dict],
+    manifest: dict[int, float] | None = None,
+) -> list[float]:
+    """Per-chain cost estimates driving the ``lpt`` partition.
+
+    With a *manifest* (chain index -> recorded wall seconds, as every
+    campaign result now stores under ``chain_costs``), the recorded wall
+    is the cost; chains absent from the manifest (a grid/replicate
+    extension) get the mean recorded cost, the neutral guess.  Without a
+    manifest the estimate falls back to the size proxy ``sweep levels x
+    expected tasks per system``: analysis cost grows with both, and for a
+    homogeneous grid the proxy degrades LPT into plain count balancing --
+    never worse than the hash partition's contract.
+    """
+    if manifest:
+        fallback = sum(manifest.values()) / len(manifest)
+        return [
+            float(manifest.get(chain["index"], fallback)) for chain in chains
+        ]
+    levels = len(spec.sweep_values())
+    out = []
+    for chain in chains:
+        params = {**spec.base, **chain["point"]}
+        n_transactions = params.get("n_transactions", 1)
+        tpt = params.get("tasks_per_transaction", 1)
+        if isinstance(tpt, (list, tuple)) and tpt:
+            tasks = sum(float(v) for v in tpt) / len(tpt)
+        else:
+            try:
+                tasks = float(tpt)
+            except (TypeError, ValueError):
+                tasks = 1.0
+        try:
+            n_tasks = float(n_transactions) * tasks
+        except (TypeError, ValueError):
+            n_tasks = 1.0
+        out.append(levels * max(n_tasks, 1.0))
+    return out
+
+
+def lpt_shard_chains(
+    chains: Sequence[dict],
+    shard: tuple[int, int],
+    costs: Sequence[float],
+) -> list[dict]:
+    """Cost-aware longest-processing-time partition of the chains.
+
+    Chains are taken in descending cost order (ties broken by chain
+    index) and greedily assigned to the least-loaded shard (ties broken
+    by shard index) -- the classic LPT makespan heuristic.  Like
+    :func:`shard_chains` the assignment is a pure function of its inputs:
+    every shard computing it from the same spec and cost table derives
+    the same disjoint partition, so the union stays bit-identical to the
+    unsharded run.  Chains are returned in canonical execution order.
+    """
+    k, n = shard
+    if n < 1 or not 0 <= k < n:
+        raise ValueError(f"shard index must satisfy 0 <= k < n, got {k}/{n}")
+    if len(costs) != len(chains):
+        raise ValueError(
+            f"got {len(costs)} costs for {len(chains)} chains"
+        )
+    ranked = sorted(
+        range(len(chains)), key=lambda i: (-float(costs[i]), chains[i]["index"])
+    )
+    heap = [(0.0, s) for s in range(n)]  # already heap-ordered
+    mine: set[int] = set()
+    for i in ranked:
+        load, s = heapq.heappop(heap)
+        if s == k:
+            mine.add(i)
+        heapq.heappush(heap, (load + float(costs[i]), s))
+    return [c for i, c in enumerate(chains) if i in mine]
+
+
+def partition_chains(
+    spec: CampaignSpec,
+    chains: Sequence[dict],
+    shard: tuple[int, int],
+    *,
+    partition: str = "hash",
+    cost_manifest: dict[int, float] | None = None,
+) -> list[dict]:
+    """The chains *shard* owns under the chosen partition strategy.
+
+    ``"hash"`` is the seed-hash interleave of :func:`shard_chains`
+    (balances chain counts); ``"lpt"`` balances estimated chain *costs*
+    (:func:`chain_cost_estimates` + :func:`lpt_shard_chains`).  Both are
+    deterministic functions of ``(spec, shard, cost_manifest)``, so every
+    host computes the same disjoint partition.
+    """
+    if partition == "hash":
+        return shard_chains(chains, shard)
+    if partition == "lpt":
+        costs = chain_cost_estimates(spec, chains, cost_manifest)
+        return lpt_shard_chains(chains, shard, costs)
+    raise ValueError(
+        f"partition must be 'hash' or 'lpt', got {partition!r}"
+    )
+
+
+def load_cost_manifest(path: str | Path) -> dict[int, float]:
+    """Read a chain-cost manifest for ``partition="lpt"``.
+
+    Accepts either a campaign result JSON (its ``chain_costs`` block --
+    the natural workflow: point ``--cost-manifest`` at a previous run of
+    the same spec) or a bare ``{chain index: cost}`` mapping.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"cost manifest {path} is not a JSON object")
+    table = data.get("chain_costs", data)
+    if not isinstance(table, dict):
+        raise ValueError(f"cost manifest {path} has no usable chain_costs")
+    try:
+        return {int(k): float(v) for k, v in table.items()}
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"cost manifest {path} must map chain indices to seconds"
+        ) from None
+
+
 def _chain_point_params(
     spec: CampaignSpec, point: dict[str, Any], step: int
 ) -> dict[str, Any]:
@@ -524,6 +654,11 @@ class CampaignResult:
     shm_overflow: int = 0
     #: True when ``max_cells`` cut the run short (simulated kill).
     truncated: bool = False
+    #: Recorded wall seconds per chain index (sum of cell ``time_s`` over
+    #: the chain's collected cells) -- the cost manifest a later
+    #: ``partition="lpt"`` run (or the dispatcher) feeds back into
+    #: :func:`chain_cost_estimates`.  Empty under ``collect="none"``.
+    chain_costs: dict[int, float] = field(default_factory=dict)
 
     # -- aggregate views --------------------------------------------------
 
@@ -680,6 +815,7 @@ class CampaignResult:
             "shm_records": self.shm_records,
             "shm_overflow": self.shm_overflow,
             "truncated": self.truncated,
+            "chain_costs": {str(k): v for k, v in self.chain_costs.items()},
             "cells": [c.to_dict() for c in self.cells],
         }
 
@@ -699,12 +835,24 @@ class CampaignResult:
             shm_records=int(data.get("shm_records", 0)),
             shm_overflow=int(data.get("shm_overflow", 0)),
             truncated=bool(data.get("truncated", False)),
+            chain_costs={
+                int(k): float(v)
+                for k, v in data.get("chain_costs", {}).items()
+            },
         )
 
     def save_json(self, path: str | Path) -> Path:
+        """Write the result atomically (write-then-rename).
+
+        A kill between open and close must never leave a half-written
+        JSON at *path*: the dispatcher (and any ``--resume`` consumer)
+        treats whatever sits there as a valid partial result.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2))
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2))
+        os.replace(tmp, path)
         return path
 
     @classmethod
@@ -801,6 +949,15 @@ def _freeze(value: Any) -> Any:
     return value
 
 
+def _tagged_chain_costs(tagged: Sequence[dict]) -> dict[int, float]:
+    """Recorded wall seconds per chain index over a batch of tagged cells."""
+    costs: dict[int, float] = {}
+    for item in tagged:
+        idx = item["order"][0]
+        costs[idx] = costs.get(idx, 0.0) + float(item["cell"]["time_s"])
+    return dict(sorted(costs.items()))
+
+
 def _csv_value(value: Any) -> Any:
     if isinstance(value, bool):
         return int(value)
@@ -884,6 +1041,13 @@ def merge_campaign_results(
             f"{len(index)} cells do not belong to the merged spec "
             "(stale grid values or a foreign result file?)"
         )
+    # Chain costs are additive wall time: two partial results of one chain
+    # (a truncated prefix plus its resumed suffix) each carry the seconds
+    # they actually spent, so the union sums per chain index.
+    chain_costs: dict[int, float] = {}
+    for r in results:
+        for idx, cost in r.chain_costs.items():
+            chain_costs[idx] = chain_costs.get(idx, 0.0) + cost
     return CampaignResult(
         spec=spec,
         cells=ordered,
@@ -898,6 +1062,7 @@ def merge_campaign_results(
         shm_overflow=sum(r.shm_overflow for r in results),
         truncated=any(r.truncated for r in results)
         and len(ordered) < merged_spec.n_analyses(),
+        chain_costs=dict(sorted(chain_costs.items())),
     )
 
 
@@ -1552,8 +1717,12 @@ class Campaign:
         stream_csv: str | Path | None = None,
         collect: bool | str = True,
         shard: tuple[int, int] | None = None,
+        partition: str = "hash",
+        cost_manifest: dict[int, float] | None = None,
         max_cells: int | None = None,
         shm_bytes: int = DEFAULT_SHM_BYTES,
+        checkpoint: str | Path | None = None,
+        checkpoint_every: int = 0,
     ) -> CampaignResult:
         """Execute the campaign and return a :class:`CampaignResult`.
 
@@ -1591,6 +1760,17 @@ class Campaign:
             deterministic ``n``-way partition (see :func:`shard_chains`);
             the union of all shards equals the unsharded run bit for bit,
             and :func:`merge_campaign_results` reassembles the pieces.
+        partition:
+            Shard partition strategy: ``"hash"`` (seed-hash interleave,
+            balances chain counts) or ``"lpt"`` (longest processing time
+            over per-chain cost estimates, balances recorded/estimated
+            cost -- see :func:`partition_chains`).  Every shard of one
+            deployment must use the same strategy and cost manifest.
+        cost_manifest:
+            Chain index -> recorded wall seconds (the ``chain_costs``
+            block of a previous result, see :func:`load_cost_manifest`)
+            driving the ``"lpt"`` partition; ``None`` falls back to the
+            ``levels x n_tasks`` size proxy.
         max_cells:
             Stop collecting after this many cells and return the partial
             (``truncated=True``) result -- a deterministic simulation of a
@@ -1598,6 +1778,13 @@ class Campaign:
         shm_bytes:
             Ring capacity for ``collect="shm"``; chunks beyond it fall
             back to the pickle path.
+        checkpoint:
+            Atomically rewrite a partial result JSON here as the run
+            progresses, so a killed process leaves a valid ``--resume``
+            input behind (the dispatcher's fault-tolerance substrate).
+        checkpoint_every:
+            Cells between checkpoint writes (required > 0 when
+            *checkpoint* is set; checkpointing needs ``collect`` != none).
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -1611,9 +1798,21 @@ class Campaign:
             raise ValueError("collect='none' requires stream_csv")
         if max_cells is not None and max_cells < 0:
             raise ValueError("max_cells must be >= 0")
+        if partition not in ("hash", "lpt"):
+            raise ValueError(
+                f"partition must be 'hash' or 'lpt', got {partition!r}"
+            )
+        if checkpoint is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint requires checkpoint_every >= 1")
+            if collect_mode == "none":
+                raise ValueError("checkpoint requires collect != 'none'")
         chains = self.chains()
         if shard is not None:
-            chains = shard_chains(chains, shard)
+            chains = partition_chains(
+                self.spec, chains, shard,
+                partition=partition, cost_manifest=cost_manifest,
+            )
         spec_dict = self.spec.to_dict()
         n_steps = len(self.spec.sweep_values())
         t0 = time.perf_counter()
@@ -1680,28 +1879,60 @@ class Campaign:
         shm_records = 0
         shm_overflow = 0
 
-        def consume(part: list[dict]) -> bool:
+        def snapshot_result(*, final: bool) -> CampaignResult:
+            """The result as of now; checkpoints are truncated views."""
+            items = sorted(tagged, key=lambda item: item["order"])
+            return CampaignResult(
+                spec=spec_dict,
+                cells=[CellResult.from_dict(item["cell"]) for item in items],
+                workers=workers,
+                wall_time_s=time.perf_counter() - t0,
+                streamed_cells=streamed,
+                reused_cells=kept_reused,
+                shard=list(shard) if shard is not None else None,
+                reseed_solves=reseed_solves,
+                reseed_evaluations=reseed_evaluations,
+                shm_records=shm_records,
+                shm_overflow=shm_overflow,
+                truncated=truncated if final else True,
+                chain_costs=_tagged_chain_costs(items),
+            )
+
+        last_checkpoint = 0
+        kept_reused = 0
+
+        def consume(part: list[dict], *, reused_batch: bool = False) -> bool:
             """Account a batch of finished cells; False once the budget
             set by ``max_cells`` is exhausted."""
-            nonlocal streamed, consumed, truncated
+            nonlocal streamed, consumed, truncated, last_checkpoint
+            nonlocal kept_reused
             if max_cells is not None and consumed + len(part) > max_cells:
                 part = part[: max(0, max_cells - consumed)]
                 truncated = True
             consumed += len(part)
+            if reused_batch:
+                # Recorded before any checkpoint write below, so a
+                # checkpointed partial reports its reused cells too.
+                kept_reused = consumed
             if stream is not None:
                 stream.write(part)
                 streamed += len(part)
             if collect_mode != "none":
                 tagged.extend(part)
+            if (
+                checkpoint is not None
+                and consumed - last_checkpoint >= checkpoint_every
+            ):
+                snapshot_result(final=False).save_json(checkpoint)
+                last_checkpoint = consumed
             return not truncated
 
         arena: _ShmArena | None = None
-        kept_reused = 0
         try:
             budget_ok = True
             if reused:
-                budget_ok = consume(reused)
-                kept_reused = consumed  # max_cells may have cut the batch
+                # consume() records kept_reused (max_cells may cut the batch).
+                budget_ok = consume(reused, reused_batch=True)
             if not chains or not budget_ok:
                 pass
             elif workers == 1 or len(chains) <= 1:
@@ -1772,23 +2003,7 @@ class Campaign:
             if stream is not None:
                 stream.close()
 
-        wall = time.perf_counter() - t0
-        tagged.sort(key=lambda item: item["order"])
-        cells = [CellResult.from_dict(item["cell"]) for item in tagged]
-        return CampaignResult(
-            spec=spec_dict,
-            cells=cells,
-            workers=workers,
-            wall_time_s=wall,
-            streamed_cells=streamed,
-            reused_cells=kept_reused,
-            shard=list(shard) if shard is not None else None,
-            reseed_solves=reseed_solves,
-            reseed_evaluations=reseed_evaluations,
-            shm_records=shm_records,
-            shm_overflow=shm_overflow,
-            truncated=truncated,
-        )
+        return snapshot_result(final=True)
 
 
 def run_campaign(

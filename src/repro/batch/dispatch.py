@@ -1,0 +1,494 @@
+"""Campaign dispatcher: drive a sharded campaign to completion unattended.
+
+PR 3/4 made the chain the unit of distributed work (``--shard k/n``
+partitions, chain-prefix ``--resume``, ``campaign-merge``) but left the
+driving to a human.  This module closes the loop with a
+:class:`CampaignDispatcher` that
+
+* **over-partitions** the spec into more shards than worker slots and
+  feeds them from a shared queue, so fast workers *steal* the long tail
+  a static per-host split would leave on the slowest host (heavy chains
+  hit divergent high-utilization levels; verdict-mode bisection shrinks
+  but does not remove the imbalance);
+* partitions **cost-aware** (``partition="lpt"``): per-chain wall times
+  recorded by a previous run (``chain_costs`` in every campaign result
+  JSON) drive a longest-processing-time assignment, with the ``levels x
+  n_tasks`` size proxy as the manifest-free fallback;
+* is **fault-tolerant**: every shard subprocess checkpoints its partial
+  result (atomic write-then-rename), and a dead, killed or truncated
+  shard is relaunched with ``--resume`` pointing at its partial output
+  -- chain-prefix resume makes the retried shard bit-identical to an
+  uninterrupted one;
+* **auto-merges** the shard JSONs through
+  :func:`repro.batch.campaign.merge_campaign_results` once the queue
+  drains, yielding one canonical-order :class:`CampaignResult` that is
+  bit-identical to a single-process run of the same spec.
+
+Shard subprocesses are plain ``python -m repro campaign --spec ...
+--shard i/n`` invocations, launched through a pluggable *backend*:
+:class:`LocalBackend` (subprocesses on this machine, the tested default)
+or :class:`SshBackend` (a thin command template prefixing ``ssh <host>``
+per worker slot; it assumes a shared filesystem for the work directory
+and is trivially mockable in tests).  The CLI front end is ``python -m
+repro campaign-dispatch``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.batch.campaign import (
+    Campaign,
+    CampaignResult,
+    CampaignSpec,
+    chain_cost_estimates,
+    merge_campaign_results,
+    partition_chains,
+)
+
+__all__ = [
+    "CampaignDispatcher",
+    "DispatchError",
+    "DispatchReport",
+    "LocalBackend",
+    "ShardRecord",
+    "SshBackend",
+]
+
+
+class DispatchError(RuntimeError):
+    """A shard kept failing past ``max_attempts`` (or produced garbage)."""
+
+
+@dataclass
+class ShardRecord:
+    """What happened to one shard across its (re)launches."""
+
+    shard: int
+    #: Chains the partition assigned to this shard.
+    chains: int
+    #: Expected cell count when complete (chains x levels x methods).
+    expected_cells: int
+    #: Estimated cost the partition balanced on (seconds or proxy units).
+    estimated_cost: float
+    attempts: int = 0
+    #: Relaunches that passed ``--resume`` at a partial output.
+    resumed_attempts: int = 0
+    #: Worker slot that completed the shard.
+    slot: int | None = None
+    cells: int = 0
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class DispatchReport:
+    """Outcome of one dispatched campaign."""
+
+    #: The auto-merged union of every shard, canonical cell order.
+    result: CampaignResult
+    shards: list[ShardRecord]
+    workers: int
+    wall_time_s: float
+    #: Shards completed per worker slot -- the work-stealing evidence
+    #: (a slot that drew heavy shards completes fewer of them).
+    shards_per_slot: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def relaunches(self) -> int:
+        return sum(max(0, s.attempts - 1) for s in self.shards)
+
+    def format_summary(self) -> str:
+        lines = [
+            f"dispatched {len(self.shards)} shard(s) over {self.workers} "
+            f"worker slot(s) in {self.wall_time_s:.2f}s "
+            f"({self.relaunches} relaunch(es))",
+        ]
+        for slot in sorted(self.shards_per_slot):
+            lines.append(
+                f"  slot {slot}: {self.shards_per_slot[slot]} shard(s)"
+            )
+        return "\n".join(lines)
+
+
+class LocalBackend:
+    """Launch shard commands as subprocesses on this machine."""
+
+    def launch(
+        self,
+        argv: Sequence[str],
+        *,
+        slot: int,
+        log_path: Path,
+        env: dict | None = None,
+    ) -> subprocess.Popen:
+        del slot  # local slots are interchangeable
+        log = open(log_path, "ab")
+        try:
+            return subprocess.Popen(
+                list(argv), stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+        finally:
+            log.close()  # the child holds its own descriptor
+
+
+class SshBackend:
+    """Launch shard commands through ``ssh <host> <command>``.
+
+    A deliberately thin template: worker slot ``i`` is pinned to
+    ``hosts[i % len(hosts)]`` and the shard argv is shell-quoted into one
+    remote command.  It assumes the work directory (spec, shard JSONs,
+    checkpoints) lives on a filesystem shared between the dispatcher and
+    the hosts, and that ``python`` on the remote resolves the ``repro``
+    package -- both standard cluster furniture.  ``ssh_command`` is
+    injectable, which is also what makes the backend mockable:
+    ``SshBackend(["h0"], ssh_command=("sh", "-c",))``-style substitutions
+    exercise the template without a network.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        *,
+        ssh_command: Sequence[str] = ("ssh", "-o", "BatchMode=yes"),
+        remote_python: Sequence[str] = ("python3",),
+    ):
+        if not hosts:
+            raise ValueError("SshBackend needs at least one host")
+        self.hosts = list(hosts)
+        self.ssh_command = tuple(ssh_command)
+        self.remote_python = tuple(remote_python)
+
+    def launch(
+        self,
+        argv: Sequence[str],
+        *,
+        slot: int,
+        log_path: Path,
+        env: dict | None = None,
+    ) -> subprocess.Popen:
+        del env  # the remote shell owns its environment
+        host = self.hosts[slot % len(self.hosts)]
+        # The dispatcher builds argv around the *local* interpreter;
+        # rewrite its head for the remote one.
+        remote = list(self.remote_python) + list(argv[1:])
+        command = list(self.ssh_command) + [host, shlex.join(remote)]
+        log = open(log_path, "ab")
+        try:
+            return subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT
+            )
+        finally:
+            log.close()
+
+
+@dataclass
+class _Running:
+    record: ShardRecord
+    proc: subprocess.Popen
+    slot: int
+    started: float
+
+
+class CampaignDispatcher:
+    """Drive every shard of a campaign to completion and merge the union.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    shards:
+        Shard count of the partition.  Over-partition (several shards per
+        worker) so the queue can balance the tail; the default CLI choice
+        is ``4 x workers``.
+    workers:
+        Concurrent shard subprocesses (worker slots).
+    partition / cost_manifest:
+        Passed through to :func:`repro.batch.campaign.partition_chains`;
+        every shard subprocess receives the same manifest file so all
+        hosts derive the identical disjoint partition.
+    work_dir:
+        Directory for the spec file, cost manifest, shard JSONs,
+        checkpoints and per-shard logs.
+    backend:
+        :class:`LocalBackend` (default) or :class:`SshBackend`-shaped
+        object with the same ``launch`` signature.
+    max_attempts:
+        Launch attempts per shard before :class:`DispatchError`.
+    checkpoint_every:
+        Cells between the shard subprocesses' checkpoint writes.
+    inject_kills:
+        Deterministic fault injection for tests and drills: shard index
+        -> cell budget for its *first* attempt (the subprocess truncates
+        there via ``--max-cells``, exactly like a kill after N cells, and
+        the dispatcher must recover it through ``--resume``).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        shards: int,
+        workers: int,
+        partition: str = "hash",
+        cost_manifest: dict[int, float] | None = None,
+        work_dir: str | Path,
+        backend: LocalBackend | SshBackend | None = None,
+        max_attempts: int = 3,
+        poll_interval: float = 0.05,
+        checkpoint_every: int = 16,
+        shard_args: Sequence[str] = (),
+        inject_kills: dict[int, int] | None = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        Campaign(spec)  # validates generator/method names up front
+        self.spec = spec
+        self.shards = shards
+        self.workers = workers
+        self.partition = partition
+        self.cost_manifest = cost_manifest
+        self.work_dir = Path(work_dir)
+        self.backend = backend if backend is not None else LocalBackend()
+        self.max_attempts = max_attempts
+        self.poll_interval = poll_interval
+        self.checkpoint_every = checkpoint_every
+        self.shard_args = list(shard_args)
+        self.inject_kills = dict(inject_kills or {})
+
+    # -- paths -------------------------------------------------------------
+
+    def _spec_path(self) -> Path:
+        return self.work_dir / "spec.json"
+
+    def _manifest_path(self) -> Path:
+        return self.work_dir / "cost_manifest.json"
+
+    def _out_path(self, shard: int) -> Path:
+        return self.work_dir / f"shard{shard:04d}.json"
+
+    def _checkpoint_path(self, shard: int) -> Path:
+        return self.work_dir / f"shard{shard:04d}.part.json"
+
+    def _log_path(self, shard: int) -> Path:
+        return self.work_dir / f"shard{shard:04d}.log"
+
+    # -- planning ----------------------------------------------------------
+
+    def _plan(self) -> list[ShardRecord]:
+        chains = self.spec.chains()
+        n_cells = len(self.spec.sweep_values()) * len(self.spec.methods)
+        records = []
+        for k in range(self.shards):
+            assigned = partition_chains(
+                self.spec, chains, (k, self.shards),
+                partition=self.partition, cost_manifest=self.cost_manifest,
+            )
+            costs = chain_cost_estimates(
+                self.spec, assigned, self.cost_manifest
+            )
+            records.append(
+                ShardRecord(
+                    shard=k,
+                    chains=len(assigned),
+                    expected_cells=len(assigned) * n_cells,
+                    estimated_cost=sum(costs),
+                )
+            )
+        return records
+
+    def _command(self, record: ShardRecord, *, first: bool) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro", "campaign",
+            "--spec", str(self._spec_path()),
+            "--shard", f"{record.shard}/{self.shards}",
+            "--partition", self.partition,
+            "--workers", "1",
+            "--json", str(self._out_path(record.shard)),
+            "--checkpoint", str(self._checkpoint_path(record.shard)),
+            "--checkpoint-every", str(self.checkpoint_every),
+        ]
+        if self.cost_manifest:
+            argv += ["--cost-manifest", str(self._manifest_path())]
+        resume = self._resume_source(record.shard)
+        if resume is not None:
+            argv += ["--resume", str(resume)]
+            record.resumed_attempts += 1
+        if first and record.shard in self.inject_kills:
+            argv += ["--max-cells", str(self.inject_kills[record.shard])]
+        return argv + self.shard_args
+
+    def _resume_source(self, shard: int) -> Path | None:
+        """The best partial output a relaunch can resume from.
+
+        Both the final output (a truncated run wrote one) and the
+        periodic checkpoint are written atomically, so loadability only
+        filters files from foreign/stale runs -- anything loadable is a
+        valid resume input.  Of the loadable candidates the one holding
+        *more cells* wins: after a truncated attempt 1 and a killed
+        attempt 2, the attempt-2 checkpoint supersedes the stale
+        attempt-1 output, so repeated kills never re-run recovered work.
+        """
+        best: Path | None = None
+        best_cells = -1
+        for path in (self._out_path(shard), self._checkpoint_path(shard)):
+            if path.exists():
+                try:
+                    cells = len(CampaignResult.load_json(path).cells)
+                except (ValueError, KeyError, TypeError, OSError):
+                    continue
+                if cells > best_cells:
+                    best, best_cells = path, cells
+        return best
+
+    def _shard_complete(self, record: ShardRecord) -> CampaignResult | None:
+        """The shard's final result, or ``None`` when it must relaunch."""
+        path = self._out_path(record.shard)
+        if not path.exists():
+            return None
+        try:
+            result = CampaignResult.load_json(path)
+        except (ValueError, KeyError, TypeError, OSError):
+            return None
+        if result.truncated or len(result.cells) != record.expected_cells:
+            return None
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> DispatchReport:
+        t0 = time.perf_counter()
+        self.work_dir.mkdir(parents=True, exist_ok=True)
+        self._spec_path().write_text(
+            json.dumps(self.spec.to_dict(), indent=2)
+        )
+        if self.cost_manifest:
+            self._manifest_path().write_text(
+                json.dumps(
+                    {
+                        "chain_costs": {
+                            str(k): v for k, v in self.cost_manifest.items()
+                        }
+                    },
+                    indent=2,
+                )
+            )
+
+        records = self._plan()
+        by_shard = {r.shard: r for r in records}
+        # Heaviest shards first: launching the long poles early is the
+        # other half of the makespan story (stealing only fixes tails the
+        # queue has not yet committed).  Empty shards are born complete.
+        pending = deque(
+            sorted(
+                (r.shard for r in records if r.chains > 0),
+                key=lambda k: (-by_shard[k].estimated_cost, k),
+            )
+        )
+        env = self._child_env()
+        running: dict[int, _Running] = {}
+        results: dict[int, CampaignResult] = {}
+        shards_per_slot: dict[int, int] = {}
+        try:
+            while pending or running:
+                free = [
+                    s for s in range(self.workers) if s not in running
+                ]
+                for slot in free:
+                    if not pending:
+                        break
+                    record = by_shard[pending.popleft()]
+                    record.attempts += 1
+                    proc = self.backend.launch(
+                        self._command(record, first=record.attempts == 1),
+                        slot=slot,
+                        log_path=self._log_path(record.shard),
+                        env=env,
+                    )
+                    running[slot] = _Running(
+                        record, proc, slot, time.perf_counter()
+                    )
+                if not running:
+                    continue
+                time.sleep(self.poll_interval)
+                for slot, active in list(running.items()):
+                    if active.proc.poll() is None:
+                        continue
+                    del running[slot]
+                    record = active.record
+                    record.wall_time_s += time.perf_counter() - active.started
+                    result = self._shard_complete(record)
+                    if result is not None:
+                        record.slot = slot
+                        record.cells = len(result.cells)
+                        results[record.shard] = result
+                        shards_per_slot[slot] = shards_per_slot.get(slot, 0) + 1
+                        self._checkpoint_path(record.shard).unlink(
+                            missing_ok=True
+                        )
+                        continue
+                    if record.attempts >= self.max_attempts:
+                        raise DispatchError(
+                            f"shard {record.shard}/{self.shards} failed "
+                            f"{record.attempts} attempt(s) (last exit "
+                            f"status {active.proc.returncode}); see "
+                            f"{self._log_path(record.shard)}"
+                        )
+                    # Relaunch at the front of the queue: a failed shard
+                    # is the current long pole by definition.
+                    pending.appendleft(record.shard)
+        finally:
+            for active in running.values():
+                active.proc.kill()
+                active.proc.wait()
+
+        merged = merge_campaign_results(
+            [results[k] for k in sorted(results)]
+            or [
+                CampaignResult(
+                    spec=self.spec.to_dict(), cells=[], workers=0,
+                    wall_time_s=0.0,
+                )
+            ]
+        )
+        expected = self.spec.n_analyses()
+        if len(merged.cells) != expected:
+            raise DispatchError(
+                f"merged union holds {len(merged.cells)} of {expected} "
+                "cells; a shard produced an incomplete result that "
+                "slipped past the completeness check"
+            )
+        return DispatchReport(
+            result=merged,
+            shards=records,
+            workers=self.workers,
+            wall_time_s=time.perf_counter() - t0,
+            shards_per_slot=shards_per_slot,
+        )
+
+    def _child_env(self) -> dict:
+        """Child env that can import ``repro`` even without installation."""
+        import repro
+
+        env = dict(os.environ)
+        pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        if pkg_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                pkg_root + (os.pathsep + existing if existing else "")
+            )
+        return env

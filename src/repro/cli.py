@@ -14,6 +14,8 @@ Operates on JSON system files (see :mod:`repro.io.spec` for the schema):
    $ python -m repro campaign ... --shard 0/2 --json shard0.json  # host A
    $ python -m repro campaign ... --shard 1/2 --json shard1.json  # host B
    $ python -m repro campaign-merge shard0.json shard1.json --json all.json
+   $ python -m repro campaign-dispatch ... --workers 4 --shards 16 \\
+         --partition lpt --json all.json   # unattended sharded deployment
 
 Exit status: 0 when the system is schedulable (or the command succeeded),
 1 when unschedulable / bounds violated, 2 on usage errors.
@@ -30,10 +32,47 @@ from repro.analysis import AnalysisConfig, analyze
 from repro.io import load_system, save_system, system_to_dict
 from repro.opt import minimize_bandwidth
 from repro.paper import render_table3, sensor_fusion_system
-from repro.sim import SimulationConfig, simulate, validate_against_analysis
 from repro.viz import format_table
 
+# The simulator needs NumPy; the analysis surface of the CLI must not
+# (the no-NumPy CI leg pins `import repro`).  Lazy-imported by the
+# simulate/validate/gantt commands instead.
+
 __all__ = ["main", "build_parser"]
+
+
+def _add_campaign_spec_args(p: argparse.ArgumentParser) -> None:
+    """The flags that define a CampaignSpec, shared by ``campaign`` and
+    ``campaign-dispatch`` (so a dispatch deployment is described exactly
+    like the single run it must reproduce)."""
+    p.add_argument(
+        "--grid", action="append", default=[], metavar="AXIS=SPEC",
+        help="grid axis: AXIS=start:stop:count (linspace) or AXIS=v1,v2,... "
+        "(repeatable; default 'utilization=0.3:0.9:5')",
+    )
+    p.add_argument("--transactions", type=int, default=3,
+                   help="transactions per system (default 3)")
+    p.add_argument("--platforms", type=int, default=2,
+                   help="abstract platforms per system (default 2)")
+    p.add_argument("--tasks", default="1,3", metavar="LO,HI",
+                   help="tasks per transaction range (default 1,3)")
+    p.add_argument("--deadline-factor", type=float, default=1.0)
+    p.add_argument("--systems", type=int, default=20,
+                   help="random systems per grid cell (default 20)")
+    p.add_argument("--methods", default="reduced",
+                   help="comma-separated method names (default 'reduced'; "
+                   "'verdict' runs the early-exit verdict pipeline with "
+                   "monotone level pruning along the utilization sweep -- "
+                   "identical verdicts, no exact WCRTs on pruned cells)")
+    p.add_argument("--generator", default="random_system")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-warm-start", action="store_true",
+                   help="disable warm-start chaining along the sweep axis")
+    p.add_argument("--spec", dest="spec_file", metavar="PATH",
+                   help="load the full CampaignSpec from this JSON file "
+                   "(as campaign-dispatch hands to its shard "
+                   "subprocesses); the grid/shape flags above are then "
+                   "ignored")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,33 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
         "methods on a process pool, and aggregate acceptance ratios and "
         "iteration accounting.",
     )
-    p_cp.add_argument(
-        "--grid", action="append", default=[], metavar="AXIS=SPEC",
-        help="grid axis: AXIS=start:stop:count (linspace) or AXIS=v1,v2,... "
-        "(repeatable; default 'utilization=0.3:0.9:5')",
-    )
-    p_cp.add_argument("--transactions", type=int, default=3,
-                      help="transactions per system (default 3)")
-    p_cp.add_argument("--platforms", type=int, default=2,
-                      help="abstract platforms per system (default 2)")
-    p_cp.add_argument("--tasks", default="1,3", metavar="LO,HI",
-                      help="tasks per transaction range (default 1,3)")
-    p_cp.add_argument("--deadline-factor", type=float, default=1.0)
-    p_cp.add_argument("--systems", type=int, default=20,
-                      help="random systems per grid cell (default 20)")
-    p_cp.add_argument("--methods", default="reduced",
-                      help="comma-separated method names (default 'reduced'; "
-                      "'verdict' runs the early-exit verdict pipeline with "
-                      "monotone level pruning along the utilization sweep -- "
-                      "identical verdicts, no exact WCRTs on pruned cells)")
-    p_cp.add_argument("--generator", default="random_system")
-    p_cp.add_argument("--seed", type=int, default=0)
+    _add_campaign_spec_args(p_cp)
     p_cp.add_argument("--workers", type=int, default=1,
                       help="process-pool size; 1 runs inline")
     p_cp.add_argument("--chunk-size", type=int, default=None,
                       help="chains per pool task (default: auto)")
-    p_cp.add_argument("--no-warm-start", action="store_true",
-                      help="disable warm-start chaining along the sweep axis")
     p_cp.add_argument("--json", dest="json_out", metavar="PATH",
                       help="write the full CampaignResult as JSON")
     p_cp.add_argument("--csv", dest="csv_out", metavar="PATH",
@@ -161,6 +178,20 @@ def build_parser() -> argparse.ArgumentParser:
                       "chain partition (0-based, e.g. 0/2); the union of "
                       "all shards is bit-identical to the unsharded run "
                       "and reassembles with 'campaign-merge'")
+    p_cp.add_argument("--partition", choices=("hash", "lpt"),
+                      default="hash",
+                      help="shard partition strategy: 'hash' interleaves "
+                      "by seed hash (balances chain counts), 'lpt' does a "
+                      "longest-processing-time assignment over per-chain "
+                      "costs (see --cost-manifest); every shard of one "
+                      "deployment must use the same strategy and manifest")
+    p_cp.add_argument("--cost-manifest", metavar="PATH",
+                      help="chain-cost source for --partition lpt: a "
+                      "previous campaign result JSON of the same spec "
+                      "(its chain_costs block records per-chain wall "
+                      "seconds) or a bare {chain index: seconds} mapping; "
+                      "omitted, lpt falls back to the levels x tasks "
+                      "size proxy")
     p_cp.add_argument("--collect", choices=("pickle", "shm"),
                       default="pickle",
                       help="worker result transport: executor pickling "
@@ -170,6 +201,59 @@ def build_parser() -> argparse.ArgumentParser:
                       help="stop after this many cells and return the "
                       "truncated partial result (deterministic simulated "
                       "kill; resume later with --resume)")
+    p_cp.add_argument("--checkpoint", metavar="PATH",
+                      help="atomically rewrite a partial result JSON here "
+                      "as cells complete, so a killed run leaves a valid "
+                      "--resume input behind")
+    p_cp.add_argument("--checkpoint-every", type=int, default=16,
+                      metavar="N",
+                      help="cells between --checkpoint writes (default 16)")
+
+    p_cd = sub.add_parser(
+        "campaign-dispatch",
+        help="drive a sharded campaign to completion and auto-merge",
+        description="Over-partition the campaign into fine shards, run "
+        "them on a pool of worker subprocesses fed from a shared queue "
+        "(fast workers steal the long tail), relaunch dead or truncated "
+        "shards with --resume at their partial output, and auto-merge "
+        "the union -- bit-identical to a single-process run.",
+    )
+    _add_campaign_spec_args(p_cd)
+    p_cd.add_argument("--workers", type=int, default=2,
+                      help="concurrent shard subprocesses (default 2)")
+    p_cd.add_argument("--shards", type=int, default=None,
+                      help="shard count (default: 4x workers; finer "
+                      "shards give the queue more to balance with)")
+    p_cd.add_argument("--partition", choices=("hash", "lpt"),
+                      default="hash",
+                      help="chain partition strategy (see 'campaign')")
+    p_cd.add_argument("--cost-manifest", metavar="PATH",
+                      help="chain-cost source for --partition lpt "
+                      "(see 'campaign')")
+    p_cd.add_argument("--work-dir", metavar="DIR",
+                      help="directory for spec/shard/checkpoint files "
+                      "(default: a temporary directory, removed on "
+                      "success)")
+    p_cd.add_argument("--hosts", metavar="ssh:HOST[,HOST...]",
+                      help="run shard commands through 'ssh HOST' with "
+                      "worker slots pinned round-robin to the hosts "
+                      "(assumes a shared --work-dir filesystem); default "
+                      "runs local subprocesses")
+    p_cd.add_argument("--max-attempts", type=int, default=3,
+                      help="launch attempts per shard before giving up "
+                      "(default 3)")
+    p_cd.add_argument("--checkpoint-every", type=int, default=16,
+                      metavar="N",
+                      help="cells between shard checkpoint writes "
+                      "(default 16)")
+    p_cd.add_argument("--json", dest="json_out", metavar="PATH",
+                      help="write the merged CampaignResult as JSON "
+                      "(its chain_costs block is the natural "
+                      "--cost-manifest for the next deployment)")
+    p_cd.add_argument("--csv", dest="csv_out", metavar="PATH",
+                      help="write the merged per-cell table as CSV")
+    p_cd.add_argument("--acceptance-csv", metavar="PATH",
+                      help="write the merged acceptance table as CSV")
 
     p_cm = sub.add_parser(
         "campaign-merge",
@@ -260,6 +344,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim import SimulationConfig, simulate
+
     system = load_system(args.system)
     cfg = SimulationConfig(
         horizon=args.horizon,
@@ -288,6 +374,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.sim import validate_against_analysis
+
     system = load_system(args.system)
     seeds = tuple(int(s) for s in args.seeds.split(",") if s != "")
     report = validate_against_analysis(system, seeds=seeds, horizon=args.horizon)
@@ -349,6 +437,7 @@ def _cmd_derive(args: argparse.Namespace) -> int:
 
 
 def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.sim import SimulationConfig, simulate
     from repro.viz.gantt import render_gantt
 
     system = load_system(args.system)
@@ -376,8 +465,16 @@ def _cmd_example(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.batch import Campaign, CampaignSpec
+def _spec_from_args(args: argparse.Namespace):
+    """Build the CampaignSpec described by the shared campaign flags."""
+    from pathlib import Path
+
+    from repro.batch import CampaignSpec
+
+    if getattr(args, "spec_file", None):
+        return CampaignSpec.from_dict(
+            json.loads(Path(args.spec_file).read_text())
+        )
 
     grid_specs = args.grid or ["utilization=0.3:0.9:5"]
     grid: dict[str, tuple] = {}
@@ -415,7 +512,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
         base = {}
 
-    spec = CampaignSpec(
+    return CampaignSpec(
         grid=grid,
         base=base,
         methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
@@ -424,12 +521,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         generator=args.generator,
         warm_start=not args.no_warm_start,
     )
-    from repro.batch import CampaignResult, parse_shard
 
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.batch import Campaign, CampaignResult, parse_shard
+    from repro.batch.campaign import load_cost_manifest
+
+    spec = _spec_from_args(args)
     resume_from = (
         CampaignResult.load_json(args.resume) if args.resume else None
     )
     shard = parse_shard(args.shard) if args.shard else None
+    cost_manifest = (
+        load_cost_manifest(args.cost_manifest)
+        if args.cost_manifest
+        else None
+    )
     result = Campaign(spec).run(
         workers=args.workers,
         chunk_size=args.chunk_size,
@@ -437,7 +544,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         stream_csv=args.stream_csv,
         collect="none" if args.no_collect else args.collect,
         shard=shard,
+        partition=args.partition,
+        cost_manifest=cost_manifest,
         max_cells=args.max_cells,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
     if shard is not None:
         # Under --no-collect the result keeps no cells; the streamed count
@@ -499,6 +610,81 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     return 1 if missing else 0
 
 
+def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.batch.campaign import load_cost_manifest
+    from repro.batch.dispatch import (
+        CampaignDispatcher,
+        DispatchError,
+        LocalBackend,
+        SshBackend,
+    )
+
+    spec = _spec_from_args(args)
+    workers = args.workers
+    shards = args.shards if args.shards is not None else 4 * workers
+    cost_manifest = (
+        load_cost_manifest(args.cost_manifest)
+        if args.cost_manifest
+        else None
+    )
+    backend: LocalBackend | SshBackend = LocalBackend()
+    if args.hosts:
+        scheme, sep, host_list = args.hosts.partition(":")
+        if not sep or scheme != "ssh" or not host_list:
+            raise ValueError(
+                f"--hosts must look like ssh:HOST[,HOST...], got "
+                f"{args.hosts!r}"
+            )
+        backend = SshBackend(
+            [h.strip() for h in host_list.split(",") if h.strip()]
+        )
+    temp_dir = args.work_dir is None
+    work_dir = Path(
+        args.work_dir
+        if args.work_dir is not None
+        else tempfile.mkdtemp(prefix="repro-dispatch-")
+    )
+    dispatcher = CampaignDispatcher(
+        spec,
+        shards=shards,
+        workers=workers,
+        partition=args.partition,
+        cost_manifest=cost_manifest,
+        work_dir=work_dir,
+        backend=backend,
+        max_attempts=args.max_attempts,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        report = dispatcher.run()
+    except DispatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"shard files kept under {work_dir}", file=sys.stderr)
+        return 1
+    print(report.format_summary())
+    print(report.result.format_summary())
+    if args.json_out:
+        path = report.result.save_json(args.json_out)
+        print(f"merged result written to {path}")
+    if args.csv_out:
+        print(
+            "per-cell CSV written to "
+            f"{report.result.write_cells_csv(args.csv_out)}"
+        )
+    if args.acceptance_csv:
+        print(
+            "acceptance CSV written to "
+            f"{report.result.write_acceptance_csv(args.acceptance_csv)}"
+        )
+    if temp_dir:
+        shutil.rmtree(work_dir, ignore_errors=True)
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
@@ -509,6 +695,7 @@ _COMMANDS = {
     "example": _cmd_example,
     "campaign": _cmd_campaign,
     "campaign-merge": _cmd_campaign_merge,
+    "campaign-dispatch": _cmd_campaign_dispatch,
 }
 
 

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI leg
+    np = None  # numeric bound extraction raises if called
 
 from repro.platforms.base import AbstractPlatform
 from repro.platforms.linear import LinearSupplyPlatform
@@ -55,6 +58,11 @@ class LinearBounds:
 
 
 def _grid(horizon: float, samples: int) -> np.ndarray:
+    if np is None:
+        raise RuntimeError(
+            "NumPy is required for numeric supply-bound extraction; "
+            "concrete platforms expose closed-form triples without it"
+        )
     check_positive(horizon, "horizon")
     if samples < 16:
         raise ValueError(f"samples must be >= 16, got {samples!r}")

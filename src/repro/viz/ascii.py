@@ -9,7 +9,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI leg
+    np = None  # ascii_plot/ascii_step_plot raise if called
 
 __all__ = ["ascii_plot", "ascii_step_plot"]
 
@@ -35,6 +38,8 @@ def ascii_plot(
     width, height:
         Canvas size in characters (axes excluded).
     """
+    if np is None:
+        raise RuntimeError("NumPy is required for ASCII plotting")
     if not series:
         raise ValueError("ascii_plot needs at least one series")
     xs_all = np.concatenate([np.asarray(s[1], dtype=float) for s in series])
@@ -110,6 +115,8 @@ def ascii_step_plot(
     Approximates piecewise-constant curves (e.g. supply functions sampled at
     corners) better than linear interpolation.
     """
+    if np is None:
+        raise RuntimeError("NumPy is required for ASCII plotting")
     stepped = []
     for label, xs, ys in series:
         xs = np.asarray(xs, dtype=float)

@@ -129,7 +129,10 @@ class TestIterationAccounting:
         """An unschedulable system's busy periods never close; the
         evaluations spent discovering that must still be reported (they
         were historically discarded with the FixedPointDiverged)."""
-        from repro.gen import RandomSystemSpec, random_system
+        gen = pytest.importorskip(
+            "repro.gen", reason="random-system generation needs NumPy"
+        )
+        RandomSystemSpec, random_system = gen.RandomSystemSpec, gen.random_system
 
         system = random_system(
             RandomSystemSpec(

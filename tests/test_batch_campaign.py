@@ -314,6 +314,101 @@ class TestStableLevels:
         assert spec.grid["n_transactions"] == (2, 3)
 
 
+class TestChainCosts:
+    """ISSUE 5: every run records its per-chain wall-time manifest."""
+
+    def test_costs_cover_every_chain_and_sum_to_cell_time(self):
+        spec = small_spec()
+        result = Campaign(spec).run(workers=1)
+        assert set(result.chain_costs) == {
+            c["index"] for c in Campaign(spec).chains()
+        }
+        assert sum(result.chain_costs.values()) == pytest.approx(
+            sum(c.time_s for c in result.cells)
+        )
+        assert all(v >= 0.0 for v in result.chain_costs.values())
+
+    def test_costs_survive_json_round_trip(self, tmp_path):
+        result = Campaign(small_spec()).run(workers=1)
+        loaded = CampaignResult.load_json(
+            result.save_json(tmp_path / "r.json")
+        )
+        assert loaded.chain_costs == result.chain_costs
+        # Keys are ints again after the round trip (JSON stringifies).
+        assert all(isinstance(k, int) for k in loaded.chain_costs)
+
+    def test_pool_run_records_costs_too(self):
+        result = Campaign(small_spec(systems_per_cell=4)).run(workers=2)
+        assert len(result.chain_costs) == 4
+
+    def test_old_result_without_costs_still_loads(self, tmp_path):
+        result = Campaign(small_spec()).run(workers=1)
+        data = result.to_dict()
+        del data["chain_costs"]  # a pre-ISSUE-5 result file
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(data))
+        assert CampaignResult.load_json(path).chain_costs == {}
+
+
+class TestCheckpoint:
+    """ISSUE 5: periodic atomic checkpoints make real kills resumable."""
+
+    def test_checkpoint_is_valid_resume_input(self, tmp_path):
+        spec = small_spec()
+        full = Campaign(spec).run(workers=1)
+        ck = tmp_path / "ck.json"
+        Campaign(spec).run(workers=1, checkpoint=ck, checkpoint_every=2)
+        partial = CampaignResult.load_json(ck)
+        assert partial.truncated  # a checkpoint is a truncated view
+        assert 0 < len(partial.cells) <= len(full.cells)
+        resumed = Campaign(spec).run(workers=1, resume_from=partial)
+        assert resumed.metrics() == full.metrics()
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        ck = tmp_path / "ck.json"
+        Campaign(small_spec()).run(
+            workers=1, checkpoint=ck, checkpoint_every=1
+        )
+        assert ck.exists()
+        assert not ck.with_name(ck.name + ".tmp").exists()
+        CampaignResult.load_json(ck)  # parses cleanly
+
+    def test_checkpoint_during_resume_reports_reused_cells(self, tmp_path):
+        spec = small_spec()
+        partial = Campaign(spec).run(workers=1, max_cells=4)
+        ck = tmp_path / "ck.json"
+        Campaign(spec).run(
+            workers=1, resume_from=partial, checkpoint=ck, checkpoint_every=2
+        )
+        # The reused batch is consumed (and may be checkpointed) first;
+        # the checkpoint must already carry its reused-cell provenance.
+        assert CampaignResult.load_json(ck).reused_cells == 4
+
+    def test_checkpoint_validation(self, tmp_path):
+        spec = small_spec()
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            Campaign(spec).run(workers=1, checkpoint=tmp_path / "c.json")
+        with pytest.raises(ValueError, match="collect"):
+            Campaign(spec).run(
+                workers=1,
+                checkpoint=tmp_path / "c.json",
+                checkpoint_every=2,
+                collect="none",
+                stream_csv=tmp_path / "s.csv",
+            )
+
+    @pytest.mark.dist
+    def test_pool_run_checkpoints_at_chunk_granularity(self, tmp_path):
+        spec = small_spec(systems_per_cell=4)
+        ck = tmp_path / "ck.json"
+        result = Campaign(spec).run(
+            workers=2, checkpoint=ck, checkpoint_every=1
+        )
+        partial = CampaignResult.load_json(ck)
+        assert len(partial.cells) <= len(result.cells)
+        assert partial.metrics() == result.metrics()[: len(partial.cells)]
+
+
 class TestResume:
     """ISSUE 2 satellite: --resume skips completed cells and merges."""
 

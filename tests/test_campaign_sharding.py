@@ -17,8 +17,11 @@ from repro.batch import (
     Campaign,
     CampaignResult,
     CampaignSpec,
+    chain_cost_estimates,
+    lpt_shard_chains,
     merge_campaign_results,
     parse_shard,
+    partition_chains,
     shard_chains,
 )
 from repro.cli import main as cli_main
@@ -82,6 +85,122 @@ class TestPartitionLaws:
         for bad in ("2/2", "1", "a/b", "1/0", "-1/3"):
             with pytest.raises(ValueError, match="shard"):
                 parse_shard(bad)
+
+
+class TestLptPartition:
+    """Cost-aware LPT sharding: partition laws + cost balance."""
+
+    @pytest.mark.parametrize("variant", [0, 1, 2])
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_exact_partition(self, variant, n):
+        spec = spec_variant(variant)
+        chains = Campaign(spec).chains()
+        shards = [
+            partition_chains(spec, chains, (k, n), partition="lpt")
+            for k in range(n)
+        ]
+        seen = sorted(c["index"] for shard in shards for c in shard)
+        assert seen == [c["index"] for c in chains]
+        for shard in shards:
+            indices = [c["index"] for c in shard]
+            assert indices == sorted(indices)  # canonical order kept
+
+    def test_skewed_costs_balance_better_than_counts(self):
+        """One chain 50x the rest: LPT isolates it; interleaving by
+        count would pair it with others on some shard."""
+        chains = [{"index": i, "seed": i, "point": {}, "replicate": 0}
+                  for i in range(8)]
+        costs = [50.0] + [1.0] * 7
+        shards = [lpt_shard_chains(chains, (k, 2), costs) for k in range(2)]
+        loads = [
+            sum(costs[c["index"]] for c in shard) for shard in shards
+        ]
+        # The heavy chain sits alone; everything else lands opposite.
+        assert sorted(loads) == [7.0, 50.0]
+
+    def test_manifest_costs_drive_the_assignment(self):
+        spec = spec_variant(0)
+        chains = Campaign(spec).chains()
+        flat = chain_cost_estimates(spec, chains)
+        assert len(set(flat)) == 1  # homogeneous grid -> proxy is flat
+        manifest = {c["index"]: 1.0 for c in chains}
+        manifest[chains[2]["index"]] = 100.0
+        weighted = chain_cost_estimates(spec, chains, manifest)
+        assert weighted[2] == 100.0
+        # A chain missing from the manifest gets the mean recorded cost.
+        del manifest[chains[0]["index"]]
+        patched = chain_cost_estimates(spec, chains, manifest)
+        assert patched[0] == pytest.approx(
+            sum(manifest.values()) / len(manifest)
+        )
+
+    def test_deterministic_and_validated(self):
+        spec = spec_variant(1)
+        chains = Campaign(spec).chains()
+        a = [c["index"] for c in partition_chains(
+            spec, chains, (1, 3), partition="lpt")]
+        b = [c["index"] for c in partition_chains(
+            spec, chains, (1, 3), partition="lpt")]
+        assert a == b
+        with pytest.raises(ValueError, match="partition"):
+            partition_chains(spec, chains, (0, 2), partition="rand")
+        with pytest.raises(ValueError, match="0 <= k < n"):
+            lpt_shard_chains(chains, (3, 3), [1.0] * len(chains))
+        with pytest.raises(ValueError, match="costs"):
+            lpt_shard_chains(chains, (0, 2), [1.0])
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_union_bit_identical_with_recorded_costs(self, n):
+        """The full LPT loop: record chain_costs, feed them back as the
+        manifest, union across shards == unsharded run."""
+        spec = spec_variant(2)
+        full = Campaign(spec).run(workers=1)
+        assert set(full.chain_costs) == {
+            c["index"] for c in Campaign(spec).chains()
+        }
+        parts = [
+            Campaign(spec).run(
+                workers=1, shard=(k, n), partition="lpt",
+                cost_manifest=full.chain_costs,
+            )
+            for k in range(n)
+        ]
+        merged = merge_campaign_results(parts)
+        assert merged.metrics() == full.metrics()
+        # The merged union re-assembles the full cost manifest too.
+        assert set(merged.chain_costs) == set(full.chain_costs)
+
+    def test_cli_lpt_shards_merge_to_full(self, tmp_path):
+        args = [
+            "campaign",
+            "--grid", "utilization=0.3,0.6,0.9",
+            "--transactions", "2",
+            "--tasks", "1,2",
+            "--systems", "3",
+        ]
+        full_json = tmp_path / "full.json"
+        assert cli_main(args + ["--json", str(full_json)]) == 0
+        shard_paths = []
+        for k in range(2):
+            path = tmp_path / f"lpt{k}.json"
+            rc = cli_main(
+                args
+                + ["--shard", f"{k}/2", "--partition", "lpt",
+                   "--cost-manifest", str(full_json),
+                   "--json", str(path)]
+            )
+            assert rc == 0
+            shard_paths.append(path)
+        merged_json = tmp_path / "merged.json"
+        rc = cli_main(
+            ["campaign-merge", *map(str, shard_paths),
+             "--json", str(merged_json), "--quiet"]
+        )
+        assert rc == 0
+        assert (
+            CampaignResult.load_json(merged_json).metrics()
+            == CampaignResult.load_json(full_json).metrics()
+        )
 
 
 class TestShardUnion:

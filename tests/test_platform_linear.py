@@ -59,6 +59,7 @@ class TestLinearSupplyPlatform:
             assert p.zmax(t) == p.linear_upper(t)
 
     def test_sample_vectorized(self):
+        pytest.importorskip("numpy")
         p = LinearSupplyPlatform(0.5, 1.0, 0.5)
         zs = p.sample_zmin([0.0, 1.0, 3.0])
         assert zs.tolist() == [0.0, 0.0, 1.0]

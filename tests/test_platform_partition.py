@@ -78,7 +78,7 @@ class TestSupplyFunctions:
 class TestLinearBounds:
     def test_envelopes_hold(self):
         p = StaticPartitionPlatform([(1.0, 1.5), (6.0, 1.0)], cycle=8.0)
-        import numpy as np
+        np = pytest.importorskip("numpy")
 
         for t in np.linspace(0.01, 40.0, 300):
             t = float(t)

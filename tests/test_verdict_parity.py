@@ -338,6 +338,100 @@ class TestPrefilters:
         assert delta.ceiling_exits > 0
 
 
+class TestBusyLengthCeiling:
+    """ISSUE 5 satellite: the busy-period *length* loop aborts under a
+    verdict ceiling too.
+
+    Near-saturated levels used to pay the whole busy-length solve before
+    the first completion iterate could imply a miss; the verdict path now
+    solves completions incrementally as busy iterates widen the window,
+    so the first-job miss aborts the scenario almost immediately.  A long
+    busy period alone proves nothing (late interference can stretch it
+    with every deadline met), which is why the abort still rides on
+    completion iterates -- these pins check the counters, the soundness
+    direction and the evaluation savings.
+    """
+
+    @staticmethod
+    def _scenario(util: float):
+        from repro.analysis._scenario import solve_scenario
+        from repro.analysis.busy import AnalyzedTask
+
+        analyzed = AnalyzedTask(
+            txn=0, idx=0, period=10.0, deadline=10.0, phi=0.0, jitter=0.0,
+            cost=1.0, blocking=0.0, delay=0.0, priority=1, platform=0,
+        )
+        step = 10.0 * util - 1.0  # own task contributes 0.1
+
+        def interference(t: float) -> float:
+            return step * math.ceil(max(t, 0.0) / 10.0)
+
+        return solve_scenario, analyzed, interference
+
+    def test_saturated_scenario_aborts_before_busy_converges(self):
+        solve, analyzed, interference = self._scenario(util=1.005)
+        before = fixed_point_stats()
+        exact = solve(analyzed, 0.0, interference, bound=1e4)
+        d_exact = fixed_point_stats().delta(before)
+        assert exact.response == float("inf")
+        assert d_exact.diverged == 1  # exact pays the walk to the bound
+        assert exact.evaluations > 100
+
+        before = fixed_point_stats()
+        fast = solve(
+            analyzed, 0.0, interference, bound=1e4, response_ceiling=10.0
+        )
+        delta = fixed_point_stats().delta(before)
+        assert fast.response == float("inf")  # same verdict
+        assert delta.ceiling_exits == 1
+        assert delta.diverged == 0  # a ceiling exit is not a divergence
+        # The counter pin: the whole scenario costs a handful of
+        # evaluations instead of the 100+ busy-length walk above.
+        assert fast.evaluations < 10
+
+    def test_schedulable_scenario_identical_to_exact(self):
+        solve, analyzed, interference = self._scenario(util=0.5)
+        exact = solve(analyzed, 0.0, interference, bound=1e4)
+        fast = solve(
+            analyzed, 0.0, interference, bound=1e4, response_ceiling=10.0
+        )
+        assert exact.response <= 10.0
+        # No abort fires, and the interleaved order solves the same jobs
+        # through the same iterate sequences: outcome identical.
+        assert fast == exact
+
+    def test_interference_stretched_busy_period_keeps_parity(self):
+        """The unsound shortcut this satellite must NOT take: a busy
+        period stretched past the deadline horizon purely by *later*
+        interference, while the single own job is long done.  The verdict
+        path must still report the exact (schedulable) response."""
+        from repro.analysis._scenario import solve_scenario
+        from repro.analysis.busy import AnalyzedTask
+
+        analyzed = AnalyzedTask(
+            txn=0, idx=0, period=1000.0, deadline=100.0, phi=0.0,
+            jitter=0.0, cost=1.0, blocking=0.0, delay=0.0, priority=1,
+            platform=0,
+        )
+
+        def interference(t: float) -> float:
+            # A burst at t=2 (after the own job completed at 1.0) chains
+            # the busy period out to ~90: longer than deadline+response
+            # yet perfectly schedulable.
+            total = 0.0
+            for arrival in (2.0, 30.0, 60.0):
+                if t > arrival:
+                    total += 29.0
+            return total
+
+        exact = solve_scenario(analyzed, 0.0, interference, bound=1e6)
+        fast = solve_scenario(
+            analyzed, 0.0, interference, bound=1e6, response_ceiling=100.0
+        )
+        assert exact.response == 1.0  # the own job finished long before
+        assert fast == exact  # no false miss from the long busy period
+
+
 class TestIterateCeiling:
     """The generalized ceiling of the shared fixed-point iterator."""
 
