@@ -28,6 +28,13 @@ ISSUE 4 addition:
   baseline.  Verdicts are asserted identical cell for cell; the
   acceptance criterion is >= 3x systems/sec.
 
+ISSUE 6 addition:
+
+* ``result_store`` -- the reference sweep cold (filling a fresh
+  content-addressed store) vs fully warmed (every cell served from
+  disk), both asserted bit-identical to the storeless run.  Non-gating:
+  the warm/cold ratio depends on disk latency, not on this code.
+
 The acceptance criterion of ISSUE 2 is >=2x systems/sec over PR 1's
 ``gs_warm_cached`` run on this same sweep; PR 1's recorded numbers are
 pinned in ``PR1_REFERENCE`` below (they were re-measured against PR 1's
@@ -335,6 +342,56 @@ def _measure_verdict_mode(spec: CampaignSpec) -> dict:
     }
 
 
+def _measure_result_store(spec: CampaignSpec) -> dict:
+    """Cold-vs-warmed reference sweep through the content-addressed store.
+
+    The cold run fills a fresh store (paying the put overhead on top of
+    every solve); the warmed rerun serves every cell from disk.  Both
+    must stay bit-identical to the storeless run; the interesting number
+    is ``warm_vs_cold`` -- how much a fully warmed store compresses the
+    sweep (non-gating: it depends on disk latency).
+    """
+    import shutil
+    import tempfile
+
+    from repro.batch import ResultStore
+
+    campaign = Campaign(spec)
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        store = ResultStore(root)
+        reference = campaign.run(workers=1)
+        t0 = time.perf_counter()
+        cold = campaign.run(workers=1, store=store)
+        cold_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = campaign.run(workers=1, store=store)
+        warm_wall = time.perf_counter() - t0
+        assert cold.metrics() == reference.metrics()
+        assert warm.metrics() == reference.metrics()
+        n = spec.n_analyses()
+        assert cold.store_hits == 0 and cold.store_misses == n
+        assert warm.store_hits == n and warm.store_misses == 0
+        stats = store.stats()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cold": {
+            "wall_time_s": cold_wall,
+            "systems_per_second": cold.n_systems / cold_wall,
+            "store_misses": cold.store_misses,
+        },
+        "warm": {
+            "wall_time_s": warm_wall,
+            "systems_per_second": warm.n_systems / warm_wall,
+            "store_hits": warm.store_hits,
+        },
+        "warm_vs_cold": cold_wall / warm_wall,
+        "entries": stats.entries,
+        "store_bytes": stats.bytes,
+    }
+
+
 def _measure_wide_view() -> dict:
     """Vector-vs-scalar kernel on the wide-view preset (ROADMAP item)."""
     kernels = {
@@ -451,6 +508,11 @@ def run_bench(*, gating: bool = True, out_path: Path = BENCH_JSON) -> dict:
         assert verdict_mode["verdict_vs_exact"] >= 3.0, verdict_mode
     assert verdict_mode["verdict"]["inferred_cells"] > 0, verdict_mode
 
+    # ISSUE 6: cold-vs-warmed reference sweep through the result store.
+    # Deliberately non-gating on the speedup ratio -- serving from disk
+    # always beats solving, but by a disk-latency-dependent factor.
+    result_store = _measure_result_store(_spec("gauss_seidel", True))
+
     for run in runs.values():
         del run["schedulable"]  # bulky and redundant once cross-checked
     payload = {
@@ -470,6 +532,7 @@ def run_bench(*, gating: bool = True, out_path: Path = BENCH_JSON) -> dict:
         "collection": collection,
         "wide_view": wide_view,
         "verdict_mode": verdict_mode,
+        "result_store": result_store,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -539,6 +602,8 @@ def main(argv=None) -> int:
             "sharding_aggregate_speedup":
                 payload["sharding"]["aggregate_speedup"],
             "verdict_vs_exact": payload["verdict_mode"]["verdict_vs_exact"],
+            "result_store_warm_vs_cold":
+                payload["result_store"]["warm_vs_cold"],
             "written": str(Path(args.out)),
         },
         indent=2,

@@ -27,7 +27,15 @@ results through a ``multiprocessing.shared_memory`` ring
 deployment unattended: over-partitioned shards on a work-stealing queue
 of subprocess slots, cost-aware ``lpt`` partitions fed by the
 ``chain_costs`` every result records, fault-tolerant relaunch-with-resume
-and auto-merge (``python -m repro campaign-dispatch``).
+and streaming auto-merge (``python -m repro campaign-dispatch``).
+
+Cross-run reuse comes from the content-addressed result store:
+:mod:`repro.batch.canonical` hashes analysis inputs (system content,
+campaign execution context, analysis config) into stable identities, and
+:mod:`repro.batch.store` persists solved cells under those identities, so
+``Campaign.run(store=...)`` / ``--store DIR`` serves already-solved cells
+from disk -- bit-identically to solving them -- and only pays for what no
+previous run covered.
 
 The CLI front end is ``python -m repro campaign``.
 """
@@ -41,11 +49,21 @@ from repro.batch.methods import (
     reseed_jitters,
     resolve_method,
 )
+from repro.batch.canonical import (
+    analysis_config_hash,
+    campaign_config_hash,
+    canonical_json,
+    content_hash,
+    spec_hash,
+    system_hash,
+)
+from repro.batch.store import ResultStore, StoreKey, StoreStats
 from repro.batch.campaign import (
     Campaign,
     CampaignResult,
     CampaignSpec,
     CellResult,
+    StreamingMerger,
     available_generators,
     chain_cost_estimates,
     linspace_levels,
@@ -77,10 +95,18 @@ __all__ = [
     "LocalBackend",
     "MethodInfo",
     "MethodOutcome",
+    "ResultStore",
     "SshBackend",
+    "StoreKey",
+    "StoreStats",
+    "StreamingMerger",
+    "analysis_config_hash",
     "available_generators",
     "available_methods",
+    "campaign_config_hash",
+    "canonical_json",
     "chain_cost_estimates",
+    "content_hash",
     "holistic_method",
     "linspace_levels",
     "load_cost_manifest",
@@ -94,4 +120,6 @@ __all__ = [
     "resolve_method",
     "run_campaign",
     "shard_chains",
+    "spec_hash",
+    "system_hash",
 ]

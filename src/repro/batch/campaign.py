@@ -71,7 +71,9 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.analysis.busy import clear_phase_cache, phase_cache_stats
+from repro.batch.canonical import campaign_config_hash, system_hash
 from repro.batch.methods import reseed_jitters, resolve_method
+from repro.batch.store import ResultStore, StoreKey
 from repro.gen import RandomSystemSpec, random_system
 from repro.model.system import TransactionSystem
 from repro.util.fixedpoint import fixed_point_stats
@@ -83,6 +85,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CellResult",
+    "StreamingMerger",
     "available_generators",
     "chain_cost_estimates",
     "linspace_levels",
@@ -652,6 +655,12 @@ class CampaignResult:
     #: back to the pickle path while ``collect="shm"`` was active.
     shm_records: int = 0
     shm_overflow: int = 0
+    #: Cells served from / solved past the content-addressed result store
+    #: (:mod:`repro.batch.store`).  Both stay 0 when no store was passed;
+    #: with a store, ``store_hits + store_misses`` covers every
+    #: non-``reused`` cell of the run.
+    store_hits: int = 0
+    store_misses: int = 0
     #: True when ``max_cells`` cut the run short (simulated kill).
     truncated: bool = False
     #: Recorded wall seconds per chain index (sum of cell ``time_s`` over
@@ -773,6 +782,10 @@ class CampaignResult:
                 "solves": self.reseed_solves,
                 "evaluations": self.reseed_evaluations,
             },
+            "store": {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+            },
             "phase_cache": {
                 "hits": hits,
                 "misses": misses,
@@ -814,6 +827,8 @@ class CampaignResult:
             "reseed_evaluations": self.reseed_evaluations,
             "shm_records": self.shm_records,
             "shm_overflow": self.shm_overflow,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
             "truncated": self.truncated,
             "chain_costs": {str(k): v for k, v in self.chain_costs.items()},
             "cells": [c.to_dict() for c in self.cells],
@@ -834,6 +849,8 @@ class CampaignResult:
             reseed_evaluations=int(data.get("reseed_evaluations", 0)),
             shm_records=int(data.get("shm_records", 0)),
             shm_overflow=int(data.get("shm_overflow", 0)),
+            store_hits=int(data.get("store_hits", 0)),
+            store_misses=int(data.get("store_misses", 0)),
             truncated=bool(data.get("truncated", False)),
             chain_costs={
                 int(k): float(v)
@@ -846,12 +863,19 @@ class CampaignResult:
 
         A kill between open and close must never leave a half-written
         JSON at *path*: the dispatcher (and any ``--resume`` consumer)
-        treats whatever sits there as a valid partial result.
+        treats whatever sits there as a valid partial result.  The temp
+        file is flushed and fsynced *before* the rename -- without that,
+        a crash after ``os.replace`` but before the data hits disk could
+        leave an empty-but-renamed file at *path* that a resume (or the
+        result store) would trust.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.to_dict(), indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         return path
 
@@ -933,6 +957,11 @@ class CampaignResult:
                 f"\nshm collection: {self.shm_records} records, "
                 f"{self.shm_overflow} pickle fallbacks"
             )
+        if self.store_hits or self.store_misses:
+            footer += (
+                f"\nresult store: {self.store_hits} cells served, "
+                f"{self.store_misses} solved and stored"
+            )
         title = (
             f"campaign: generator={self.spec.get('generator')} "
             f"seed={self.spec.get('seed')}"
@@ -968,6 +997,141 @@ def _csv_value(value: Any) -> Any:
     return value
 
 
+class StreamingMerger:
+    """Incremental union of shard (or partial) results of one spec.
+
+    The dispatcher folds each shard result in as the shard completes and
+    drops the shard object immediately, so dispatched peak memory is the
+    accumulated cell index plus *one* shard JSON -- not every shard JSON
+    at once.  :func:`merge_campaign_results` is the convenience wrapper
+    folding a ready-made sequence through the same machinery.
+
+    Validation semantics match the historical batch merge: every added
+    result must carry the identical spec dict (any difference raises
+    :class:`ValueError`), sharded inputs must agree on the shard count
+    and not repeat an index, and no cell identity may appear twice.
+    :meth:`finish` reorders the union into the canonical chain-plan
+    order and rejects leftovers that belong to no cell of the spec.
+    The fold is order-insensitive: ``wall_time_s``/``workers`` are
+    running maxima (the concurrent-hosts reading: shards run side by
+    side, the union is ready when the slowest shard is), counters are
+    running sums, and the canonical order is recomputed at the end --
+    so shards may arrive in any completion order.
+    """
+
+    def __init__(self, spec: dict | None = None):
+        #: Locked on construction or by the first :meth:`add`.
+        self._spec: dict | None = dict(spec) if spec is not None else None
+        self._index: dict[tuple, CellResult] = {}
+        self._shards: list[tuple[int, int]] = []
+        self._added = 0
+        self._workers = 0
+        self._wall = 0.0
+        self._streamed = 0
+        self._reused = 0
+        self._reseed_solves = 0
+        self._reseed_evaluations = 0
+        self._shm_records = 0
+        self._shm_overflow = 0
+        self._store_hits = 0
+        self._store_misses = 0
+        self._truncated = False
+        self._chain_costs: dict[int, float] = {}
+
+    def add(self, result: CampaignResult) -> None:
+        """Fold one result into the union (validating spec and overlap)."""
+        if self._spec is None:
+            self._spec = result.spec
+        elif result.spec != self._spec:
+            differing = sorted(
+                k
+                for k in set(self._spec) | set(result.spec)
+                if self._spec.get(k) != result.spec.get(k)
+            )
+            raise ValueError(
+                f"result {self._added} has an incompatible spec: "
+                f"{', '.join(differing)} differ"
+            )
+        if result.shard:
+            k, n = int(result.shard[0]), int(result.shard[1])
+            counts = {n0 for _, n0 in self._shards} | {n}
+            if len(counts) > 1:
+                raise ValueError(f"shard counts differ: {sorted(counts)}")
+            if any(k0 == k for k0, _ in self._shards):
+                raise ValueError(
+                    f"duplicate shard index {k} among the inputs"
+                )
+            self._shards.append((k, n))
+        for c in result.cells:
+            key = _cell_identity(c.params, c.seed, c.method)
+            if key in self._index:
+                raise ValueError(
+                    f"overlapping cell in merge: seed={c.seed} "
+                    f"method={c.method!r} params={c.params!r}"
+                )
+            self._index[key] = c
+        self._added += 1
+        self._workers = max(self._workers, result.workers)
+        self._wall = max(self._wall, result.wall_time_s)
+        self._streamed += result.streamed_cells
+        self._reused += result.reused_cells
+        self._reseed_solves += result.reseed_solves
+        self._reseed_evaluations += result.reseed_evaluations
+        self._shm_records += result.shm_records
+        self._shm_overflow += result.shm_overflow
+        self._store_hits += result.store_hits
+        self._store_misses += result.store_misses
+        self._truncated = self._truncated or result.truncated
+        for idx, cost in result.chain_costs.items():
+            self._chain_costs[idx] = self._chain_costs.get(idx, 0.0) + cost
+
+    def finish(self) -> CampaignResult:
+        """The merged result, cells in canonical chain-plan order."""
+        if self._spec is None:
+            raise ValueError("need at least one result to merge")
+        # Canonical order comes from the spec's chain plan alone (no
+        # registry lookups, so results of custom generators merge in any
+        # process).  Missing cells are allowed: a merge of an incomplete
+        # shard set is itself a valid ``resume_from`` input.
+        merged_spec = CampaignSpec.from_dict(self._spec)
+        index = self._index
+        ordered: list[CellResult] = []
+        for chain in merged_spec.chains():
+            for step in range(len(merged_spec.sweep_values())):
+                params = _jsonify(
+                    _chain_point_params(merged_spec, chain["point"], step)
+                )
+                for name in merged_spec.methods:
+                    cell = index.pop(
+                        _cell_identity(params, chain["seed"], name), None
+                    )
+                    if cell is not None:
+                        ordered.append(cell)
+        if index:
+            raise ValueError(
+                f"{len(index)} cells do not belong to the merged spec "
+                "(stale grid values or a foreign result file?)"
+            )
+        return CampaignResult(
+            spec=self._spec,
+            cells=ordered,
+            workers=self._workers,
+            wall_time_s=self._wall,
+            streamed_cells=self._streamed,
+            reused_cells=self._reused,
+            shard=None,
+            reseed_solves=self._reseed_solves,
+            reseed_evaluations=self._reseed_evaluations,
+            shm_records=self._shm_records,
+            shm_overflow=self._shm_overflow,
+            store_hits=self._store_hits,
+            store_misses=self._store_misses,
+            truncated=self._truncated
+            and len(ordered) < merged_spec.n_analyses(),
+            chain_costs=dict(sorted(self._chain_costs.items())),
+        )
+
+
 def merge_campaign_results(
     results: Sequence[CampaignResult],
 ) -> CampaignResult:
@@ -984,86 +1148,16 @@ def merge_campaign_results(
 
     ``wall_time_s``/``workers`` are the maxima over the inputs (the
     concurrent-hosts reading: shards run side by side, the union is ready
-    when the slowest shard is); the counter fields are summed.
+    when the slowest shard is); the counter fields are summed.  This is
+    the batch wrapper over :class:`StreamingMerger`, which the dispatcher
+    uses directly to fold shard results one at a time.
     """
     if not results:
         raise ValueError("need at least one result to merge")
-    spec = results[0].spec
-    for idx, r in enumerate(results[1:], start=1):
-        if r.spec != spec:
-            differing = sorted(
-                k
-                for k in set(spec) | set(r.spec)
-                if spec.get(k) != r.spec.get(k)
-            )
-            raise ValueError(
-                f"result {idx} has an incompatible spec: "
-                f"{', '.join(differing)} differ"
-            )
-    shards = [tuple(r.shard) for r in results if r.shard]
-    if len({n for _, n in shards}) > 1:
-        raise ValueError(
-            f"shard counts differ: {sorted({n for _, n in shards})}"
-        )
-    seen_k = [k for k, _ in shards]
-    if len(set(seen_k)) < len(seen_k):
-        dup = sorted(k for k in set(seen_k) if seen_k.count(k) > 1)
-        raise ValueError(f"duplicate shard index {dup[0]} among the inputs")
-
-    index: dict[tuple, CellResult] = {}
-    for r in results:
-        for c in r.cells:
-            key = _cell_identity(c.params, c.seed, c.method)
-            if key in index:
-                raise ValueError(
-                    f"overlapping cell in merge: seed={c.seed} "
-                    f"method={c.method!r} params={c.params!r}"
-                )
-            index[key] = c
-
-    # Canonical order comes from the spec's chain plan alone (no registry
-    # lookups, so results of custom generators merge in any process).
-    merged_spec = CampaignSpec.from_dict(spec)
-    ordered: list[CellResult] = []
-    for chain in merged_spec.chains():
-        for step in range(len(merged_spec.sweep_values())):
-            params = _jsonify(
-                _chain_point_params(merged_spec, chain["point"], step)
-            )
-            for name in merged_spec.methods:
-                cell = index.pop(
-                    _cell_identity(params, chain["seed"], name), None
-                )
-                if cell is not None:
-                    ordered.append(cell)
-    if index:
-        raise ValueError(
-            f"{len(index)} cells do not belong to the merged spec "
-            "(stale grid values or a foreign result file?)"
-        )
-    # Chain costs are additive wall time: two partial results of one chain
-    # (a truncated prefix plus its resumed suffix) each carry the seconds
-    # they actually spent, so the union sums per chain index.
-    chain_costs: dict[int, float] = {}
-    for r in results:
-        for idx, cost in r.chain_costs.items():
-            chain_costs[idx] = chain_costs.get(idx, 0.0) + cost
-    return CampaignResult(
-        spec=spec,
-        cells=ordered,
-        workers=max(r.workers for r in results),
-        wall_time_s=max(r.wall_time_s for r in results),
-        streamed_cells=sum(r.streamed_cells for r in results),
-        reused_cells=sum(r.reused_cells for r in results),
-        shard=None,
-        reseed_solves=sum(r.reseed_solves for r in results),
-        reseed_evaluations=sum(r.reseed_evaluations for r in results),
-        shm_records=sum(r.shm_records for r in results),
-        shm_overflow=sum(r.shm_overflow for r in results),
-        truncated=any(r.truncated for r in results)
-        and len(ordered) < merged_spec.n_analyses(),
-        chain_costs=dict(sorted(chain_costs.items())),
-    )
+    merger = StreamingMerger()
+    for result in results:
+        merger.add(result)
+    return merger.finish()
 
 
 # --------------------------------------------------------------------------
@@ -1148,7 +1242,87 @@ def _inferred_cell(
     }
 
 
-def _run_chain_sweep(spec: CampaignSpec, chain: dict) -> list[dict]:
+#: Warm-start placeholder for a method whose previous cell was *served*
+#: from the result store: the converged jitter vector exists (the stored
+#: ``warm`` flag says the original solve produced one) but was never
+#: serialized.  The next actual solve lazily recovers it with
+#: :func:`~repro.batch.methods.reseed_jitters` against the level it was
+#: converged at -- the converged vector is the least fixed point, so the
+#: recovery reproduces it exactly (the same argument chain-prefix resume
+#: rests on) and the downstream cells stay bit-identical.
+_STALE_WARM: Any = object()
+
+#: Cell fields a store entry must carry to be servable (everything of a
+#: tagged cell except the identity fields the key already determines).
+_STORED_CELL_FIELDS = (
+    "schedulable",
+    "converged",
+    "outer_iterations",
+    "evaluations",
+    "warm_started",
+    "max_wcrt_ratio",
+    "time_s",
+    "phase_cache_hits",
+    "phase_cache_misses",
+    "extras",
+)
+
+
+def _store_payload(cell: dict, warm_available: bool) -> dict:
+    """The store value for one tagged cell's ``cell`` dict.
+
+    ``warm`` records whether the solve produced a converged jitter
+    vector (a warm start for the next level); it is stored explicitly
+    because the vector itself is never serialized and no stored field
+    implies its existence.
+    """
+    return {
+        "cell": {k: cell[k] for k in _STORED_CELL_FIELDS},
+        "warm": bool(warm_available),
+    }
+
+
+def _store_entry(store: ResultStore, key: StoreKey) -> dict | None:
+    """A validated store entry, or ``None`` (missing or malformed)."""
+    payload = store.get(key)
+    if payload is None:
+        return None
+    cell = payload.get("cell")
+    if not isinstance(cell, dict) or any(
+        f not in cell for f in _STORED_CELL_FIELDS
+    ):
+        return None
+    return {"cell": cell, "warm": bool(payload.get("warm"))}
+
+
+def _served_cell(
+    spec: CampaignSpec,
+    chain: dict,
+    step: int,
+    m_idx: int,
+    name: str,
+    entry: dict,
+) -> dict:
+    """Tagged cell rebuilt from a store entry plus its chain context.
+
+    Identity fields (params/seed/replicate/method) come from the chain
+    plan, not the entry -- the store key only guarantees *content*
+    identity, and the canonical identity must match this spec's cells
+    bit for bit.
+    """
+    cell = {
+        "params": _jsonify(_chain_point_params(spec, chain["point"], step)),
+        "seed": chain["seed"],
+        "replicate": chain["replicate"],
+        "method": name,
+    }
+    cell.update(entry["cell"])
+    return {"order": (chain["index"], step, m_idx), "cell": cell}
+
+
+def _run_chain_sweep(
+    spec: CampaignSpec, chain: dict, store: ResultStore | None = None
+) -> tuple[list[dict], int]:
     """The ascending warm-start walk over one chain's sweep levels.
 
     When ``chain["resume_step"]`` is set (chain-prefix resume), sweep
@@ -1164,13 +1338,26 @@ def _run_chain_sweep(spec: CampaignSpec, chain: dict) -> list[dict]:
     chain from -- the converged jitters are the least fixed point, so the
     re-solve hands the suffix exactly the vector the original run would
     have.
+
+    With a *store*, each sweep step first consults the content-addressed
+    result store.  Serving is all-or-nothing per step: the methods of
+    one step share a phase cache (cleared once per step), so a later
+    method's hit/miss accounting depends on the earlier methods having
+    actually run -- serving a step partially would change the solved
+    cells' accounting and break the bit-identical-rerun guarantee.  A
+    fully-stored step is emitted verbatim; a warm-start vector consumed
+    by a later solved step is recovered lazily via :data:`_STALE_WARM`.
+    Returns ``(tagged cells, store hits)``.
     """
     point: dict[str, Any] = chain["point"]
     seed: int = chain["seed"]
     resume_step: int = int(chain.get("resume_step", 0))
 
-    warm: dict[str, dict | None] = {m: None for m in spec.methods}
+    warm: dict[str, Any] = {m: None for m in spec.methods}
     out: list[dict] = []
+    hits = 0
+    cfg_hash = campaign_config_hash(spec) if store is not None else ""
+    prev_system: TransactionSystem | None = None
     scaler = (
         GENERATOR_SWEEP_SCALERS.get(spec.generator)
         if spec.sweep_axis is not None
@@ -1203,23 +1390,58 @@ def _run_chain_sweep(spec: CampaignSpec, chain: dict) -> list[dict]:
             if spec.warm_start:
                 for name in spec.methods:
                     warm[name] = reseed_jitters(name, system)
+            prev_system = system
+            continue
+        keys: dict[str, StoreKey] | None = None
+        entries: list[dict] | None = None
+        if store is not None:
+            sys_hash = system_hash(system)
+            level = _jsonify(sweep_value)
+            keys = {
+                name: StoreKey(sys_hash, cfg_hash, level, name)
+                for name in spec.methods
+            }
+            found = [_store_entry(store, keys[name]) for name in spec.methods]
+            if all(e is not None for e in found):
+                entries = found
+        if entries is not None:
+            for m_idx, name in enumerate(spec.methods):
+                out.append(
+                    _served_cell(spec, chain, step, m_idx, name,
+                                 entries[m_idx])
+                )
+                warm[name] = _STALE_WARM if entries[m_idx]["warm"] else None
+            hits += len(spec.methods)
+            prev_system = system
             continue
         for m_idx, name in enumerate(spec.methods):
             info = resolve_method(name)
-            warm_vector = (
-                warm[name]
-                if (spec.warm_start and info.supports_warm_start)
-                else None
-            )
+            warm_vector = None
+            if spec.warm_start and info.supports_warm_start:
+                if warm[name] is _STALE_WARM:
+                    # The previous step was served, so the vector its solve
+                    # would have produced was never materialized; recover
+                    # it from that step's system (prev_system).
+                    warm[name] = reseed_jitters(name, prev_system)
+                warm_vector = warm[name]
             outcome, tagged = _analyze_cell(
                 spec, chain, step, m_idx, name, info.fn, system, warm_vector
             )
             warm[name] = outcome.jitters
             out.append(tagged)
-    return out
+            if store is not None and keys is not None:
+                store.put(
+                    keys[name],
+                    _store_payload(tagged["cell"],
+                                   outcome.jitters is not None),
+                )
+        prev_system = system
+    return out, hits
 
 
-def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
+def _run_chain_pruned(
+    spec: CampaignSpec, chain: dict, store: ResultStore | None = None
+) -> tuple[list[dict], int] | None:
     """Monotone-level-pruned execution of one chain (verdict methods).
 
     Along a warm-start chain every sweep level is the *same* drawn system
@@ -1242,6 +1464,19 @@ def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
     factor, where larger values make systems easier -- would invert the
     direction and the bisection invariant with it, so any other axis
     falls back to the ascending walk too.
+
+    With a *store*, serving is per cell (every pruned-path solve clears
+    the phase cache itself, so cells are accounting-independent), but
+    only for *from-scratch* chains: a resumed bisection covers a
+    resume-dependent level subset with resume-dependent inference
+    witnesses, so its cells are not scratch-canonical and must neither
+    serve from nor seed the store.  Each monotone method first checks
+    whether the *whole* chain is stored (the fully-warm fast path -- it
+    serves solved and inferred cells alike, which is what makes a warm
+    rerun count ``store_hits == n_analyses``); otherwise bisection
+    probes serve individually and solved probes (plus the final inferred
+    cells) are written back.  Returns ``(tagged cells, store hits)`` or
+    ``None`` for the fallback.
     """
     scaler = GENERATOR_SWEEP_SCALERS.get(spec.generator)
     if scaler is None or spec.sweep_axis != "utilization":
@@ -1265,10 +1500,33 @@ def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
             return None
         systems.append(scaled)
 
+    use_store = store is not None and resume_step == 0
+    cfg_hash = campaign_config_hash(spec) if use_store else ""
+    sys_hashes: list[str | None] = [None] * n_steps
+
+    def key_for(step: int, name: str) -> StoreKey:
+        if sys_hashes[step] is None:
+            sys_hashes[step] = system_hash(systems[step])
+        return StoreKey(
+            sys_hashes[step], cfg_hash, _jsonify(sweep_values[step]), name
+        )
+
     out: list[dict] = []
+    hits = 0
     for m_idx, name in enumerate(spec.methods):
         info = resolve_method(name)
-        warm: dict | None = None
+        looked: dict[int, dict | None] = {}
+
+        def lookup(step: int) -> dict | None:
+            if not use_store:
+                return None
+            if step not in looked:
+                looked[step] = _store_entry(store, key_for(step, name))
+            return looked[step]
+
+        warm: Any = None
+        #: Level whose served cell made ``warm`` stale (see _STALE_WARM).
+        stale_step: int | None = None
         if (
             resume_step > 0
             and spec.warm_start
@@ -1284,11 +1542,39 @@ def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
             )
 
         use_warm = spec.warm_start and info.supports_warm_start
+
+        if use_store:
+            entries = [lookup(step) for step in range(n_steps)]
+            if all(e is not None for e in entries):
+                for step, entry in enumerate(entries):
+                    out.append(
+                        _served_cell(spec, chain, step, m_idx, name, entry)
+                    )
+                hits += n_steps
+                continue
+
         if not info.verdict_monotone:
             for step in range(resume_step, n_steps):
+                entry = lookup(step)
+                if entry is not None:
+                    out.append(
+                        _served_cell(spec, chain, step, m_idx, name, entry)
+                    )
+                    hits += 1
+                    warm = _STALE_WARM if entry["warm"] else None
+                    stale_step = step
+                    continue
+                if use_warm and warm is _STALE_WARM:
+                    warm = reseed_jitters(name, systems[stale_step])
                 outcome, tagged = solve(step, warm if use_warm else None)
                 warm = outcome.jitters
                 out.append(tagged)
+                if use_store:
+                    store.put(
+                        key_for(step, name),
+                        _store_payload(tagged["cell"],
+                                       outcome.jitters is not None),
+                    )
             continue
 
         # Bisect [resume_step, n_steps) for the lowest unschedulable
@@ -1302,8 +1588,32 @@ def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
             hi = lo  # the reused prefix already contains a miss
         while lo < hi:
             mid = (lo + hi) // 2
+            entry = lookup(mid)
+            if entry is not None:
+                tagged = _served_cell(spec, chain, mid, m_idx, name, entry)
+                hits += 1
+                solved[mid] = tagged
+                if tagged["cell"]["schedulable"]:
+                    if entry["warm"]:
+                        # The vector this probe's solve would have handed
+                        # upward exists but was never serialized; recover
+                        # it lazily before the next actual solve.
+                        warm = _STALE_WARM
+                        stale_step = mid
+                    lo = mid + 1
+                else:
+                    hi = mid
+                continue
+            if use_warm and warm is _STALE_WARM:
+                warm = reseed_jitters(name, systems[stale_step])
             outcome, tagged = solve(mid, warm if use_warm else None)
             solved[mid] = tagged
+            if use_store:
+                store.put(
+                    key_for(mid, name),
+                    _store_payload(tagged["cell"],
+                                   outcome.jitters is not None),
+                )
             if tagged["cell"]["schedulable"]:
                 if outcome.jitters is not None:
                     warm = outcome.jitters
@@ -1314,12 +1624,11 @@ def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
         for step in range(resume_step, n_steps):
             if step in solved:
                 out.append(solved[step])
-            elif step < threshold:
-                out.append(
-                    _inferred_cell(
-                        spec, chain, step, m_idx, name, True,
-                        sweep_values[threshold - 1],
-                    )
+                continue
+            if step < threshold:
+                tagged = _inferred_cell(
+                    spec, chain, step, m_idx, name, True,
+                    sweep_values[threshold - 1],
                 )
             else:
                 witness = (
@@ -1327,40 +1636,57 @@ def _run_chain_pruned(spec: CampaignSpec, chain: dict) -> list[dict] | None:
                     if threshold in solved
                     else sweep_values[resume_step - 1]
                 )
-                out.append(
-                    _inferred_cell(
-                        spec, chain, step, m_idx, name, False, witness
-                    )
+                tagged = _inferred_cell(
+                    spec, chain, step, m_idx, name, False, witness
                 )
+            # Inferred cells are stored too: the fully-warm fast path
+            # above can then serve the complete chain without a single
+            # probe (they carry no warm vector, hence "warm": False).
+            if use_store:
+                store.put(
+                    key_for(step, name),
+                    _store_payload(tagged["cell"], False),
+                )
+            out.append(tagged)
     # Canonical (step, method) order: truncation (--max-cells) and the
     # streaming CSV then see whole levels complete in sweep order, exactly
     # like the ascending walk -- the invariant chain-prefix resume needs.
     out.sort(key=lambda item: item["order"])
-    return out
+    return out, hits
 
 
-def _run_chain(spec: CampaignSpec, chain: dict) -> dict:
+def _run_chain(
+    spec: CampaignSpec, chain: dict, store: ResultStore | None = None
+) -> dict:
     """Execute one warm-start chain.
 
     Returns ``{"cells": [tagged cell dicts], "reseed_solves": int,
-    "reseed_evaluations": int}``.  Chains whose spec includes a
-    verdict-monotone method take the pruned path (:func:`_run_chain_pruned`)
-    when the sweep levels are derivable from one base system; everything
-    else runs the ascending walk (:func:`_run_chain_sweep`).
+    "reseed_evaluations": int, "store_hits": int, "store_misses": int}``.
+    Chains whose spec includes a verdict-monotone method take the pruned
+    path (:func:`_run_chain_pruned`) when the sweep levels are derivable
+    from one base system; everything else runs the ascending walk
+    (:func:`_run_chain_sweep`).  With a *store*, emitted cells split into
+    served (``store_hits``) and solved-then-stored (``store_misses``);
+    without one both stay 0.
     """
     stats0 = fixed_point_stats()
     cells: list[dict] | None = None
+    hits = 0
     if spec.sweep_axis is not None and any(
         resolve_method(name).verdict_monotone for name in spec.methods
     ):
-        cells = _run_chain_pruned(spec, chain)
+        pruned = _run_chain_pruned(spec, chain, store)
+        if pruned is not None:
+            cells, hits = pruned
     if cells is None:
-        cells = _run_chain_sweep(spec, chain)
+        cells, hits = _run_chain_sweep(spec, chain, store)
     reseed_delta = fixed_point_stats().delta(stats0)
     return {
         "cells": cells,
         "reseed_solves": reseed_delta.reseed_solves,
         "reseed_evaluations": reseed_delta.reseed_evaluations,
+        "store_hits": hits,
+        "store_misses": len(cells) - hits if store is not None else 0,
     }
 
 
@@ -1557,23 +1883,32 @@ class _ShmArena:
             self.seg = None
 
 
-def _run_chunk(payload: tuple[dict, list[dict], dict | None]) -> dict:
+def _run_chunk(
+    payload: tuple[dict, list[dict], dict | None, str | None]
+) -> dict:
     """Worker entry point: a chunk is a list of chains.
 
     With a shared-memory region, finished cells are packed into it and
     only the overflow (plus the reseed accounting) returns through the
-    executor's pickle channel.
+    executor's pickle channel.  ``store_root`` (a path, not a live
+    object -- each worker opens its own handle) enables the
+    content-addressed result store for the chunk's chains.
     """
-    spec_dict, chains, shm_region = payload
+    spec_dict, chains, shm_region, store_root = payload
     spec = CampaignSpec.from_dict(spec_dict)
+    store = ResultStore(store_root) if store_root else None
     cells: list[dict] = []
     reseed_solves = 0
     reseed_evaluations = 0
+    store_hits = 0
+    store_misses = 0
     for chain in chains:
-        chain_out = _run_chain(spec, chain)
+        chain_out = _run_chain(spec, chain, store)
         cells.extend(chain_out["cells"])
         reseed_solves += chain_out["reseed_solves"]
         reseed_evaluations += chain_out["reseed_evaluations"]
+        store_hits += chain_out["store_hits"]
+        store_misses += chain_out["store_misses"]
     written = 0
     if shm_region is not None and cells:
         seg = None
@@ -1605,6 +1940,8 @@ def _run_chunk(payload: tuple[dict, list[dict], dict | None]) -> dict:
         "shm_written": written,
         "reseed_solves": reseed_solves,
         "reseed_evaluations": reseed_evaluations,
+        "store_hits": store_hits,
+        "store_misses": store_misses,
     }
 
 
@@ -1723,6 +2060,7 @@ class Campaign:
         shm_bytes: int = DEFAULT_SHM_BYTES,
         checkpoint: str | Path | None = None,
         checkpoint_every: int = 0,
+        store: ResultStore | str | Path | None = None,
     ) -> CampaignResult:
         """Execute the campaign and return a :class:`CampaignResult`.
 
@@ -1785,6 +2123,15 @@ class Campaign:
         checkpoint_every:
             Cells between checkpoint writes (required > 0 when
             *checkpoint* is set; checkpointing needs ``collect`` != none).
+        store:
+            A :class:`~repro.batch.store.ResultStore` (or its root
+            directory) memoizing solved cells *across* runs by content
+            hash: cells whose (system, execution context, level, method)
+            was solved before -- by this run, an earlier run, or another
+            shard sharing the store -- are served from disk, and freshly
+            solved cells are written back.  A store-warmed rerun is
+            bit-identical to a cold run (same cells, same canonical
+            order); only ``store_hits``/``store_misses`` differ.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -1807,6 +2154,13 @@ class Campaign:
                 raise ValueError("checkpoint requires checkpoint_every >= 1")
             if collect_mode == "none":
                 raise ValueError("checkpoint requires collect != 'none'")
+        if isinstance(store, ResultStore):
+            store_obj: ResultStore | None = store
+        elif store is not None:
+            store_obj = ResultStore(store)
+        else:
+            store_obj = None
+        store_root = str(store_obj.root) if store_obj is not None else None
         chains = self.chains()
         if shard is not None:
             chains = partition_chains(
@@ -1878,6 +2232,8 @@ class Campaign:
         reseed_evaluations = 0
         shm_records = 0
         shm_overflow = 0
+        store_hits = 0
+        store_misses = 0
 
         def snapshot_result(*, final: bool) -> CampaignResult:
             """The result as of now; checkpoints are truncated views."""
@@ -1894,6 +2250,8 @@ class Campaign:
                 reseed_evaluations=reseed_evaluations,
                 shm_records=shm_records,
                 shm_overflow=shm_overflow,
+                store_hits=store_hits,
+                store_misses=store_misses,
                 truncated=truncated if final else True,
                 chain_costs=_tagged_chain_costs(items),
             )
@@ -1937,9 +2295,11 @@ class Campaign:
                 pass
             elif workers == 1 or len(chains) <= 1:
                 for chain in chains:
-                    chain_out = _run_chain(self.spec, chain)
+                    chain_out = _run_chain(self.spec, chain, store_obj)
                     reseed_solves += chain_out["reseed_solves"]
                     reseed_evaluations += chain_out["reseed_evaluations"]
+                    store_hits += chain_out["store_hits"]
+                    store_misses += chain_out["store_misses"]
                     if not consume(chain_out["cells"]):
                         break
             else:
@@ -1963,6 +2323,7 @@ class Campaign:
                         spec_dict,
                         chunk,
                         arena.region_info(i) if arena is not None else None,
+                        store_root,
                     )
                     for i, chunk in enumerate(chunks)
                 ]
@@ -1981,6 +2342,8 @@ class Campaign:
                         cells = part["cells"]
                         reseed_solves += part["reseed_solves"]
                         reseed_evaluations += part["reseed_evaluations"]
+                        store_hits += part["store_hits"]
+                        store_misses += part["store_misses"]
                         if arena is not None:
                             decoded = arena.decode(
                                 i, part["shm_written"], self.spec,

@@ -19,10 +19,16 @@ driving to a human.  This module closes the loop with a
   shard is relaunched with ``--resume`` pointing at its partial output
   -- chain-prefix resume makes the retried shard bit-identical to an
   uninterrupted one;
-* **auto-merges** the shard JSONs through
-  :func:`repro.batch.campaign.merge_campaign_results` once the queue
-  drains, yielding one canonical-order :class:`CampaignResult` that is
-  bit-identical to a single-process run of the same spec.
+* **auto-merges** shard results *as they complete* through
+  :class:`repro.batch.campaign.StreamingMerger` -- each shard JSON is
+  folded into the accumulating union and dropped, so dispatched peak
+  memory stays bounded by the union plus one shard instead of every
+  shard JSON at once -- yielding one canonical-order
+  :class:`CampaignResult` that is bit-identical to a single-process run
+  of the same spec;
+* optionally threads a **content-addressed result store** (``store=``,
+  CLI ``--store``) through to every shard subprocess, so overlapping or
+  repeated campaigns skip cells the store already holds.
 
 Shard subprocesses are plain ``python -m repro campaign --spec ...
 --shard i/n`` invocations, launched through a pluggable *backend*:
@@ -50,8 +56,8 @@ from repro.batch.campaign import (
     Campaign,
     CampaignResult,
     CampaignSpec,
+    StreamingMerger,
     chain_cost_estimates,
-    merge_campaign_results,
     partition_chains,
 )
 
@@ -230,6 +236,20 @@ class CampaignDispatcher:
         -> cell budget for its *first* attempt (the subprocess truncates
         there via ``--max-cells``, exactly like a kill after N cells, and
         the dispatcher must recover it through ``--resume``).
+    shard_args:
+        Extra argv appended to every shard command line.  Flags the
+        dispatcher builds itself (``--spec``, ``--shard``, ``--json``,
+        ``--checkpoint``, ...) and collection-disabling flags
+        (``--no-collect`` / ``--collect none``, which conflict with the
+        always-on checkpointing) are rejected up front with
+        :class:`ValueError` -- passing them through would make every
+        shard fail every attempt at launch time.
+    store:
+        Root directory of a content-addressed result store
+        (:class:`repro.batch.store.ResultStore`) passed to every shard
+        via ``--store``; shards then serve already-solved cells from it
+        and write fresh solves back.  Must be shared storage when the
+        backend spans hosts.
     """
 
     def __init__(
@@ -247,6 +267,7 @@ class CampaignDispatcher:
         checkpoint_every: int = 16,
         shard_args: Sequence[str] = (),
         inject_kills: dict[int, int] | None = None,
+        store: str | Path | None = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -256,8 +277,11 @@ class CampaignDispatcher:
             raise ValueError("max_attempts must be >= 1")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        shard_args = list(shard_args)
+        self._validate_shard_args(shard_args)
         Campaign(spec)  # validates generator/method names up front
         self.spec = spec
+        self._spec_dict = spec.to_dict()
         self.shards = shards
         self.workers = workers
         self.partition = partition
@@ -267,8 +291,42 @@ class CampaignDispatcher:
         self.max_attempts = max_attempts
         self.poll_interval = poll_interval
         self.checkpoint_every = checkpoint_every
-        self.shard_args = list(shard_args)
+        self.shard_args = shard_args
         self.inject_kills = dict(inject_kills or {})
+        self.store = Path(store) if store is not None else None
+
+    #: Flags every shard command line already carries (or that the
+    #: dispatcher may append); a duplicate from ``shard_args`` would make
+    #: the child's argument parsing fail on every attempt.
+    _OWNED_FLAGS = frozenset({
+        "--spec", "--shard", "--partition", "--workers", "--json",
+        "--checkpoint", "--checkpoint-every", "--resume", "--max-cells",
+        "--cost-manifest", "--store",
+    })
+
+    @classmethod
+    def _validate_shard_args(cls, shard_args: list[str]) -> None:
+        for i, arg in enumerate(shard_args):
+            head, _, inline = arg.partition("=")
+            owned = sorted(cls._OWNED_FLAGS & {head})
+            if owned:
+                raise ValueError(
+                    f"shard_args may not set {owned[0]!r}: the dispatcher "
+                    "builds that flag itself for every shard subprocess"
+                )
+            value = inline or (
+                shard_args[i + 1] if i + 1 < len(shard_args) else ""
+            )
+            if head == "--no-collect" or (
+                head == "--collect" and value == "none"
+            ):
+                raise ValueError(
+                    "shard_args disable cell collection "
+                    "(--no-collect / --collect none), but every dispatched "
+                    "shard checkpoints its partial result, which requires "
+                    "collected cells; drop the flag or run the campaign "
+                    "undispatched"
+                )
 
     # -- paths -------------------------------------------------------------
 
@@ -324,6 +382,8 @@ class CampaignDispatcher:
         ]
         if self.cost_manifest:
             argv += ["--cost-manifest", str(self._manifest_path())]
+        if self.store is not None:
+            argv += ["--store", str(self.store)]
         resume = self._resume_source(record.shard)
         if resume is not None:
             argv += ["--resume", str(resume)]
@@ -332,31 +392,60 @@ class CampaignDispatcher:
             argv += ["--max-cells", str(self.inject_kills[record.shard])]
         return argv + self.shard_args
 
+    def _is_ours(self, result: CampaignResult, shard: int) -> bool:
+        """Whether a loaded partial/final result belongs to this dispatch.
+
+        A reused work dir may hold shard JSONs and checkpoints left
+        behind by a previous dispatch of a *different* spec (or shard
+        count).  Feeding one of those to ``--resume`` wedges the shard:
+        the child rejects the spec mismatch with exit 2 on every
+        attempt, so the dispatcher would burn ``max_attempts`` relaunches
+        on a file it should simply ignore.  Ours means: the exact spec
+        dict of this dispatch, and either this shard's ``k/n``
+        designator or no designator at all (an unsharded partial of the
+        same spec is a valid ``--resume`` input -- chain-prefix resume
+        matches cells by identity, not by shard).
+        """
+        return result.spec == self._spec_dict and (
+            result.shard is None or result.shard == [shard, self.shards]
+        )
+
     def _resume_source(self, shard: int) -> Path | None:
         """The best partial output a relaunch can resume from.
 
         Both the final output (a truncated run wrote one) and the
-        periodic checkpoint are written atomically, so loadability only
-        filters files from foreign/stale runs -- anything loadable is a
-        valid resume input.  Of the loadable candidates the one holding
-        *more cells* wins: after a truncated attempt 1 and a killed
-        attempt 2, the attempt-2 checkpoint supersedes the stale
-        attempt-1 output, so repeated kills never re-run recovered work.
+        periodic checkpoint are written atomically, so a loadable
+        candidate is structurally valid -- but it must also be *ours*
+        (see :meth:`_is_ours`): foreign/stale files from a previous
+        dispatch into the same work dir are skipped, not resumed from.
+        Of the accepted candidates the one holding *more cells* wins:
+        after a truncated attempt 1 and a killed attempt 2, the
+        attempt-2 checkpoint supersedes the stale attempt-1 output, so
+        repeated kills never re-run recovered work.
         """
         best: Path | None = None
         best_cells = -1
         for path in (self._out_path(shard), self._checkpoint_path(shard)):
             if path.exists():
                 try:
-                    cells = len(CampaignResult.load_json(path).cells)
+                    result = CampaignResult.load_json(path)
                 except (ValueError, KeyError, TypeError, OSError):
                     continue
-                if cells > best_cells:
-                    best, best_cells = path, cells
+                if not self._is_ours(result, shard):
+                    continue
+                if len(result.cells) > best_cells:
+                    best, best_cells = path, len(result.cells)
         return best
 
     def _shard_complete(self, record: ShardRecord) -> CampaignResult | None:
-        """The shard's final result, or ``None`` when it must relaunch."""
+        """The shard's final result, or ``None`` when it must relaunch.
+
+        A stale-but-complete output of a *foreign* spec (a reused work
+        dir) must never be accepted as this run's result, so the same
+        ownership check as :meth:`_resume_source` applies -- with the
+        shard designator required exactly, since every subprocess this
+        dispatcher launches passes ``--shard``.
+        """
         path = self._out_path(record.shard)
         if not path.exists():
             return None
@@ -364,9 +453,26 @@ class CampaignDispatcher:
             result = CampaignResult.load_json(path)
         except (ValueError, KeyError, TypeError, OSError):
             return None
+        if result.spec != self._spec_dict or result.shard != [
+            record.shard, self.shards,
+        ]:
+            return None
         if result.truncated or len(result.cells) != record.expected_cells:
             return None
         return result
+
+    def _log_excerpt(self, shard: int, lines: int = 10) -> str:
+        """The last *lines* of a shard's log, formatted for an error."""
+        try:
+            text = self._log_path(shard).read_text(errors="replace")
+        except OSError:
+            return ""
+        tail = text.strip().splitlines()[-lines:]
+        if not tail:
+            return ""
+        return "\nlast log lines:\n" + "\n".join(
+            f"  {line}" for line in tail
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -401,7 +507,10 @@ class CampaignDispatcher:
         )
         env = self._child_env()
         running: dict[int, _Running] = {}
-        results: dict[int, CampaignResult] = {}
+        # Shard results are folded into the merger the moment their shard
+        # completes and dropped; only the accumulating union stays in
+        # memory, never the full set of shard JSONs.
+        merger = StreamingMerger(self._spec_dict)
         shards_per_slot: dict[int, int] = {}
         try:
             while pending or running:
@@ -435,7 +544,7 @@ class CampaignDispatcher:
                     if result is not None:
                         record.slot = slot
                         record.cells = len(result.cells)
-                        results[record.shard] = result
+                        merger.add(result)
                         shards_per_slot[slot] = shards_per_slot.get(slot, 0) + 1
                         self._checkpoint_path(record.shard).unlink(
                             missing_ok=True
@@ -447,6 +556,7 @@ class CampaignDispatcher:
                             f"{record.attempts} attempt(s) (last exit "
                             f"status {active.proc.returncode}); see "
                             f"{self._log_path(record.shard)}"
+                            + self._log_excerpt(record.shard)
                         )
                     # Relaunch at the front of the queue: a failed shard
                     # is the current long pole by definition.
@@ -456,15 +566,10 @@ class CampaignDispatcher:
                 active.proc.kill()
                 active.proc.wait()
 
-        merged = merge_campaign_results(
-            [results[k] for k in sorted(results)]
-            or [
-                CampaignResult(
-                    spec=self.spec.to_dict(), cells=[], workers=0,
-                    wall_time_s=0.0,
-                )
-            ]
-        )
+        # The merger was seeded with this dispatch's spec, so even a run
+        # where every shard was empty (more shards than chains) finishes
+        # into the spec's empty result.
+        merged = merger.finish()
         expected = self.spec.n_analyses()
         if len(merged.cells) != expected:
             raise DispatchError(

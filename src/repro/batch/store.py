@@ -1,0 +1,152 @@
+"""Persistent content-addressed result store for analysis outcomes.
+
+A :class:`ResultStore` memoizes solved analysis cells across processes
+and runs: entries are keyed by :class:`StoreKey` -- the content hashes
+of the analyzed system and of the execution context
+(:func:`~repro.batch.canonical.campaign_config_hash` for campaign
+cells, :func:`~repro.batch.canonical.analysis_config_hash` for one-shot
+``analyze`` calls), plus the sweep level and method name.  Identical
+inputs under an identical context hash to the same key, so a second
+campaign over overlapping cells -- a rerun, a replicate extension, a
+re-dispatch -- serves those cells from disk instead of solving them.
+
+The backend is a directory of JSON files, chosen over sqlite on
+purpose: dispatch shards are independent processes (possibly on
+independent hosts sharing a network filesystem), and a
+file-per-entry layout needs no cross-process locking -- writes are
+atomic ``os.replace`` renames of fsynced temp files, concurrent writers
+of the same key converge on identical content, and a reader never
+observes a torn entry.  Layout::
+
+    root/<digest[:2]>/<digest>.json
+
+where ``digest`` is the SHA-256 of the key's canonical JSON identity
+(two-level fan-out keeps directories small at millions of entries).
+Each file stores the key identity alongside the value; ``get`` verifies
+the echoed identity so a hash collision or a file corrupted into valid
+JSON reads as a miss, never as a wrong hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.batch.canonical import canonical_json
+
+__all__ = ["ResultStore", "StoreKey", "StoreStats"]
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """Identity of one stored analysis outcome.
+
+    ``level`` is the sweep value the cell was solved at (``None`` for
+    unswept contexts such as one-shot ``analyze`` calls); ``method`` the
+    registry name of the analysis method.
+    """
+
+    system_hash: str
+    config_hash: str
+    level: float | int | None
+    method: str
+
+    def identity(self) -> str:
+        """Canonical JSON identity (the collision-checked stored form)."""
+        return canonical_json(
+            {
+                "system": self.system_hash,
+                "config": self.config_hash,
+                "level": self.level,
+                "method": self.method,
+            }
+        )
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`identity` (the file name)."""
+        return hashlib.sha256(self.identity().encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Entry count and total payload bytes of a store directory."""
+
+    entries: int
+    bytes: int
+
+
+class ResultStore:
+    """Directory-of-JSON content-addressed store (see module docstring).
+
+    ``get`` is defensive: unreadable, unparsable or identity-mismatched
+    files read as misses (the cell is then simply re-solved).  ``put``
+    is put-if-absent -- entries are immutable once written, matching the
+    content-addressed contract -- and raises :class:`OSError` if the
+    store root is not writable, because silently running uncached would
+    hide a misconfiguration.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, key: StoreKey) -> Path:
+        digest = key.digest()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, key: StoreKey) -> dict[str, Any] | None:
+        """The stored value for *key*, or ``None`` on any kind of miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("identity") != key.identity():
+            return None
+        value = payload.get("value")
+        return value if isinstance(value, dict) else None
+
+    def put(self, key: StoreKey, value: dict[str, Any]) -> bool:
+        """Store *value* under *key* unless present; ``True`` if written.
+
+        The write is kill-safe: the payload is fsynced to a
+        pid-suffixed temp file, then renamed into place, so a crash
+        leaves either the complete entry or nothing -- never a torn
+        file a later ``get`` could misread.
+        """
+        path = self._path(key)
+        if path.exists():
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        # Non-strict dumps on purpose: cell metrics may hold NaN (e.g. a
+        # diverged max_wcrt_ratio), which round-trips through Python's
+        # JSON just like it does in the campaign result files.
+        encoded = json.dumps({"identity": key.identity(), "value": value})
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return True
+
+    def stats(self) -> StoreStats:
+        """Walk the store and count entries and payload bytes."""
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return StoreStats(entries=entries, bytes=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r})"

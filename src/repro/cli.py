@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the (J, R) iteration table")
     p_an.add_argument("--report", action="store_true",
                       help="print the full text report instead of the summary")
+    p_an.add_argument("--store", metavar="DIR",
+                      help="content-addressed result store: serve the "
+                      "verdict/WCRTs from DIR when this (system, config) "
+                      "was analyzed before, else analyze and write back; "
+                      "ignored with --trace/--report (those need the live "
+                      "iteration state)")
 
     p_sim = sub.add_parser("simulate", help="discrete-event simulation")
     p_sim.add_argument("system")
@@ -208,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cp.add_argument("--checkpoint-every", type=int, default=16,
                       metavar="N",
                       help="cells between --checkpoint writes (default 16)")
+    p_cp.add_argument("--store", metavar="DIR",
+                      help="content-addressed result store: cells whose "
+                      "(system, execution context, level, method) was "
+                      "solved by any previous run sharing DIR are served "
+                      "from disk (bit-identical to solving them), fresh "
+                      "solves are written back")
 
     p_cd = sub.add_parser(
         "campaign-dispatch",
@@ -254,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the merged per-cell table as CSV")
     p_cd.add_argument("--acceptance-csv", metavar="PATH",
                       help="write the merged acceptance table as CSV")
+    p_cd.add_argument("--store", metavar="DIR",
+                      help="content-addressed result store passed to every "
+                      "shard via --store (must be shared storage when "
+                      "--hosts spans machines); repeated or overlapping "
+                      "dispatches then skip already-solved cells")
 
     p_cm = sub.add_parser(
         "campaign-merge",
@@ -305,12 +322,66 @@ def _parse_grid_axis(text: str) -> tuple[str, tuple]:
     return axis, values
 
 
+def _analyze_store(args: argparse.Namespace, config: AnalysisConfig):
+    """``(store, key)`` for a ``--store`` analyze call, or ``(None, None)``.
+
+    ``--trace``/``--report`` need the live iteration state a served
+    result cannot provide, so the store is skipped for them.  The store
+    modules live under ``repro.batch`` (whose import pulls in NumPy), so
+    a missing NumPy downgrades ``--store`` to a warning instead of
+    breaking the otherwise NumPy-free analyze path.
+    """
+    if not args.store or args.trace or args.report:
+        return None, None
+    try:
+        from repro.batch.canonical import analysis_config_hash, system_hash
+        from repro.batch.store import ResultStore, StoreKey
+    except ImportError as exc:
+        print(
+            f"warning: --store unavailable ({exc}); analyzing uncached",
+            file=sys.stderr,
+        )
+        return None, None
+    system = load_system(args.system)
+    key = StoreKey(
+        system_hash(system), analysis_config_hash(config), None, "analyze"
+    )
+    return ResultStore(args.store), key
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     system = load_system(args.system)
     config = AnalysisConfig(
         method=args.method, best_case=args.best_case, mode=args.mode
     )
-    result = analyze(system, config=config, trace=args.trace or args.report)
+    store, store_key = _analyze_store(args, config)
+    served = store.get(store_key) if store is not None else None
+    if served is not None and (
+        not isinstance(served.get("transaction_wcrt"), list)
+        or len(served["transaction_wcrt"]) != len(system.transactions)
+    ):
+        served = None  # malformed/foreign entry: analyze normally
+    if served is not None:
+        schedulable = bool(served["schedulable"])
+        wcrts = [float(w) for w in served["transaction_wcrt"]]
+    else:
+        result = analyze(
+            system, config=config, trace=args.trace or args.report
+        )
+        schedulable = result.schedulable
+        wcrts = [
+            result.transaction_wcrt[i]
+            for i in range(len(system.transactions))
+        ]
+        if store is not None:
+            store.put(
+                store_key,
+                {
+                    "schedulable": bool(result.schedulable),
+                    "converged": bool(result.converged),
+                    "transaction_wcrt": [float(w) for w in wcrts],
+                },
+            )
 
     if args.report:
         from repro.analysis.report import text_report
@@ -321,10 +392,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     rows = [
         [
             tr.name or f"Gamma{i + 1}",
-            f"{result.transaction_wcrt[i]:.4g}",
+            f"{wcrts[i]:.4g}",
             f"{tr.deadline:g}",
-            f"{result.slack(i):.4g}",
-            "yes" if result.transaction_wcrt[i] <= tr.deadline + 1e-9 else "NO",
+            f"{tr.deadline - wcrts[i]:.4g}",
+            "yes" if wcrts[i] <= tr.deadline + 1e-9 else "NO",
         ]
         for i, tr in enumerate(system.transactions)
     ]
@@ -339,8 +410,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             if len(system.transactions[i].tasks) > 1:
                 print(render_table3(result, transaction=i))
                 print()
-    print(f"schedulable: {result.schedulable}")
-    return 0 if result.schedulable else 1
+    if served is not None:
+        print(f"(served from result store {args.store})")
+    print(f"schedulable: {schedulable}")
+    return 0 if schedulable else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -549,7 +622,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_cells=args.max_cells,
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        store=args.store,
     )
+    if args.store:
+        print(
+            f"result store {args.store}: {result.store_hits} cells served, "
+            f"{result.store_misses} solved and stored"
+        )
     if shard is not None:
         # Under --no-collect the result keeps no cells; the streamed count
         # is then the number of analyses this shard executed.
@@ -658,6 +737,7 @@ def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
         backend=backend,
         max_attempts=args.max_attempts,
         checkpoint_every=args.checkpoint_every,
+        store=args.store,
     )
     try:
         report = dispatcher.run()

@@ -188,6 +188,166 @@ class TestFaultTolerance:
             )
 
 
+class TestStaleWorkDir:
+    """Reused work dirs (ISSUE 6 bugfix): files from a different spec
+    must be skipped, not resumed from or accepted as results."""
+
+    @pytest.mark.dist
+    def test_dirty_work_dir_completes_without_relaunches(self, tmp_path):
+        """Dispatch B into A's work dir: before the ownership check this
+        wedged -- every shard resumed from A's files, produced 'wrong'
+        output, and burned all max_attempts relaunches."""
+        spec_a = make_spec(systems_per_cell=2)
+        spec_b = make_spec(systems_per_cell=2, seed=99)
+        CampaignDispatcher(
+            spec_a, shards=2, workers=1, work_dir=tmp_path
+        ).run()
+        # A's shard outputs survive in the dir; also plant them as stale
+        # checkpoints at the exact paths B's shards will probe.
+        for shard in range(2):
+            out = tmp_path / f"shard{shard:04d}.json"
+            assert out.exists()
+            (tmp_path / f"shard{shard:04d}.part.json").write_text(
+                out.read_text()
+            )
+        dispatcher = CampaignDispatcher(
+            spec_b, shards=2, workers=1, work_dir=tmp_path
+        )
+        report = dispatcher.run()
+        full = Campaign(spec_b).run(workers=1)
+        assert report.result.metrics() == full.metrics()
+        assert report.relaunches == 0
+        for record in report.shards:
+            assert record.attempts == 1
+            assert record.resumed_attempts == 0
+
+    def test_resume_source_skips_foreign_spec(self, tmp_path):
+        spec_a = make_spec(systems_per_cell=2)
+        spec_b = make_spec(systems_per_cell=2, seed=99)
+        dispatcher = CampaignDispatcher(
+            spec_b, shards=2, workers=1, work_dir=tmp_path
+        )
+        foreign = Campaign(spec_a).run(workers=1, max_cells=2)
+        foreign.save_json(dispatcher._out_path(0))
+        foreign.save_json(dispatcher._checkpoint_path(0))
+        assert dispatcher._resume_source(0) is None
+        # Our own partial is still picked up next to the foreign files.
+        ours = Campaign(spec_b).run(workers=1, max_cells=2)
+        ours.save_json(dispatcher._checkpoint_path(0))
+        assert dispatcher._resume_source(0) == dispatcher._checkpoint_path(0)
+
+    def test_resume_source_skips_foreign_shard_designator(self, tmp_path):
+        spec = make_spec(systems_per_cell=2)
+        dispatcher = CampaignDispatcher(
+            spec, shards=2, workers=1, work_dir=tmp_path
+        )
+        # Same spec, but sharded 1/3 -- a leftover from a dispatch with a
+        # different shard count; its cells are the wrong subset.
+        other = Campaign(spec).run(workers=1, shard=(1, 3))
+        other.save_json(dispatcher._checkpoint_path(0))
+        assert dispatcher._resume_source(0) is None
+
+    def test_shard_complete_rejects_foreign_spec(self, tmp_path):
+        from repro.batch.dispatch import ShardRecord
+
+        spec_a = make_spec(systems_per_cell=2)
+        spec_b = make_spec(systems_per_cell=2, seed=99)
+        dispatcher = CampaignDispatcher(
+            spec_b, shards=2, workers=1, work_dir=tmp_path
+        )
+        foreign = Campaign(spec_a).run(workers=1, shard=(0, 2))
+        foreign.save_json(dispatcher._out_path(0))
+        record = ShardRecord(
+            shard=0, chains=1, expected_cells=len(foreign.cells),
+            estimated_cost=0.0,
+        )
+        # Complete by every count, but the wrong spec: never accepted.
+        assert dispatcher._shard_complete(record) is None
+        ours = Campaign(spec_b).run(workers=1, shard=(0, 2))
+        ours.save_json(dispatcher._out_path(0))
+        record.expected_cells = len(ours.cells)
+        accepted = dispatcher._shard_complete(record)
+        assert accepted is not None
+        assert accepted.metrics() == ours.metrics()
+
+
+class TestShardArgsValidation:
+    def test_collection_disabling_flags_rejected(self, tmp_path):
+        spec = make_spec()
+        for bad in (
+            ["--no-collect"],
+            ["--collect", "none"],
+            ["--collect=none"],
+        ):
+            with pytest.raises(ValueError, match="disable cell collection"):
+                CampaignDispatcher(
+                    spec, shards=1, workers=1, work_dir=tmp_path,
+                    shard_args=bad,
+                )
+
+    def test_dispatcher_owned_flags_rejected(self, tmp_path):
+        spec = make_spec()
+        for bad in (["--json", "x.json"], ["--checkpoint=x"], ["--resume"]):
+            with pytest.raises(ValueError, match="may not set"):
+                CampaignDispatcher(
+                    spec, shards=1, workers=1, work_dir=tmp_path,
+                    shard_args=bad,
+                )
+
+    def test_benign_shard_args_accepted(self, tmp_path):
+        CampaignDispatcher(
+            make_spec(), shards=1, workers=1, work_dir=tmp_path,
+            shard_args=["--chunk-size", "2", "--collect", "pickle"],
+        )
+
+
+class TestLogExcerpt:
+    def test_excerpt_is_last_ten_lines(self, tmp_path):
+        dispatcher = CampaignDispatcher(
+            make_spec(), shards=1, workers=1, work_dir=tmp_path
+        )
+        tmp_path.mkdir(exist_ok=True)
+        dispatcher._log_path(0).write_text(
+            "\n".join(f"line {i}" for i in range(15)) + "\n"
+        )
+        excerpt = dispatcher._log_excerpt(0)
+        assert excerpt.startswith("\nlast log lines:\n")
+        assert "line 5" in excerpt and "line 14" in excerpt
+        assert "line 4" not in excerpt
+
+    def test_missing_or_empty_log_gives_nothing(self, tmp_path):
+        dispatcher = CampaignDispatcher(
+            make_spec(), shards=1, workers=1, work_dir=tmp_path
+        )
+        assert dispatcher._log_excerpt(0) == ""
+        tmp_path.mkdir(exist_ok=True)
+        dispatcher._log_path(0).write_text("  \n")
+        assert dispatcher._log_excerpt(0) == ""
+
+
+class TestDispatchStore:
+    @pytest.mark.dist
+    def test_second_dispatch_serves_everything(self, tmp_path):
+        from repro.batch import ResultStore
+
+        spec = make_spec(systems_per_cell=2)
+        store_root = tmp_path / "store"
+        first = CampaignDispatcher(
+            spec, shards=2, workers=2,
+            work_dir=tmp_path / "wd1", store=store_root,
+        ).run()
+        assert first.result.store_hits == 0
+        assert first.result.store_misses == spec.n_analyses()
+        second = CampaignDispatcher(
+            spec, shards=2, workers=2,
+            work_dir=tmp_path / "wd2", store=store_root,
+        ).run()
+        assert second.result.store_hits == spec.n_analyses()
+        assert second.result.store_misses == 0
+        assert second.result.metrics() == first.result.metrics()
+        assert ResultStore(store_root).stats().entries == spec.n_analyses()
+
+
 class TestSshBackend:
     def test_command_template_is_mockable(self, tmp_path):
         """Substituting the ssh command exercises the full template

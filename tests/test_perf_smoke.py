@@ -7,9 +7,11 @@ Two layers of protection for the throughput numbers the ROADMAP tracks:
   can rely on it), and the recorded speedups must meet the ISSUE 2
   acceptance floor plus the ISSUE 3 distributed-execution blocks
   (``sharding`` with its >= 1.8x aggregate pin, ``collection``,
-  ``wide_view``) and the ISSUE 4 ``verdict_mode`` block (verdict-mode
+  ``wide_view``), the ISSUE 4 ``verdict_mode`` block (verdict-mode
   pipeline >= 2.5x the exact pipeline on the reference sweep, with the
-  benchmark itself asserting >= 3x at measurement time).
+  benchmark itself asserting >= 3x at measurement time), and the ISSUE 6
+  ``result_store`` block (cold-vs-warmed store accounting; the speedup
+  ratio is disk-bound and deliberately not gated).
 * **Perf smoke** -- a few-second re-measurement of the reference sweep
   that fails when systems/sec regresses more than 30% below the recorded
   reference.  Timed best-of-3 to damp container throughput jitter.
@@ -99,6 +101,7 @@ class TestBenchSchema:
         assert {
             "description", "sweep", "pr1_reference", "runs", "speedups",
             "sharding", "collection", "wide_view", "verdict_mode",
+            "result_store",
         } <= set(payload)
 
     def test_sweep_block(self, payload):
@@ -192,6 +195,21 @@ class TestBenchSchema:
             block["exact"]["wall_time_s"] / verdict["wall_time_s"], rel=1e-6
         )
         assert block["verdict_vs_exact"] >= VERDICT_SPEEDUP_FLOOR
+
+    def test_result_store_block(self, payload):
+        """ISSUE 6: cold-vs-warmed store on the reference sweep.  The
+        ratio itself is disk-latency-bound, so only the accounting
+        invariants are pinned, not a speedup floor."""
+        block = payload["result_store"]
+        assert {"cold", "warm", "warm_vs_cold", "entries",
+                "store_bytes"} <= set(block)
+        assert block["cold"]["store_misses"] == block["entries"]
+        assert block["warm"]["store_hits"] == block["entries"]
+        assert block["entries"] > 0
+        assert block["store_bytes"] > 0
+        for leg in ("cold", "warm"):
+            assert block[leg]["wall_time_s"] > 0
+            assert block[leg]["systems_per_second"] > 0
 
     def test_wide_view_block(self, payload):
         wide = payload["wide_view"]

@@ -1,0 +1,403 @@
+"""Content-addressed result store: hashing, persistence, warm reruns.
+
+The store's contract (ISSUE 6 acceptance criteria): canonical hashes are
+deterministic and insensitive to cosmetic/derived state, the directory
+store round-trips values atomically and treats any damage as a miss, and
+a ``Campaign.run(store=...)`` rerun over a warmed store is bit-identical
+to the cold run -- same cells, same verdicts, same accounting -- with
+``store_hits == n_analyses`` and zero new solves.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.batch import (
+    Campaign,
+    CampaignSpec,
+    ResultStore,
+    StoreKey,
+    analysis_config_hash,
+    campaign_config_hash,
+    canonical_json,
+    content_hash,
+    spec_hash,
+    system_hash,
+)
+from repro.model.system import TransactionSystem
+from repro.model.task import Task
+from repro.model.transaction import Transaction
+from repro.paper import sensor_fusion_system
+from repro.platforms.linear import DedicatedPlatform
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        grid={"utilization": (0.3, 0.6, 0.9)},
+        base={
+            "n_platforms": 2,
+            "n_transactions": 2,
+            "tasks_per_transaction": (1, 2),
+        },
+        methods=("gauss_seidel",),
+        systems_per_cell=3,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def two_task_system() -> TransactionSystem:
+    return TransactionSystem(
+        transactions=[
+            Transaction(
+                period=10.0,
+                deadline=10.0,
+                tasks=[
+                    Task(wcet=2.0, platform=0, priority=2, offset=1.0,
+                         jitter=0.5),
+                    Task(wcet=1.0, platform=0, priority=1),
+                ],
+                name="G1",
+            ),
+            Transaction(
+                period=20.0,
+                tasks=[Task(wcet=3.0, platform=0, priority=3)],
+                name="G2",
+            ),
+        ],
+        platforms=[DedicatedPlatform()],
+    )
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+        assert canonical_json({"a": 2, "b": 1}) == '{"a":2,"b":1}'
+
+    def test_float_shortest_repr(self):
+        assert canonical_json(0.3) == "0.3"
+        assert canonical_json(0.1 + 0.2) == "0.30000000000000004"
+
+    def test_negative_zero_collapses(self):
+        assert canonical_json(-0.0) == canonical_json(0.0)
+
+    def test_nan_and_infinity_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                canonical_json({"x": bad})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError, match="string keys"):
+            canonical_json({1: "x"})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            canonical_json({"x": object()})
+
+    def test_numpy_scalars_encode_as_python(self):
+        np = pytest.importorskip("numpy")
+        assert canonical_json(np.float64(0.3)) == canonical_json(0.3)
+        assert canonical_json([np.int64(4)]) == canonical_json([4])
+
+    def test_tuples_encode_as_lists(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_content_hash_is_sha256_of_canonical(self):
+        import hashlib
+
+        obj = {"a": [1, 2.5, None, True]}
+        expected = hashlib.sha256(
+            canonical_json(obj).encode("utf-8")
+        ).hexdigest()
+        assert content_hash(obj) == expected
+
+
+class TestSystemHash:
+    def test_deterministic(self):
+        assert system_hash(two_task_system()) == system_hash(
+            two_task_system()
+        )
+
+    def test_invariant_under_in_place_analysis(self):
+        # The holistic analysis overwrites derived offset/jitter of
+        # non-first tasks in place; the hash must see the same input.
+        system = sensor_fusion_system()
+        before = system_hash(system)
+        analyze(system, in_place=True)
+        assert system_hash(system) == before
+
+    def test_invariant_under_names_and_meta(self):
+        a = two_task_system()
+        b = two_task_system()
+        for tr in b.transactions:
+            tr.name = f"renamed-{tr.name}"
+        assert system_hash(a) == system_hash(b)
+
+    def test_sensitive_to_wcet(self):
+        a = two_task_system()
+        b = two_task_system()
+        b.transactions[0].tasks[1].wcet = 1.5
+        assert system_hash(a) != system_hash(b)
+
+    def test_sensitive_to_first_task_offset(self):
+        a = two_task_system()
+        b = two_task_system()
+        b.transactions[0].tasks[0].offset = 2.0
+        assert system_hash(a) != system_hash(b)
+
+    def test_insensitive_to_derived_later_task_jitter(self):
+        a = two_task_system()
+        b = two_task_system()
+        b.transactions[0].tasks[1].jitter = 4.25
+        assert system_hash(a) == system_hash(b)
+
+
+class TestConfigHashes:
+    def test_campaign_config_folds_methods_and_levels(self):
+        base = small_spec()
+        assert campaign_config_hash(base) == campaign_config_hash(
+            small_spec()
+        )
+        # Different method tuple, warm-start flag or ladder: different
+        # execution context, cells must not be served across.
+        assert campaign_config_hash(base) != campaign_config_hash(
+            small_spec(methods=("gauss_seidel", "reduced"))
+        )
+        assert campaign_config_hash(base) != campaign_config_hash(
+            small_spec(warm_start=False)
+        )
+        assert campaign_config_hash(base) != campaign_config_hash(
+            small_spec(grid={"utilization": (0.3, 0.6)})
+        )
+
+    def test_campaign_config_ignores_seed_and_replicates(self):
+        # Seeds/replicate counts shape *which* systems exist, not how a
+        # given system's cell is executed -- reuse across them is the
+        # whole point (replicate extensions hit the store).
+        base = small_spec()
+        assert campaign_config_hash(base) == campaign_config_hash(
+            small_spec(seed=99, systems_per_cell=10)
+        )
+
+    def test_spec_hash_covers_seed(self):
+        assert spec_hash(small_spec()) != spec_hash(small_spec(seed=8))
+        assert spec_hash(small_spec()) == spec_hash(small_spec().to_dict())
+
+    def test_analysis_config_hash(self):
+        a = AnalysisConfig()
+        assert analysis_config_hash(a) == analysis_config_hash(
+            AnalysisConfig()
+        )
+        assert analysis_config_hash(a) != analysis_config_hash(
+            AnalysisConfig(method="exact")
+        )
+
+
+class TestResultStore:
+    def key(self, n=0) -> StoreKey:
+        return StoreKey(f"sys{n}", "cfg", 0.3, "gauss_seidel")
+
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get(self.key()) is None
+        assert store.put(self.key(), {"x": 1}) is True
+        assert store.get(self.key()) == {"x": 1}
+
+    def test_put_if_absent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(self.key(), {"x": 1})
+        assert store.put(self.key(), {"x": 2}) is False
+        assert store.get(self.key()) == {"x": 1}
+
+    def test_nan_value_round_trips(self, tmp_path):
+        # Cell metrics may hold NaN (diverged max_wcrt_ratio); the store
+        # value encoding must accept it even though key hashing rejects it.
+        import math
+
+        store = ResultStore(tmp_path / "store")
+        store.put(self.key(), {"ratio": float("nan")})
+        assert math.isnan(store.get(self.key())["ratio"])
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(self.key(), {"x": 1})
+        store._path(self.key()).write_text("{not json", encoding="utf-8")
+        assert store.get(self.key()) is None
+
+    def test_identity_mismatch_reads_as_miss(self, tmp_path):
+        # A file whose content belongs to a different key (hash collision,
+        # botched copy) must read as a miss, never as a wrong hit.
+        store = ResultStore(tmp_path / "store")
+        store.put(self.key(0), {"x": 1})
+        path1 = store._path(self.key(1))
+        path1.parent.mkdir(parents=True, exist_ok=True)
+        path1.write_text(
+            store._path(self.key(0)).read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert store.get(self.key(1)) is None
+
+    def test_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.stats().entries == 0
+        store.put(self.key(0), {"x": 1})
+        store.put(self.key(1), {"x": 2})
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.bytes > 0
+
+    def test_unwritable_root_raises(self, tmp_path):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        root = tmp_path / "ro"
+        root.mkdir()
+        root.chmod(0o500)
+        try:
+            with pytest.raises(OSError):
+                ResultStore(root).put(self.key(), {"x": 1})
+        finally:
+            root.chmod(0o700)
+
+
+def run_cold_warm(spec, tmp_path, workers=1):
+    """Cold run into a fresh store, then a warm rerun; both results."""
+    store = ResultStore(tmp_path / "store")
+    cold = Campaign(spec).run(workers=workers, store=store)
+    warm = Campaign(spec).run(workers=workers, store=store)
+    return cold, warm, store
+
+
+def assert_warm_bit_identical(cold, warm, spec):
+    # Served cells carry the stored time_s, so full byte-for-byte cell
+    # equality holds for warm-vs-cold (not just timing-free metrics).
+    assert json.dumps(warm.to_dict()["cells"]) == json.dumps(
+        cold.to_dict()["cells"]
+    )
+    n = spec.n_analyses()
+    assert cold.store_hits == 0
+    assert cold.store_misses == n
+    assert warm.store_hits == n
+    assert warm.store_misses == 0
+
+
+class TestCampaignStore:
+    def test_cold_matches_storeless_reference(self, tmp_path):
+        spec = small_spec()
+        reference = Campaign(spec).run(workers=1)
+        cold, warm, _ = run_cold_warm(spec, tmp_path)
+        # time_s is wall clock and differs across independent solves;
+        # compare the timing-free metric view against the reference.
+        assert cold.metrics() == reference.metrics()
+        assert_warm_bit_identical(cold, warm, spec)
+
+    def test_warm_rerun_sweep(self, tmp_path):
+        spec = small_spec()
+        cold, warm, _ = run_cold_warm(spec, tmp_path)
+        assert_warm_bit_identical(cold, warm, spec)
+
+    def test_warm_rerun_pruned_verdict(self, tmp_path):
+        # Pruned chains store solved *and* inferred cells, so the warm
+        # rerun serves the whole chain without re-bisecting.
+        spec = small_spec(methods=("verdict",),
+                          grid={"utilization": (0.3, 0.5, 0.7, 0.9)})
+        cold, warm, _ = run_cold_warm(spec, tmp_path)
+        assert_warm_bit_identical(cold, warm, spec)
+
+    def test_warm_rerun_multi_method(self, tmp_path):
+        spec = small_spec(methods=("gauss_seidel", "reduced"))
+        cold, warm, _ = run_cold_warm(spec, tmp_path)
+        assert_warm_bit_identical(cold, warm, spec)
+
+    def test_warm_rerun_pool(self, tmp_path):
+        spec = small_spec()
+        cold, warm, _ = run_cold_warm(spec, tmp_path, workers=2)
+        assert_warm_bit_identical(cold, warm, spec)
+        inline = Campaign(spec).run(workers=1)
+        assert cold.metrics() == inline.metrics()
+
+    def test_warm_rerun_no_warm_start(self, tmp_path):
+        spec = small_spec(warm_start=False)
+        cold, warm, _ = run_cold_warm(spec, tmp_path)
+        assert_warm_bit_identical(cold, warm, spec)
+
+    def test_replicate_extension_reuses_original_cells(self, tmp_path):
+        # Growing systems_per_cell keeps the original replicates' seeds,
+        # so their cells hit the store and only the new replicates solve.
+        store = ResultStore(tmp_path / "store")
+        small = small_spec(systems_per_cell=3)
+        big = small_spec(systems_per_cell=5)
+        Campaign(small).run(workers=1, store=store)
+        extended = Campaign(big).run(workers=1, store=store)
+        assert extended.store_hits == small.n_analyses()
+        assert extended.store_misses == (
+            big.n_analyses() - small.n_analyses()
+        )
+        assert extended.metrics() == Campaign(big).run(workers=1).metrics()
+
+    def test_partial_store_rerun_identical(self, tmp_path):
+        # Delete half the entries: the rerun serves what remains, solves
+        # the rest, and the result is still identical to the cold run.
+        spec = small_spec()
+        store = ResultStore(tmp_path / "store")
+        cold = Campaign(spec).run(workers=1, store=store)
+        files = sorted(store.root.glob("??/*.json"))
+        assert len(files) == spec.n_analyses()
+        for path in files[::2]:
+            path.unlink()
+        kept = len(files) - len(files[::2])
+        partial = Campaign(spec).run(workers=1, store=store)
+        assert partial.metrics() == cold.metrics()
+        assert partial.store_hits + partial.store_misses == spec.n_analyses()
+        # Sweep serving is per-step all-or-nothing, so hits may undershoot
+        # the surviving entry count but never exceed it.
+        assert partial.store_hits <= kept
+        # Every miss was re-stored: the store is whole again.
+        assert len(sorted(store.root.glob("??/*.json"))) == spec.n_analyses()
+
+    def test_store_accounting_surfaces(self, tmp_path):
+        spec = small_spec()
+        _, warm, _ = run_cold_warm(spec, tmp_path)
+        acct = warm.accounting()
+        assert acct["store"] == {
+            "hits": spec.n_analyses(),
+            "misses": 0,
+        }
+        assert "result store:" in warm.format_summary()
+
+    def test_storeless_run_reports_zero(self):
+        result = Campaign(small_spec()).run(workers=1)
+        assert result.store_hits == 0
+        assert result.store_misses == 0
+        assert "result store:" not in result.format_summary()
+
+
+class TestSaveJsonDurability:
+    def test_save_json_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        # Regression (ISSUE 6): the atomic-rename checkpoint write must
+        # fsync the temp file first, or a crash can leave a zero-length
+        # "complete" checkpoint that wedges resume.
+        import os
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b)),
+        )
+        result = Campaign(small_spec()).run(workers=1, max_cells=2)
+        path = result.save_json(tmp_path / "out.json")
+        assert "fsync" in events
+        assert events.index("fsync") < events.index("replace")
+        assert json.loads(path.read_text(encoding="utf-8"))["cells"]
