@@ -27,7 +27,11 @@ results through a ``multiprocessing.shared_memory`` ring
 deployment unattended: over-partitioned shards on a work-stealing queue
 of subprocess slots, cost-aware ``lpt`` partitions fed by the
 ``chain_costs`` every result records, fault-tolerant relaunch-with-resume
-and streaming auto-merge (``python -m repro campaign-dispatch``).
+and streaming auto-merge (``python -m repro campaign-dispatch``) --
+hardened by heartbeat liveness (progressing/stalled/dead), deterministic
+retry backoff, wall-clock budgets, elastic straggler splitting, and the
+:mod:`repro.batch.faults` injection harness that drills every one of
+those recovery paths in tests.
 
 Cross-run reuse comes from the content-addressed result store:
 :mod:`repro.batch.canonical` hashes analysis inputs (system content,
@@ -58,6 +62,7 @@ from repro.batch.canonical import (
     system_hash,
 )
 from repro.batch.store import ResultStore, StoreKey, StoreStats
+from repro.batch.faults import Fault, FaultPlan
 from repro.batch.campaign import (
     Campaign,
     CampaignResult,
@@ -79,6 +84,7 @@ from repro.batch.campaign import (
 from repro.batch.dispatch import (
     CampaignDispatcher,
     DispatchError,
+    DispatchInterrupted,
     DispatchReport,
     LocalBackend,
     SshBackend,
@@ -91,7 +97,10 @@ __all__ = [
     "CampaignSpec",
     "CellResult",
     "DispatchError",
+    "DispatchInterrupted",
     "DispatchReport",
+    "Fault",
+    "FaultPlan",
     "LocalBackend",
     "MethodInfo",
     "MethodOutcome",

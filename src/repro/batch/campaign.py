@@ -62,6 +62,7 @@ import json
 import math
 import os
 import struct
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -72,6 +73,7 @@ import numpy as np
 
 from repro.analysis.busy import clear_phase_cache, phase_cache_stats
 from repro.batch.canonical import campaign_config_hash, system_hash
+from repro.batch.faults import WorkerFaults
 from repro.batch.methods import reseed_jitters, resolve_method
 from repro.batch.store import ResultStore, StoreKey
 from repro.gen import RandomSystemSpec, random_system
@@ -1983,6 +1985,91 @@ class _CellCsvStream:
         self._fh.close()
 
 
+class _HeartbeatWriter:
+    """Atomically publish a liveness file from a daemon thread.
+
+    The file is a single JSON object ``{"cells": N, "seq": K, "time": T,
+    "pid": P}``: ``cells`` is the monotonic count of cells this run has
+    consumed, ``seq`` bumps on *every* write.  The split lets a
+    dispatcher distinguish *stalled* (seq advances, cells frozen -- the
+    process is alive but wedged inside a solve) from *dead* (nothing
+    advances -- killed, or silently hung with its threads).
+
+    Writes are write-then-rename so a reader never sees a torn file, but
+    deliberately *not* fsynced: a heartbeat is advisory, and losing the
+    last beat on power failure costs one relaunch, not correctness.  Any
+    OS error while beating is swallowed for the same reason -- liveness
+    reporting must never kill the run it reports on.
+
+    The periodic beat runs on a daemon thread, so it keeps beating while
+    the main thread is stuck inside a long solve (a *healthy* slow cell
+    looks stalled-but-alive, which is exactly the signal the dispatcher
+    needs to not shoot it -- and a SIGKILL or interpreter wedge stops the
+    thread too, which is what makes silence mean *dead*).
+    """
+
+    def __init__(self, path: str | Path, interval: float):
+        self.path = Path(path)
+        self.interval = float(interval)
+        self._cells = 0
+        self._seq = 0
+        self._dropped = False
+        self._stop = threading.Event()
+        self._kick = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._write()
+        self._thread = threading.Thread(
+            target=self._loop, name="heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def bump(self, cells: int) -> None:
+        """Record progress and request an immediate beat."""
+        self._cells = int(cells)
+        self._kick.set()
+
+    def drop(self) -> None:
+        """Stop publishing (fault injection: simulate a silent wedge)."""
+        self._dropped = True
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._kick.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._write()  # flush the final count
+
+    def _loop(self) -> None:
+        while True:
+            self._kick.wait(self.interval)
+            if self._stop.is_set():
+                return
+            self._kick.clear()
+            self._write()
+
+    def _write(self) -> None:
+        if self._dropped:
+            return
+        self._seq += 1
+        payload = json.dumps(
+            {
+                "cells": self._cells,
+                "seq": self._seq,
+                "time": time.time(),
+                "pid": os.getpid(),
+            }
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass
+
+
 class Campaign:
     """A configured campaign, ready to run.
 
@@ -2061,6 +2148,9 @@ class Campaign:
         checkpoint: str | Path | None = None,
         checkpoint_every: int = 0,
         store: ResultStore | str | Path | None = None,
+        chain_indices: Sequence[int] | None = None,
+        heartbeat: str | Path | None = None,
+        heartbeat_interval: float = 1.0,
     ) -> CampaignResult:
         """Execute the campaign and return a :class:`CampaignResult`.
 
@@ -2132,6 +2222,23 @@ class Campaign:
             solved cells are written back.  A store-warmed rerun is
             bit-identical to a cold run (same cells, same canonical
             order); only ``store_hits``/``store_misses`` differ.
+        chain_indices:
+            Run only the chains with these plan indices (see
+            :meth:`chains`), in canonical plan order.  This is the
+            dispatcher's elastic-split primitive: any disjoint cover of
+            the chain indices unions bit-identically to the full run,
+            exactly like ``shard`` -- but the subset is explicit instead
+            of derived from a ``k/n`` partition.  Mutually exclusive
+            with ``shard``.
+        heartbeat:
+            Atomically rewrite a small liveness JSON here (monotonic
+            cells-consumed counter + beat sequence + wall timestamp) on
+            every progress event and at least every *heartbeat_interval*
+            seconds, from a daemon thread (see :class:`_HeartbeatWriter`).
+            A dispatcher polls it to tell *progressing* from *stalled*
+            from *dead* without trusting the child's exit status.
+        heartbeat_interval:
+            Maximum seconds between heartbeat writes (must be > 0).
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -2161,8 +2268,24 @@ class Campaign:
         else:
             store_obj = None
         store_root = str(store_obj.root) if store_obj is not None else None
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
         chains = self.chains()
-        if shard is not None:
+        if chain_indices is not None:
+            if shard is not None:
+                raise ValueError(
+                    "chain_indices and shard are mutually exclusive: a "
+                    "chain subset is already an explicit partition"
+                )
+            wanted = {int(i) for i in chain_indices}
+            unknown = wanted - {c["index"] for c in chains}
+            if unknown:
+                raise ValueError(
+                    f"unknown chain indices {sorted(unknown)}; the plan "
+                    f"has {len(chains)} chain(s)"
+                )
+            chains = [c for c in chains if c["index"] in wanted]
+        elif shard is not None:
             chains = partition_chains(
                 self.spec, chains, shard,
                 partition=partition, cost_manifest=cost_manifest,
@@ -2224,6 +2347,12 @@ class Campaign:
             if stream_csv is not None
             else None
         )
+        worker_faults = WorkerFaults.from_env()
+        beat = (
+            _HeartbeatWriter(heartbeat, heartbeat_interval)
+            if heartbeat is not None
+            else None
+        )
         tagged: list[dict] = []
         streamed = 0
         consumed = 0
@@ -2264,6 +2393,10 @@ class Campaign:
             set by ``max_cells`` is exhausted."""
             nonlocal streamed, consumed, truncated, last_checkpoint
             nonlocal kept_reused
+            if worker_faults is not None:
+                # Injected cell faults land on exact cell boundaries, not
+                # wherever a chain/chunk batch edge happens to fall.
+                part = worker_faults.clip(part, consumed)
             if max_cells is not None and consumed + len(part) > max_cells:
                 part = part[: max(0, max_cells - consumed)]
                 truncated = True
@@ -2283,10 +2416,18 @@ class Campaign:
             ):
                 snapshot_result(final=False).save_json(checkpoint)
                 last_checkpoint = consumed
+            if beat is not None:
+                beat.bump(consumed)
+            if worker_faults is not None:
+                # After the checkpoint/heartbeat so the injected crash
+                # leaves exactly the on-disk state a real one would.
+                worker_faults.fire(consumed, beat)
             return not truncated
 
         arena: _ShmArena | None = None
         try:
+            if beat is not None:
+                beat.start()
             budget_ok = True
             if reused:
                 # consume() records kept_reused (max_cells may cut the batch).
@@ -2365,6 +2506,8 @@ class Campaign:
                 arena.destroy()
             if stream is not None:
                 stream.close()
+            if beat is not None:
+                beat.stop()
 
         return snapshot_result(final=True)
 

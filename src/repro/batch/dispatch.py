@@ -18,7 +18,27 @@ driving to a human.  This module closes the loop with a
   result (atomic write-then-rename), and a dead, killed or truncated
   shard is relaunched with ``--resume`` pointing at its partial output
   -- chain-prefix resume makes the retried shard bit-identical to an
-  uninterrupted one;
+  uninterrupted one.  Relaunches wait out a deterministic exponential
+  backoff (seeded jitter, so a drill replays exactly), and every shard
+  can carry a wall-clock budget derived from the cost manifest
+  (``timeout_factor x predicted + timeout_floor``) or a flat
+  ``shard_timeout``;
+* watches **heartbeats**: every shard subprocess publishes an atomic
+  liveness file (monotonic cells-completed counter + beat sequence, see
+  ``Campaign.run(heartbeat=...)``), and the poll loop classifies each
+  slot as *progressing* (counter advanced recently), *stalled* (beats
+  arrive but the counter froze for ``stall_after`` seconds -- the
+  process is alive but wedged), or *dead* (no beats at all).  Stalled
+  and dead shards are killed and relaunched from their checkpoint;
+  healthy-but-slow shards keep beating through long solves and are
+  never shot;
+* **splits stragglers elastically**: when the queue has drained, slots
+  sit idle and one shard has held its slot past ``split_after``
+  seconds, its chains are re-partitioned by *remaining* cost into
+  sub-shards (``--chains i,j,k`` subsets resumed from the straggler's
+  checkpoint), so idle slots eat the critical path.  The partition is
+  chain-granular, so the merged union stays bit-identical to the
+  single-process run;
 * **auto-merges** shard results *as they complete* through
   :class:`repro.batch.campaign.StreamingMerger` -- each shard JSON is
   folded into the accumulating union and dropped, so dispatched peak
@@ -28,7 +48,23 @@ driving to a human.  This module closes the loop with a
   of the same spec;
 * optionally threads a **content-addressed result store** (``store=``,
   CLI ``--store``) through to every shard subprocess, so overlapping or
-  repeated campaigns skip cells the store already holds.
+  repeated campaigns skip cells the store already holds;
+* shuts down **gracefully**: a ``KeyboardInterrupt`` (SIGINT, or the
+  CLI's SIGTERM trap) terminates every child, saves the merged union so
+  far to ``work_dir/partial.json`` and raises
+  :class:`DispatchInterrupted` -- the work dir stays resumable and no
+  subprocess is orphaned.
+
+Every read of a file a child writes (heartbeat, checkpoint, shard
+result) is crash-consistent: truncated or corrupt JSON is treated as
+absent, matching the result store's damaged-file-as-miss rule -- a torn
+file costs a relaunch, never a traceback.
+
+Recovery paths are drilled, not hoped for: a
+:class:`repro.batch.faults.FaultPlan` handed to the dispatcher delivers
+deterministic faults (kill at cell N, hang, heartbeat drop, corrupt
+output, exit nonzero) to chosen shard attempts through the
+:data:`repro.batch.faults.FAULT_ENV` environment variable.
 
 Shard subprocesses are plain ``python -m repro campaign --spec ...
 --shard i/n`` invocations, launched through a pluggable *backend*:
@@ -41,13 +77,14 @@ repro campaign-dispatch``.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
+import random
 import shlex
 import subprocess
 import sys
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -60,10 +97,12 @@ from repro.batch.campaign import (
     chain_cost_estimates,
     partition_chains,
 )
+from repro.batch.faults import FAULT_ENV, FaultPlan
 
 __all__ = [
     "CampaignDispatcher",
     "DispatchError",
+    "DispatchInterrupted",
     "DispatchReport",
     "LocalBackend",
     "ShardRecord",
@@ -73,6 +112,15 @@ __all__ = [
 
 class DispatchError(RuntimeError):
     """A shard kept failing past ``max_attempts`` (or produced garbage)."""
+
+
+class DispatchInterrupted(DispatchError):
+    """The dispatch was interrupted (SIGINT/SIGTERM) and shut down cleanly.
+
+    Every child was terminated, the merged union so far was saved to
+    ``work_dir/partial.json``, and the work dir is a valid resume target
+    for a fresh dispatch of the same spec.
+    """
 
 
 @dataclass
@@ -93,6 +141,21 @@ class ShardRecord:
     slot: int | None = None
     cells: int = 0
     wall_time_s: float = 0.0
+    #: Chain plan indices this shard runs (the derived partition for
+    #: planned shards, the explicit subset for elastic sub-shards).
+    chain_indices: list[int] = field(default_factory=list)
+    #: Shard this record was split from; ``None`` for planned shards.
+    parent: int | None = None
+    #: Wall seconds of each attempt (parallel to ``attempt_outcomes``).
+    attempt_walls: list[float] = field(default_factory=list)
+    #: Per-attempt outcome: ``completed``, ``failed`` (exited without a
+    #: complete result), ``stalled``, ``dead``, ``timeout``, ``split``.
+    attempt_outcomes: list[str] = field(default_factory=list)
+    #: Backoff delays inserted before relaunches of this shard.
+    backoff_s: list[float] = field(default_factory=list)
+    #: Best partial to resume from when this record was born by a split
+    #: (the parent file its chain-progress census was read from).
+    resume_hint: Path | None = None
 
 
 @dataclass
@@ -112,12 +175,30 @@ class DispatchReport:
     def relaunches(self) -> int:
         return sum(max(0, s.attempts - 1) for s in self.shards)
 
+    @property
+    def splits(self) -> int:
+        """Elastic sub-shards created by straggler splitting."""
+        return sum(1 for s in self.shards if s.parent is not None)
+
     def format_summary(self) -> str:
         lines = [
             f"dispatched {len(self.shards)} shard(s) over {self.workers} "
             f"worker slot(s) in {self.wall_time_s:.2f}s "
-            f"({self.relaunches} relaunch(es))",
+            f"({self.relaunches} relaunch(es), {self.splits} split(s))",
         ]
+        for s in self.shards:
+            if not s.attempt_outcomes:
+                continue
+            attempts = ", ".join(
+                f"{outcome} {wall:.2f}s"
+                for outcome, wall in zip(s.attempt_outcomes, s.attempt_walls)
+            )
+            line = f"  shard {s.shard}: {attempts}"
+            if s.parent is not None:
+                line += f" (split from shard {s.parent})"
+            if s.backoff_s:
+                line += f", backoff {sum(s.backoff_s):.2f}s"
+            lines.append(line)
         for slot in sorted(self.shards_per_slot):
             lines.append(
                 f"  slot {slot}: {self.shards_per_slot[slot]} shard(s)"
@@ -202,6 +283,16 @@ class _Running:
     proc: subprocess.Popen
     slot: int
     started: float
+    #: Wall-clock budget for this attempt (None = unlimited).
+    budget: float | None = None
+    #: Last heartbeat counter / sequence the dispatcher observed.
+    hb_cells: int = -1
+    hb_seq: int = -1
+    #: Dispatcher-clock times of the last counter advance and the last
+    #: beat of any kind (clock-skew-free: embedded child timestamps are
+    #: never compared against the dispatcher's clock).
+    advance_t: float = 0.0
+    beat_t: float = 0.0
 
 
 class CampaignDispatcher:
@@ -223,19 +314,67 @@ class CampaignDispatcher:
         hosts derive the identical disjoint partition.
     work_dir:
         Directory for the spec file, cost manifest, shard JSONs,
-        checkpoints and per-shard logs.
+        checkpoints, heartbeats and per-shard logs.
     backend:
         :class:`LocalBackend` (default) or :class:`SshBackend`-shaped
         object with the same ``launch`` signature.
     max_attempts:
         Launch attempts per shard before :class:`DispatchError`.
+    poll_interval:
+        Minimum seconds between poll-loop iterations.  The loop adapts:
+        every quiet iteration doubles the sleep up to ``poll_max``, any
+        event (launch, completion, failure, split) snaps it back.
+    poll_max:
+        Upper bound of the adaptive poll sleep.  Defaults to the
+        effective heartbeat interval, so liveness observations are never
+        starved by a long sleep.
     checkpoint_every:
         Cells between the shard subprocesses' checkpoint writes.
+    stall_after:
+        Liveness window in seconds (``None`` disables liveness kills).
+        A shard whose heartbeat *counter* has not advanced within the
+        window is *stalled* if beats still arrive, *dead* if they do
+        not; both are killed and relaunched from their checkpoint.
+        Healthy shards beat through long solves, so slow is never
+        conflated with wedged.
+    heartbeat_interval:
+        Seconds between child heartbeat writes.  When ``stall_after``
+        is set the effective interval is capped at a quarter of the
+        window so a healthy shard can never be starved into a false
+        stall by its own beat cadence.
+    shard_timeout:
+        Flat wall-clock budget per shard attempt (seconds); exceeding
+        it counts as a failed attempt (outcome ``timeout``).
+    timeout_factor / timeout_floor:
+        With a cost manifest, derive each shard's budget as
+        ``timeout_factor x estimated_cost + timeout_floor`` instead of
+        a flat value.  ``shard_timeout`` wins when both are set;
+        ``timeout_factor=None`` (default) disables derived budgets.
+    backoff_base / backoff_max:
+        Exponential backoff between attempts of one shard:
+        ``min(backoff_max, backoff_base * 2^(attempt-1) + jitter)``
+        where the jitter is drawn from a generator seeded with
+        ``(spec seed, shard, attempt)`` -- deterministic, so a drill
+        replays the exact schedule.  ``backoff_base=0`` (default)
+        relaunches immediately.
+    split_after:
+        Straggler threshold in seconds (``None`` disables splitting).
+        When the queue is empty, at least one slot is idle and a shard
+        with >= 2 unfinished chains has held its slot this long, the
+        shard is killed and its chains re-partitioned by *remaining*
+        cost into sub-shards resumed from its checkpoint -- the merged
+        union stays bit-identical because the partition is
+        chain-granular.
     inject_kills:
         Deterministic fault injection for tests and drills: shard index
         -> cell budget for its *first* attempt (the subprocess truncates
         there via ``--max-cells``, exactly like a kill after N cells, and
         the dispatcher must recover it through ``--resume``).
+    faults:
+        A :class:`repro.batch.faults.FaultPlan` delivered to matching
+        shard attempts through the environment -- the richer
+        fault-injection surface (kill/hang/heartbeat-drop/corrupt/exit
+        at exact cell boundaries).
     shard_args:
         Extra argv appended to every shard command line.  Flags the
         dispatcher builds itself (``--spec``, ``--shard``, ``--json``,
@@ -264,9 +403,19 @@ class CampaignDispatcher:
         backend: LocalBackend | SshBackend | None = None,
         max_attempts: int = 3,
         poll_interval: float = 0.05,
+        poll_max: float | None = None,
         checkpoint_every: int = 16,
+        stall_after: float | None = None,
+        heartbeat_interval: float = 1.0,
+        shard_timeout: float | None = None,
+        timeout_factor: float | None = None,
+        timeout_floor: float = 30.0,
+        backoff_base: float = 0.0,
+        backoff_max: float = 60.0,
+        split_after: float | None = None,
         shard_args: Sequence[str] = (),
         inject_kills: dict[int, int] | None = None,
+        faults: FaultPlan | None = None,
         store: str | Path | None = None,
     ):
         if shards < 1:
@@ -277,6 +426,22 @@ class CampaignDispatcher:
             raise ValueError("max_attempts must be >= 1")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if stall_after is not None and stall_after <= 0:
+            raise ValueError("stall_after must be > 0 (or None)")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be > 0 (or None)")
+        if timeout_factor is not None and timeout_factor <= 0:
+            raise ValueError("timeout_factor must be > 0 (or None)")
+        if timeout_floor < 0:
+            raise ValueError("timeout_floor must be >= 0")
+        if backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if backoff_max < 0:
+            raise ValueError("backoff_max must be >= 0")
+        if split_after is not None and split_after < 0:
+            raise ValueError("split_after must be >= 0 (or None)")
         shard_args = list(shard_args)
         self._validate_shard_args(shard_args)
         Campaign(spec)  # validates generator/method names up front
@@ -291,8 +456,29 @@ class CampaignDispatcher:
         self.max_attempts = max_attempts
         self.poll_interval = poll_interval
         self.checkpoint_every = checkpoint_every
+        self.stall_after = stall_after
+        # A liveness window needs several beats inside it, or a healthy
+        # shard's own cadence could read as silence.
+        if stall_after is not None:
+            self.heartbeat_interval = min(
+                heartbeat_interval, max(stall_after / 4.0, 0.05)
+            )
+        else:
+            self.heartbeat_interval = heartbeat_interval
+        self.poll_max = (
+            poll_max
+            if poll_max is not None
+            else max(poll_interval, self.heartbeat_interval)
+        )
+        self.shard_timeout = shard_timeout
+        self.timeout_factor = timeout_factor
+        self.timeout_floor = timeout_floor
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.split_after = split_after
         self.shard_args = shard_args
         self.inject_kills = dict(inject_kills or {})
+        self.faults = faults
         self.store = Path(store) if store is not None else None
 
     #: Flags every shard command line already carries (or that the
@@ -301,7 +487,8 @@ class CampaignDispatcher:
     _OWNED_FLAGS = frozenset({
         "--spec", "--shard", "--partition", "--workers", "--json",
         "--checkpoint", "--checkpoint-every", "--resume", "--max-cells",
-        "--cost-manifest", "--store",
+        "--cost-manifest", "--store", "--heartbeat", "--heartbeat-interval",
+        "--chains",
     })
 
     @classmethod
@@ -342,14 +529,20 @@ class CampaignDispatcher:
     def _checkpoint_path(self, shard: int) -> Path:
         return self.work_dir / f"shard{shard:04d}.part.json"
 
+    def _heartbeat_path(self, shard: int) -> Path:
+        return self.work_dir / f"shard{shard:04d}.hb.json"
+
     def _log_path(self, shard: int) -> Path:
         return self.work_dir / f"shard{shard:04d}.log"
 
     # -- planning ----------------------------------------------------------
 
+    def _cells_per_chain(self) -> int:
+        return len(self.spec.sweep_values()) * len(self.spec.methods)
+
     def _plan(self) -> list[ShardRecord]:
         chains = self.spec.chains()
-        n_cells = len(self.spec.sweep_values()) * len(self.spec.methods)
+        n_cells = self._cells_per_chain()
         records = []
         for k in range(self.shards):
             assigned = partition_chains(
@@ -365,6 +558,7 @@ class CampaignDispatcher:
                     chains=len(assigned),
                     expected_cells=len(assigned) * n_cells,
                     estimated_cost=sum(costs),
+                    chain_indices=[c["index"] for c in assigned],
                 )
             )
         return records
@@ -373,24 +567,64 @@ class CampaignDispatcher:
         argv = [
             sys.executable, "-m", "repro", "campaign",
             "--spec", str(self._spec_path()),
-            "--shard", f"{record.shard}/{self.shards}",
-            "--partition", self.partition,
+        ]
+        if record.parent is None:
+            argv += [
+                "--shard", f"{record.shard}/{self.shards}",
+                "--partition", self.partition,
+            ]
+        else:
+            # Elastic sub-shard: an explicit chain subset, not a k/n
+            # partition (its result carries no shard designator).
+            argv += [
+                "--chains", ",".join(str(i) for i in record.chain_indices),
+            ]
+        argv += [
             "--workers", "1",
             "--json", str(self._out_path(record.shard)),
             "--checkpoint", str(self._checkpoint_path(record.shard)),
             "--checkpoint-every", str(self.checkpoint_every),
+            "--heartbeat", str(self._heartbeat_path(record.shard)),
+            "--heartbeat-interval", f"{self.heartbeat_interval:g}",
         ]
         if self.cost_manifest:
             argv += ["--cost-manifest", str(self._manifest_path())]
         if self.store is not None:
             argv += ["--store", str(self.store)]
-        resume = self._resume_source(record.shard)
+        resume = self._resume_source(record)
         if resume is not None:
             argv += ["--resume", str(resume)]
             record.resumed_attempts += 1
-        if first and record.shard in self.inject_kills:
+        if first and record.parent is None and record.shard in self.inject_kills:
             argv += ["--max-cells", str(self.inject_kills[record.shard])]
         return argv + self.shard_args
+
+    # -- crash-consistent reads --------------------------------------------
+
+    @staticmethod
+    def _load_result(path: Path) -> CampaignResult | None:
+        """Load a child-written result JSON; damage reads as absent."""
+        if not path.exists():
+            return None
+        try:
+            return CampaignResult.load_json(path)
+        except (ValueError, KeyError, TypeError, OSError):
+            return None
+
+    def _read_heartbeat(self, shard: int) -> dict | None:
+        """The shard's heartbeat, or ``None`` if absent/torn/corrupt."""
+        try:
+            data = json.loads(self._heartbeat_path(shard).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            return {"cells": int(data["cells"]), "seq": int(data["seq"])}
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- ownership ---------------------------------------------------------
 
     def _is_ours(self, result: CampaignResult, shard: int) -> bool:
         """Whether a loaded partial/final result belongs to this dispatch.
@@ -410,7 +644,7 @@ class CampaignDispatcher:
             result.shard is None or result.shard == [shard, self.shards]
         )
 
-    def _resume_source(self, shard: int) -> Path | None:
+    def _resume_source(self, record: ShardRecord | int) -> Path | None:
         """The best partial output a relaunch can resume from.
 
         Both the final output (a truncated run wrote one) and the
@@ -422,19 +656,44 @@ class CampaignDispatcher:
         after a truncated attempt 1 and a killed attempt 2, the
         attempt-2 checkpoint supersedes the stale attempt-1 output, so
         repeated kills never re-run recovered work.
+
+        An elastic sub-shard additionally considers its parent's files
+        (the straggler partial it was split from): chain-prefix resume
+        reuses the parent's completed chains wholesale and re-runs the
+        rest, which is what keeps a split bit-identical.
         """
+        if isinstance(record, ShardRecord):
+            sid, parent = record.shard, record.parent
+            hint = record.resume_hint
+        else:
+            sid, parent, hint = record, None, None
+        candidates = [self._out_path(sid), self._checkpoint_path(sid)]
+        if parent is not None:
+            candidates += [
+                self._out_path(parent), self._checkpoint_path(parent),
+            ]
+        if hint is not None:
+            candidates.append(hint)
+        allowed = {None, (sid, self.shards)}
+        if parent is not None:
+            allowed.add((parent, self.shards))
         best: Path | None = None
         best_cells = -1
-        for path in (self._out_path(shard), self._checkpoint_path(shard)):
-            if path.exists():
-                try:
-                    result = CampaignResult.load_json(path)
-                except (ValueError, KeyError, TypeError, OSError):
-                    continue
-                if not self._is_ours(result, shard):
-                    continue
-                if len(result.cells) > best_cells:
-                    best, best_cells = path, len(result.cells)
+        seen: set[Path] = set()
+        for path in candidates:
+            if path in seen:
+                continue
+            seen.add(path)
+            result = self._load_result(path)
+            if result is None or result.spec != self._spec_dict:
+                continue
+            designator = (
+                tuple(result.shard) if result.shard is not None else None
+            )
+            if designator not in allowed:
+                continue
+            if len(result.cells) > best_cells:
+                best, best_cells = path, len(result.cells)
         return best
 
     def _shard_complete(self, record: ShardRecord) -> CampaignResult | None:
@@ -443,19 +702,20 @@ class CampaignDispatcher:
         A stale-but-complete output of a *foreign* spec (a reused work
         dir) must never be accepted as this run's result, so the same
         ownership check as :meth:`_resume_source` applies -- with the
-        shard designator required exactly, since every subprocess this
-        dispatcher launches passes ``--shard``.
+        shard designator required exactly: planned shards run with
+        ``--shard`` and must carry their ``k/n``, elastic sub-shards run
+        with ``--chains`` and must carry none.
         """
-        path = self._out_path(record.shard)
-        if not path.exists():
+        result = self._load_result(self._out_path(record.shard))
+        if result is None:
             return None
-        try:
-            result = CampaignResult.load_json(path)
-        except (ValueError, KeyError, TypeError, OSError):
-            return None
-        if result.spec != self._spec_dict or result.shard != [
-            record.shard, self.shards,
-        ]:
+        expected_designator = (
+            None if record.parent is not None else [record.shard, self.shards]
+        )
+        if (
+            result.spec != self._spec_dict
+            or result.shard != expected_designator
+        ):
             return None
         if result.truncated or len(result.cells) != record.expected_cells:
             return None
@@ -473,6 +733,82 @@ class CampaignDispatcher:
         return "\nlast log lines:\n" + "\n".join(
             f"  {line}" for line in tail
         )
+
+    # -- liveness / recovery policy ----------------------------------------
+
+    def _liveness(self, active: _Running, now: float) -> str:
+        """Classify a live slot: ``progressing`` / ``stalled`` / ``dead``.
+
+        The decision uses *dispatcher-observed* change times: the moment
+        this loop saw the counter (or the beat sequence) change, never
+        the child's embedded wall timestamp -- so clock skew between
+        hosts cannot misclassify a healthy worker.
+        """
+        hb = self._read_heartbeat(active.record.shard)
+        if hb is not None:
+            if hb["cells"] > active.hb_cells:
+                active.hb_cells = hb["cells"]
+                active.hb_seq = hb["seq"]
+                active.advance_t = now
+                active.beat_t = now
+            elif hb["seq"] != active.hb_seq:
+                active.hb_seq = hb["seq"]
+                active.beat_t = now
+        if self.stall_after is None:
+            return "progressing"
+        if now - active.advance_t <= self.stall_after:
+            return "progressing"
+        if now - active.beat_t <= self.stall_after:
+            return "stalled"
+        return "dead"
+
+    def _attempt_budget(self, record: ShardRecord) -> float | None:
+        if self.shard_timeout is not None:
+            return self.shard_timeout
+        if self.timeout_factor is not None and self.cost_manifest:
+            return (
+                self.timeout_factor * record.estimated_cost
+                + self.timeout_floor
+            )
+        return None
+
+    def _backoff_delay(self, shard: int, attempt: int) -> float:
+        """Deterministic exponential backoff before attempt ``attempt+1``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        rng = random.Random(f"{self.spec.seed}:{shard}:{attempt}")
+        raw = self.backoff_base * (2.0 ** (attempt - 1))
+        jitter = rng.random() * self.backoff_base
+        return min(self.backoff_max, raw + jitter)
+
+    def _chain_progress(
+        self, result: CampaignResult | None, record: ShardRecord
+    ) -> dict[int, int]:
+        """Completed-cell count per chain index of *record* in *result*.
+
+        Chains are identified by their (seed, replicate) pair -- every
+        cell of a chain carries the chain's seed, and the plan spawns a
+        distinct seed per (point, replicate).
+        """
+        if result is None:
+            return {}
+        wanted = set(record.chain_indices)
+        by_key = {
+            (c["seed"], c["replicate"]): c["index"]
+            for c in self.spec.chains()
+            if c["index"] in wanted
+        }
+        counts: dict[int, int] = {}
+        for cell in result.cells:
+            idx = by_key.get((cell.seed, cell.replicate))
+            if idx is not None:
+                counts[idx] = counts.get(idx, 0) + 1
+        return counts
+
+    def _designator(self, record: ShardRecord) -> str:
+        if record.parent is None:
+            return f"{record.shard}/{self.shards}"
+        return f"{record.shard} (split from {record.parent})"
 
     # -- execution ---------------------------------------------------------
 
@@ -496,15 +832,18 @@ class CampaignDispatcher:
 
         records = self._plan()
         by_shard = {r.shard: r for r in records}
+        chain_plan = {c["index"]: c for c in self.spec.chains()}
+        n_cells = self._cells_per_chain()
+        next_sub = self.shards
         # Heaviest shards first: launching the long poles early is the
         # other half of the makespan story (stealing only fixes tails the
         # queue has not yet committed).  Empty shards are born complete.
-        pending = deque(
-            sorted(
-                (r.shard for r in records if r.chains > 0),
-                key=lambda k: (-by_shard[k].estimated_cost, k),
-            )
+        pending: list[int] = sorted(
+            (r.shard for r in records if r.chains > 0),
+            key=lambda k: (-by_shard[k].estimated_cost, k),
         )
+        #: Shard id -> monotonic time before which it may not relaunch.
+        ready_at: dict[int, float] = {}
         env = self._child_env()
         running: dict[int, _Running] = {}
         # Shard results are folded into the merger the moment their shard
@@ -512,59 +851,249 @@ class CampaignDispatcher:
         # memory, never the full set of shard JSONs.
         merger = StreamingMerger(self._spec_dict)
         shards_per_slot: dict[int, int] = {}
+        poll = self.poll_interval
+        interrupted: BaseException | None = None
+
+        def pop_ready(now: float) -> int | None:
+            for i, sid in enumerate(pending):
+                if ready_at.get(sid, 0.0) <= now:
+                    return pending.pop(i)
+            return None
+
+        def launch(record: ShardRecord, slot: int) -> None:
+            record.attempts += 1
+            # A stale heartbeat from a previous attempt must not feed the
+            # classifier: the fresh attempt starts with a clean grace
+            # window measured from its own launch.
+            self._heartbeat_path(record.shard).unlink(missing_ok=True)
+            launch_env = env
+            if self.faults is not None:
+                payload = self.faults.for_worker(
+                    record.shard, record.attempts
+                )
+                if payload is not None:
+                    launch_env = dict(env)
+                    launch_env[FAULT_ENV] = payload
+            proc = self.backend.launch(
+                self._command(record, first=record.attempts == 1),
+                slot=slot,
+                log_path=self._log_path(record.shard),
+                env=launch_env,
+            )
+            now = time.perf_counter()
+            running[slot] = _Running(
+                record, proc, slot, now,
+                budget=self._attempt_budget(record),
+                advance_t=now, beat_t=now,
+            )
+
+        def finish_attempt(
+            active: _Running, outcome: str, wall: float
+        ) -> None:
+            active.record.wall_time_s += wall
+            active.record.attempt_walls.append(wall)
+            active.record.attempt_outcomes.append(outcome)
+
+        def fail_attempt(active: _Running, outcome: str, rc) -> None:
+            record = active.record
+            if record.attempts >= self.max_attempts:
+                raise DispatchError(
+                    f"shard {self._designator(record)} failed "
+                    f"{record.attempts} attempt(s) (last outcome "
+                    f"{outcome!r}, exit status {rc}); see "
+                    f"{self._log_path(record.shard)}"
+                    + self._log_excerpt(record.shard)
+                )
+            delay = self._backoff_delay(record.shard, record.attempts)
+            if delay > 0.0:
+                record.backoff_s.append(delay)
+                ready_at[record.shard] = time.perf_counter() + delay
+            # Relaunch at the front of the queue: a failed shard is the
+            # current long pole by definition.
+            pending.insert(0, record.shard)
+
+        def try_split(now: float) -> bool:
+            """Split the worst straggler's chains onto idle slots."""
+            nonlocal next_sub
+            if self.split_after is None or pending or not running:
+                return False
+            idle = self.workers - len(running)
+            if idle < 1:
+                return False
+            candidates = [
+                a for a in running.values()
+                if now - a.started >= self.split_after
+                and len(a.record.chain_indices) >= 2
+            ]
+            if not candidates:
+                return False
+            active = max(
+                candidates,
+                key=lambda a: (a.record.estimated_cost, -a.record.shard),
+            )
+            record = active.record
+            # Census the straggler's progress *before* killing it; both
+            # candidate files are atomic, so a live child cannot tear
+            # them under the read.
+            source = self._resume_source(record)
+            partial = (
+                self._load_result(source) if source is not None else None
+            )
+            done = self._chain_progress(partial, record)
+            unfinished = [
+                i for i in record.chain_indices
+                if done.get(i, 0) < n_cells
+            ]
+            if len(unfinished) < 2:
+                # One unfinished chain cannot be split further; leave the
+                # shard running rather than pay a pointless relaunch.
+                return False
+            active.proc.kill()
+            active.proc.wait()
+            del running[active.slot]
+            finish_attempt(active, "split", now - active.started)
+            # Re-partition *all* assigned chains by remaining cost
+            # (completed chains weigh ~0 and resume wholesale), LPT onto
+            # the idle slots plus the one just freed.
+            costs = chain_cost_estimates(
+                self.spec,
+                [chain_plan[i] for i in record.chain_indices],
+                self.cost_manifest,
+            )
+            remaining = {
+                i: cost * (1.0 - min(done.get(i, 0), n_cells) / n_cells)
+                for i, cost in zip(record.chain_indices, costs)
+            }
+            groups = min(idle + 1, len(unfinished))
+            heap = [(0.0, g) for g in range(groups)]
+            assign: list[list[int]] = [[] for _ in range(groups)]
+            for i in sorted(
+                record.chain_indices, key=lambda i: (-remaining[i], i)
+            ):
+                load, g = heapq.heappop(heap)
+                assign[g].append(i)
+                heapq.heappush(heap, (load + remaining[i], g))
+            for sub in assign:
+                if not sub:
+                    continue
+                sub_record = ShardRecord(
+                    shard=next_sub,
+                    chains=len(sub),
+                    expected_cells=len(sub) * n_cells,
+                    estimated_cost=sum(remaining[i] for i in sub),
+                    chain_indices=sorted(sub),
+                    parent=record.shard,
+                    resume_hint=source,
+                )
+                next_sub += 1
+                records.append(sub_record)
+                by_shard[sub_record.shard] = sub_record
+                pending.insert(0, sub_record.shard)
+            return True
+
         try:
             while pending or running:
+                now = time.perf_counter()
+                events = False
                 free = [
                     s for s in range(self.workers) if s not in running
                 ]
                 for slot in free:
-                    if not pending:
+                    sid = pop_ready(now)
+                    if sid is None:
                         break
-                    record = by_shard[pending.popleft()]
-                    record.attempts += 1
-                    proc = self.backend.launch(
-                        self._command(record, first=record.attempts == 1),
-                        slot=slot,
-                        log_path=self._log_path(record.shard),
-                        env=env,
-                    )
-                    running[slot] = _Running(
-                        record, proc, slot, time.perf_counter()
-                    )
+                    launch(by_shard[sid], slot)
+                    events = True
                 if not running:
+                    # Every pending shard is inside a backoff window:
+                    # sleep it out instead of busy-spinning.
+                    next_ready = min(
+                        (ready_at.get(s, 0.0) for s in pending),
+                        default=now,
+                    )
+                    wait = max(0.0, next_ready - time.perf_counter())
+                    time.sleep(
+                        min(wait, 1.0) if wait > 0 else self.poll_interval
+                    )
                     continue
-                time.sleep(self.poll_interval)
+                time.sleep(poll)
+                now = time.perf_counter()
                 for slot, active in list(running.items()):
-                    if active.proc.poll() is None:
-                        continue
+                    outcome: str | None = None
+                    rc = active.proc.poll()
+                    if rc is None:
+                        if (
+                            active.budget is not None
+                            and now - active.started > active.budget
+                        ):
+                            outcome = "timeout"
+                        else:
+                            state = self._liveness(active, now)
+                            if state in ("stalled", "dead"):
+                                outcome = state
+                        if outcome is None:
+                            continue
+                        # Wedged or over budget: the dispatcher shoots it
+                        # and treats the attempt as failed.
+                        active.proc.kill()
+                        active.proc.wait()
+                        rc = active.proc.returncode
                     del running[slot]
+                    events = True
                     record = active.record
-                    record.wall_time_s += time.perf_counter() - active.started
-                    result = self._shard_complete(record)
+                    result = (
+                        self._shard_complete(record)
+                        if outcome is None
+                        else None
+                    )
                     if result is not None:
+                        finish_attempt(active, "completed", now - active.started)
                         record.slot = slot
                         record.cells = len(result.cells)
                         merger.add(result)
-                        shards_per_slot[slot] = shards_per_slot.get(slot, 0) + 1
+                        shards_per_slot[slot] = (
+                            shards_per_slot.get(slot, 0) + 1
+                        )
                         self._checkpoint_path(record.shard).unlink(
                             missing_ok=True
                         )
                         continue
-                    if record.attempts >= self.max_attempts:
-                        raise DispatchError(
-                            f"shard {record.shard}/{self.shards} failed "
-                            f"{record.attempts} attempt(s) (last exit "
-                            f"status {active.proc.returncode}); see "
-                            f"{self._log_path(record.shard)}"
-                            + self._log_excerpt(record.shard)
-                        )
-                    # Relaunch at the front of the queue: a failed shard
-                    # is the current long pole by definition.
-                    pending.appendleft(record.shard)
+                    finish_attempt(
+                        active, outcome or "failed", now - active.started
+                    )
+                    fail_attempt(active, outcome or "failed", rc)
+                if try_split(time.perf_counter()):
+                    events = True
+                # Adaptive poll: quiet iterations back off exponentially
+                # (bounded so heartbeat observation is never starved),
+                # any event snaps the cadence back to the floor.
+                poll = (
+                    self.poll_interval
+                    if events
+                    else min(poll * 2.0, self.poll_max)
+                )
+        except (KeyboardInterrupt, SystemExit) as exc:
+            interrupted = exc
         finally:
-            for active in running.values():
-                active.proc.kill()
-                active.proc.wait()
+            self._reap(running)
+
+        if interrupted is not None:
+            partial = merger.finish()
+            partial_path: Path | None = self.work_dir / "partial.json"
+            try:
+                partial.save_json(partial_path)
+            except OSError:
+                partial_path = None
+            raise DispatchInterrupted(
+                f"dispatch interrupted; merged {len(partial.cells)} cell(s) "
+                + (
+                    f"into {partial_path}; "
+                    if partial_path is not None
+                    else ""
+                )
+                + f"work dir {self.work_dir} is resumable by re-dispatching "
+                "the same spec into it"
+            ) from interrupted
 
         # The merger was seeded with this dispatch's spec, so even a run
         # where every shard was empty (more shards than chains) finishes
@@ -584,6 +1113,28 @@ class CampaignDispatcher:
             wall_time_s=time.perf_counter() - t0,
             shards_per_slot=shards_per_slot,
         )
+
+    @staticmethod
+    def _reap(running: dict[int, _Running]) -> None:
+        """Terminate-then-kill every child; never leave an orphan behind.
+
+        SIGTERM first so children die promptly but cleanly (they hold no
+        state needing flushing -- checkpoints are atomic), escalating to
+        SIGKILL for anything that lingers past a short grace period.
+        """
+        for active in running.values():
+            if active.proc.poll() is None:
+                active.proc.terminate()
+        deadline = time.perf_counter() + 2.0
+        for active in running.values():
+            try:
+                active.proc.wait(
+                    timeout=max(0.0, deadline - time.perf_counter())
+                )
+            except subprocess.TimeoutExpired:
+                active.proc.kill()
+                active.proc.wait()
+        running.clear()
 
     def _child_env(self) -> dict:
         """Child env that can import ``repro`` even without installation."""

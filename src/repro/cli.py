@@ -220,6 +220,20 @@ def build_parser() -> argparse.ArgumentParser:
                       "solved by any previous run sharing DIR are served "
                       "from disk (bit-identical to solving them), fresh "
                       "solves are written back")
+    p_cp.add_argument("--chains", metavar="I,J,...",
+                      help="run only the chains with these plan indices "
+                      "(the dispatcher's elastic-split primitive; any "
+                      "disjoint cover unions bit-identically to the full "
+                      "run); mutually exclusive with --shard")
+    p_cp.add_argument("--heartbeat", metavar="PATH",
+                      help="atomically rewrite a liveness JSON here "
+                      "(monotonic cells-completed counter + beat "
+                      "sequence) so a dispatcher can tell progressing "
+                      "from stalled from dead")
+    p_cp.add_argument("--heartbeat-interval", type=float, default=1.0,
+                      metavar="S",
+                      help="max seconds between --heartbeat writes "
+                      "(default 1.0)")
 
     p_cd = sub.add_parser(
         "campaign-dispatch",
@@ -258,6 +272,49 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="cells between shard checkpoint writes "
                       "(default 16)")
+    p_cd.add_argument("--stall-after", type=float, default=None,
+                      metavar="S",
+                      help="heartbeat liveness window: kill and relaunch "
+                      "a shard whose cells-completed counter has not "
+                      "advanced for S seconds (still-beating shards count "
+                      "as stalled, silent ones as dead; default: off)")
+    p_cd.add_argument("--heartbeat-interval", type=float, default=1.0,
+                      metavar="S",
+                      help="seconds between shard heartbeat writes "
+                      "(default 1.0; capped at --stall-after/4 so a "
+                      "healthy shard can never look silent)")
+    p_cd.add_argument("--shard-timeout", type=float, default=None,
+                      metavar="S",
+                      help="flat wall-clock budget per shard attempt; "
+                      "exceeding it counts as a failed attempt "
+                      "(default: off)")
+    p_cd.add_argument("--timeout-factor", type=float, default=None,
+                      metavar="K",
+                      help="with --cost-manifest: per-shard budget of "
+                      "K x predicted cost + --timeout-floor seconds "
+                      "(--shard-timeout wins when both are set)")
+    p_cd.add_argument("--timeout-floor", type=float, default=30.0,
+                      metavar="S",
+                      help="constant term of the --timeout-factor budget "
+                      "(default 30)")
+    p_cd.add_argument("--backoff", dest="backoff_base", type=float,
+                      default=1.0, metavar="S",
+                      help="base of the exponential relaunch backoff "
+                      "min(max, S * 2^(attempt-1) + jitter) with "
+                      "deterministic seeded jitter (default 1.0; 0 "
+                      "relaunches immediately)")
+    p_cd.add_argument("--backoff-max", type=float, default=60.0,
+                      metavar="S",
+                      help="upper bound of the relaunch backoff "
+                      "(default 60)")
+    p_cd.add_argument("--split-after", type=float, default=None,
+                      metavar="S",
+                      help="elastic straggler splitting: when the queue "
+                      "is empty, slots sit idle and one shard has held "
+                      "its slot for S seconds, re-partition its "
+                      "unfinished chains onto the idle slots (resumed "
+                      "from its checkpoint; the union stays bit-identical;"
+                      " default: off)")
     p_cd.add_argument("--json", dest="json_out", metavar="PATH",
                       help="write the merged CampaignResult as JSON "
                       "(its chain_costs block is the natural "
@@ -605,6 +662,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         CampaignResult.load_json(args.resume) if args.resume else None
     )
     shard = parse_shard(args.shard) if args.shard else None
+    chain_indices = None
+    if args.chains:
+        try:
+            chain_indices = [
+                int(token)
+                for token in args.chains.split(",")
+                if token.strip()
+            ]
+        except ValueError:
+            raise ValueError(
+                "--chains must be a comma-separated list of chain plan "
+                f"indices, got {args.chains!r}"
+            ) from None
     cost_manifest = (
         load_cost_manifest(args.cost_manifest)
         if args.cost_manifest
@@ -623,6 +693,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         store=args.store,
+        chain_indices=chain_indices,
+        heartbeat=args.heartbeat,
+        heartbeat_interval=args.heartbeat_interval,
     )
     if args.store:
         print(
@@ -646,7 +719,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"streamed {result.streamed_cells} cells to {args.stream_csv}")
     print(result.format_summary())
     if args.json_out:
-        print(f"campaign result written to {result.save_json(args.json_out)}")
+        from repro.batch.faults import CORRUPT_PAYLOAD, WorkerFaults
+
+        worker_faults = WorkerFaults.from_env()
+        if worker_faults is not None and worker_faults.corrupts_output():
+            # Fault injection: damage the output exactly where a crash
+            # mid-write would, exercising crash-consistent readers.
+            from pathlib import Path as _Path
+
+            _Path(args.json_out).write_text(CORRUPT_PAYLOAD)
+            print(f"fault injection: corrupt output written to {args.json_out}")
+        else:
+            print(
+                f"campaign result written to {result.save_json(args.json_out)}"
+            )
     if args.csv_out:
         print(f"per-cell CSV written to {result.write_cells_csv(args.csv_out)}")
     if args.acceptance_csv:
@@ -691,6 +777,7 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
     import shutil
+    import signal
     import tempfile
     from pathlib import Path
 
@@ -698,6 +785,7 @@ def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
     from repro.batch.dispatch import (
         CampaignDispatcher,
         DispatchError,
+        DispatchInterrupted,
         LocalBackend,
         SshBackend,
     )
@@ -737,14 +825,43 @@ def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
         backend=backend,
         max_attempts=args.max_attempts,
         checkpoint_every=args.checkpoint_every,
+        stall_after=args.stall_after,
+        heartbeat_interval=args.heartbeat_interval,
+        shard_timeout=args.shard_timeout,
+        timeout_factor=args.timeout_factor,
+        timeout_floor=args.timeout_floor,
+        backoff_base=args.backoff_base,
+        backoff_max=args.backoff_max,
+        split_after=args.split_after,
         store=args.store,
     )
+
+    # SIGTERM (systemd stop, cluster preemption, a plain `kill`) takes
+    # the same graceful path SIGINT already does: the dispatcher
+    # terminates every child shard, saves the merged partial, and the
+    # work dir stays resumable.
+    def _graceful_term(signum, frame):
+        raise KeyboardInterrupt
+
+    _unset = object()
+    previous_term = _unset
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _graceful_term)
+    except ValueError:
+        pass  # not the main thread (embedded use); SIGINT still works
     try:
         report = dispatcher.run()
+    except DispatchInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print(f"shard files kept under {work_dir}", file=sys.stderr)
+        return 1
     except DispatchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         print(f"shard files kept under {work_dir}", file=sys.stderr)
         return 1
+    finally:
+        if previous_term is not _unset:
+            signal.signal(signal.SIGTERM, previous_term)
     print(report.format_summary())
     print(report.result.format_summary())
     if args.json_out:

@@ -30,6 +30,7 @@ _NUMPY_TEST_FILES = [
     "test_cli.py",
     "test_differential_sim_vs_analysis.py",
     "test_dispatch.py",
+    "test_dispatch_faults.py",
     "test_examples_run.py",
     "test_exactness.py",
     "test_gen.py",

@@ -767,3 +767,80 @@ class TestChainScaling:
         a = Campaign(spec).run(workers=1)
         b = Campaign(spec).run(workers=1)
         assert a.metrics() == b.metrics()
+
+
+class TestHeartbeatAndChains:
+    """Worker-side liveness reporting and explicit chain subsets."""
+
+    def test_heartbeat_file_tracks_progress(self, tmp_path):
+        import os
+
+        spec = small_spec()
+        hb_path = tmp_path / "beat.json"
+        result = Campaign(spec).run(
+            workers=1, heartbeat=hb_path, heartbeat_interval=0.1
+        )
+        beat = json.loads(hb_path.read_text())
+        # The final (stop-time) beat reports every cell consumed.
+        assert beat["cells"] == len(result.cells) == spec.n_analyses()
+        assert beat["pid"] == os.getpid()
+        assert beat["seq"] >= 1
+        assert beat["time"] > 0
+
+    def test_heartbeat_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            Campaign(small_spec()).run(
+                workers=1, heartbeat=tmp_path / "b.json", heartbeat_interval=0
+            )
+
+    def test_chain_subsets_union_bit_identical(self):
+        """--chains is the elastic-split transport: disjoint index subsets
+        must union to exactly the full run."""
+        from repro.batch import StreamingMerger
+
+        spec = small_spec(systems_per_cell=2)
+        full = Campaign(spec).run(workers=1)
+        indices = [c["index"] for c in spec.chains()]
+        assert len(indices) >= 2
+        merger = StreamingMerger(spec.to_dict())
+        for subset in (indices[::2], indices[1::2]):
+            merger.add(Campaign(spec).run(workers=1, chain_indices=subset))
+        merged = merger.finish()
+        assert merged.metrics() == full.metrics()
+
+    def test_chains_and_shard_are_mutually_exclusive(self):
+        spec = small_spec()
+        with pytest.raises(ValueError, match="chain_indices"):
+            Campaign(spec).run(
+                workers=1, shard=(0, 2), chain_indices=[0]
+            )
+
+    def test_unknown_chain_index_rejected(self):
+        spec = small_spec()
+        with pytest.raises(ValueError, match="unknown chain"):
+            Campaign(spec).run(workers=1, chain_indices=[10_000])
+
+    def test_cli_chains_flag(self, tmp_path, capsys):
+        spec = small_spec(systems_per_cell=2)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        out_json = tmp_path / "subset.json"
+        rc = cli_main([
+            "campaign", "--spec", str(spec_path),
+            "--chains", "0", "--json", str(out_json),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        subset = CampaignResult.load_json(out_json)
+        chain0 = next(c for c in spec.chains() if c["index"] == 0)
+        assert len(subset.cells) == len(spec.sweep_values()) * len(
+            spec.methods
+        )
+        assert {(c.seed, c.replicate) for c in subset.cells} == {
+            (chain0["seed"], chain0["replicate"])
+        }
+
+    def test_cli_chains_flag_rejects_garbage(self, capsys):
+        rc = cli_main(["campaign", "--chains", "0,x"])
+        assert rc == 2
+        assert "--chains" in capsys.readouterr().err

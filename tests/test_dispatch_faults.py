@@ -1,0 +1,535 @@
+"""Fault-injection drills for the dispatcher's liveness + recovery layer.
+
+The ISSUE 7 acceptance bar: every :class:`FaultPlan` scenario -- kill at
+each cell boundary, hang forever, heartbeat drop, corrupt output JSON,
+exit nonzero -- must converge to a merged result bit-identical to the
+unsharded single-process run (counter pins included), leave zero child
+processes behind, and a hung shard must be detected and relaunched
+within one ``stall_after`` window.  Straggler splitting and graceful
+SIGINT shutdown ride the same harness.
+
+The subprocess scenarios are ``dist``-marked (multi-process, seconds
+each) and additionally ``faults``-marked so CI can run them as a
+dedicated leg under a hard timeout; the policy/unit tests at the bottom
+run everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.batch import (
+    Campaign,
+    CampaignDispatcher,
+    CampaignResult,
+    CampaignSpec,
+    DispatchError,
+    Fault,
+    FaultPlan,
+    LocalBackend,
+)
+from repro.batch.dispatch import DispatchReport, ShardRecord, _Running
+from repro.batch.faults import FAULT_ENV, WorkerFaults
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    """Two chains of three cells each: every boundary is enumerable."""
+    kwargs = dict(
+        grid={"utilization": (0.3, 0.6, 0.9)},
+        base={
+            "n_platforms": 2,
+            "n_transactions": 2,
+            "tasks_per_transaction": (1, 2),
+        },
+        methods=("gauss_seidel",),
+        systems_per_cell=2,
+        seed=11,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def single_run() -> CampaignResult:
+    return Campaign(tiny_spec()).run(workers=1)
+
+
+class _RecordingBackend(LocalBackend):
+    """Remember every child Popen so tests can assert none is left alive."""
+
+    def __init__(self):
+        self.procs: list[subprocess.Popen] = []
+
+    def launch(self, argv, *, slot, log_path, env=None):
+        proc = super().launch(argv, slot=slot, log_path=log_path, env=env)
+        self.procs.append(proc)
+        return proc
+
+    def assert_all_reaped(self):
+        lingering = [p.pid for p in self.procs if p.poll() is None]
+        assert not lingering, f"leftover child processes: {lingering}"
+
+
+def dispatch(spec, work_dir, faults=None, backend=None, **kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("checkpoint_every", 1)
+    return CampaignDispatcher(
+        spec, work_dir=work_dir, faults=faults, backend=backend, **kwargs
+    ).run()
+
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.mark.dist
+class TestFaultMatrix:
+    """Each injected failure recovers to the bit-identical union."""
+
+    @pytest.mark.parametrize("at_cell", [0, 1, 2, 3])
+    def test_kill_at_each_cell_boundary(self, tmp_path, single_run, at_cell):
+        """SIGKILL after exactly N cells (every boundary of the 3-cell
+        shard, including before-the-first and after-the-last)."""
+        backend = _RecordingBackend()
+        report = dispatch(
+            tiny_spec(), tmp_path, backend=backend,
+            faults=FaultPlan([Fault(shard=0, kind="kill", at_cell=at_cell)]),
+        )
+        victim = next(s for s in report.shards if s.shard == 0)
+        assert victim.attempts == 2
+        assert victim.attempt_outcomes == ["failed", "completed"]
+        # Any checkpointed progress is recovered through --resume.
+        assert victim.resumed_attempts == (1 if at_cell > 0 else 0)
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+    def test_hang_detected_as_stalled_within_one_window(
+        self, tmp_path, single_run
+    ):
+        """A wedged-but-alive worker keeps beating with a frozen counter:
+        the dispatcher must classify *stalled* (not dead, not slow) and
+        relaunch within one stall window."""
+        stall_after = 3.0
+        backend = _RecordingBackend()
+        report = dispatch(
+            tiny_spec(), tmp_path, backend=backend,
+            faults=FaultPlan([Fault(shard=0, kind="hang", at_cell=1)]),
+            stall_after=stall_after, heartbeat_interval=0.2,
+        )
+        victim = next(s for s in report.shards if s.shard == 0)
+        assert victim.attempt_outcomes == ["stalled", "completed"]
+        # Detection latency: the hung attempt's wall is its short healthy
+        # prefix plus at most one stall window plus poll slack -- far
+        # under two windows.
+        assert victim.attempt_walls[0] < 2 * stall_after
+        assert victim.resumed_attempts == 1  # cell 1 came from checkpoint
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+    def test_heartbeat_drop_detected_as_dead(self, tmp_path, single_run):
+        """Silence (no beats at all) classifies as *dead*."""
+        backend = _RecordingBackend()
+        report = dispatch(
+            tiny_spec(), tmp_path, backend=backend,
+            faults=FaultPlan(
+                [Fault(shard=1, kind="drop_heartbeats", at_cell=1)]
+            ),
+            stall_after=3.0, heartbeat_interval=0.2,
+        )
+        victim = next(s for s in report.shards if s.shard == 1)
+        assert victim.attempt_outcomes == ["dead", "completed"]
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+    def test_corrupt_output_is_a_miss_not_a_traceback(
+        self, tmp_path, single_run
+    ):
+        """A shard that exits 0 leaving truncated JSON: the
+        crash-consistent readers treat the file as absent and relaunch
+        (resuming from the intact checkpoint, never the damaged file)."""
+        backend = _RecordingBackend()
+        report = dispatch(
+            tiny_spec(), tmp_path, backend=backend,
+            faults=FaultPlan([Fault(shard=0, kind="corrupt_output")]),
+        )
+        victim = next(s for s in report.shards if s.shard == 0)
+        assert victim.attempts == 2
+        assert victim.resumed_attempts == 1
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+    def test_flaky_exit_nonzero_then_succeeds(self, tmp_path, single_run):
+        backend = _RecordingBackend()
+        report = dispatch(
+            tiny_spec(), tmp_path, backend=backend,
+            faults=FaultPlan(
+                [Fault(shard=0, kind="exit", at_cell=2, exit_code=5)]
+            ),
+        )
+        victim = next(s for s in report.shards if s.shard == 0)
+        assert victim.attempt_outcomes == ["failed", "completed"]
+        assert report.relaunches == 1
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+    def test_shard_timeout_kills_hung_worker(self, tmp_path, single_run):
+        """With liveness off, the flat wall budget is the backstop."""
+        backend = _RecordingBackend()
+        report = dispatch(
+            tiny_spec(), tmp_path, backend=backend,
+            faults=FaultPlan([Fault(shard=0, kind="hang", at_cell=1)]),
+            shard_timeout=3.0,
+        )
+        victim = next(s for s in report.shards if s.shard == 0)
+        assert victim.attempt_outcomes == ["timeout", "completed"]
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+    def test_permanently_sick_shard_exhausts_attempts(self, tmp_path):
+        """attempt=None makes the fault fire on every launch; the
+        dispatcher must give up loudly after max_attempts."""
+        backend = _RecordingBackend()
+        with pytest.raises(DispatchError, match="failed 2 attempt"):
+            dispatch(
+                tiny_spec(), tmp_path, backend=backend,
+                faults=FaultPlan(
+                    [Fault(shard=0, kind="kill", at_cell=0, attempt=None)]
+                ),
+                max_attempts=2,
+            )
+        backend.assert_all_reaped()
+
+    def test_backoff_delays_are_recorded(self, tmp_path, single_run):
+        backend = _RecordingBackend()
+        report = dispatch(
+            tiny_spec(), tmp_path, backend=backend,
+            faults=FaultPlan([Fault(shard=0, kind="exit", at_cell=1)]),
+            backoff_base=0.2, backoff_max=1.0,
+        )
+        victim = next(s for s in report.shards if s.shard == 0)
+        assert len(victim.backoff_s) == 1
+        assert 0.2 <= victim.backoff_s[0] <= 0.4  # base + jitter in [0, base)
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+
+@pytest.mark.dist
+class TestStragglerSplitting:
+    def test_split_union_bit_identical(self, tmp_path):
+        """One shard holding every chain, one idle slot: the straggler's
+        unfinished chains are re-partitioned onto fresh sub-shards and
+        the union still equals the single run bit for bit."""
+        spec = tiny_spec(systems_per_cell=4)  # 4 chains to split across
+        single = Campaign(spec).run(workers=1)
+        backend = _RecordingBackend()
+        report = dispatch(
+            spec, tmp_path, backend=backend,
+            shards=1, workers=2, split_after=0.2,
+        )
+        assert report.splits >= 1
+        parent = next(s for s in report.shards if s.shard == 0)
+        assert "split" in parent.attempt_outcomes
+        subs = [s for s in report.shards if s.parent is not None]
+        assert subs and all(s.parent == 0 for s in subs)
+        # The sub-shards partition the parent's chains exactly.
+        covered = sorted(i for s in subs for i in s.chain_indices)
+        assert covered == parent.chain_indices
+        # A split is elasticity, not a failure: no relaunch counted.
+        assert report.relaunches == 0
+        assert report.result.metrics() == single.metrics()
+        backend.assert_all_reaped()
+
+    def test_single_unfinished_chain_is_not_split(self, tmp_path):
+        """A shard with one chain cannot shrink; it must never be shot
+        by the splitter."""
+        spec = tiny_spec(systems_per_cell=1)  # one chain total
+        single = Campaign(spec).run(workers=1)
+        backend = _RecordingBackend()
+        report = dispatch(
+            spec, tmp_path, backend=backend,
+            shards=1, workers=2, split_after=0.0,
+        )
+        assert report.splits == 0
+        assert report.relaunches == 0
+        assert report.result.metrics() == single.metrics()
+        backend.assert_all_reaped()
+
+
+@pytest.mark.dist
+class TestGracefulShutdown:
+    def test_sigint_terminates_children_and_leaves_resumable_dir(
+        self, tmp_path
+    ):
+        """SIGINT mid-dispatch: exit nonzero, merged partial saved, work
+        dir resumable, zero orphaned subprocesses."""
+        work_dir = tmp_path / "wd"
+        env = dict(os.environ)
+        import repro
+
+        pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+        argv = [
+            sys.executable, "-m", "repro", "campaign-dispatch",
+            "--grid", "utilization=0.2,0.4,0.5,0.6,0.7,0.8,0.9",
+            "--transactions", "2", "--tasks", "1,2", "--platforms", "2",
+            "--systems", "8", "--methods", "gauss_seidel", "--seed", "5",
+            "--workers", "2", "--shards", "4", "--checkpoint-every", "1",
+            "--work-dir", str(work_dir),
+        ]
+        proc = subprocess.Popen(
+            argv, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if (work_dir / "spec.json").exists() and list(
+                    work_dir.glob("*.hb.json")
+                ):
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.1)
+            assert proc.poll() is None, proc.communicate()
+            time.sleep(0.3)  # let some shard work happen
+            proc.send_signal(signal.SIGINT)
+            _, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 1
+        assert "interrupted" in err
+        assert "resumable" in err
+        # The merged partial is a loadable result for the same spec.
+        partial = CampaignResult.load_json(work_dir / "partial.json")
+        spec_dict = json.loads((work_dir / "spec.json").read_text())
+        assert partial.spec == spec_dict
+        # Zero orphans: no process still references this dispatch's spec.
+        spec_path = str(work_dir / "spec.json")
+        lingering = []
+        for pid in os.listdir("/proc"):
+            if not pid.isdigit():
+                continue
+            try:
+                cmdline = (
+                    Path(f"/proc/{pid}/cmdline")
+                    .read_bytes()
+                    .decode(errors="replace")
+                    .replace("\0", " ")
+                )
+            except OSError:
+                continue
+            if spec_path in cmdline:
+                lingering.append((pid, cmdline))
+        assert not lingering, lingering
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(shard=0, kind="explode")
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError, match="shard"):
+            Fault(shard=-1, kind="kill")
+        with pytest.raises(ValueError, match="at_cell"):
+            Fault(shard=0, kind="kill", at_cell=-1)
+        with pytest.raises(ValueError, match="1-based"):
+            Fault(shard=0, kind="kill", attempt=0)
+
+    def test_for_worker_filters_by_shard_and_attempt(self):
+        plan = FaultPlan([
+            Fault(shard=0, kind="kill", at_cell=2, attempt=1),
+            Fault(shard=0, kind="exit", at_cell=4, attempt=2),
+            Fault(shard=1, kind="hang", attempt=None),
+        ])
+        first = json.loads(plan.for_worker(0, 1))
+        assert [f["kind"] for f in first] == ["kill"]
+        second = json.loads(plan.for_worker(0, 2))
+        assert [f["kind"] for f in second] == ["exit"]
+        assert plan.for_worker(0, 3) is None
+        # attempt=None fires on every attempt.
+        for attempt in (1, 2, 7):
+            assert json.loads(plan.for_worker(1, attempt))
+        assert plan.for_worker(2, 1) is None
+
+    def test_worker_faults_round_trip_through_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        assert WorkerFaults.from_env() is None
+        plan = FaultPlan([Fault(shard=0, kind="kill", at_cell=3)])
+        monkeypatch.setenv(FAULT_ENV, plan.for_worker(0, 1))
+        armed = WorkerFaults.from_env()
+        assert armed is not None
+        assert armed.next_trigger() == 3
+
+    def test_malformed_env_plan_fails_loudly(self, monkeypatch):
+        # A broken harness must not silently run a clean campaign.
+        monkeypatch.setenv(FAULT_ENV, '{"kind": "kill"}')
+        with pytest.raises(ValueError, match="JSON list"):
+            WorkerFaults.from_env()
+
+    def test_clip_lands_on_exact_boundary(self):
+        armed = WorkerFaults([{"kind": "kill", "at_cell": 5, "exit_code": 1}])
+        batch = list(range(10))
+        assert armed.clip(batch, 0) == batch[:5]
+        assert armed.clip(batch, 3) == batch[:2]
+        assert armed.clip(batch[:3], 0) == batch[:3]  # boundary not reached
+        # corrupt_output never clips: it fires at save time.
+        saver = WorkerFaults([{"kind": "corrupt_output"}])
+        assert saver.next_trigger() is None
+        assert saver.clip(batch, 0) == batch
+        assert saver.corrupts_output()
+
+
+class TestRecoveryPolicy:
+    """Deterministic policy pieces, no subprocesses."""
+
+    def test_backoff_is_deterministic_and_bounded(self, tmp_path):
+        spec = tiny_spec()
+        make = lambda: CampaignDispatcher(
+            spec, shards=2, workers=1, work_dir=tmp_path,
+            backoff_base=0.5, backoff_max=2.0,
+        )
+        a, b = make(), make()
+        delays_a = [a._backoff_delay(s, k) for s in (0, 1) for k in (1, 2, 3, 9)]
+        delays_b = [b._backoff_delay(s, k) for s in (0, 1) for k in (1, 2, 3, 9)]
+        assert delays_a == delays_b  # seeded jitter: a drill replays exactly
+        assert all(0.5 <= d <= 2.0 for d in delays_a)
+        # Exponential until the cap: attempt 2's raw term alone (2x base)
+        # exceeds attempt 1's base + jitter.
+        assert a._backoff_delay(0, 2) > a._backoff_delay(0, 1)
+        assert a._backoff_delay(0, 9) == 2.0
+        # Disabled by default: no delay, nothing recorded.
+        off = CampaignDispatcher(spec, shards=2, workers=1, work_dir=tmp_path)
+        assert off._backoff_delay(0, 3) == 0.0
+
+    def test_liveness_classification(self, tmp_path):
+        spec = tiny_spec()
+        dispatcher = CampaignDispatcher(
+            spec, shards=1, workers=1, work_dir=tmp_path, stall_after=10.0,
+        )
+        tmp_path.mkdir(exist_ok=True)
+        hb_path = dispatcher._heartbeat_path(0)
+        record = ShardRecord(
+            shard=0, chains=1, expected_cells=3, estimated_cost=1.0,
+        )
+        active = _Running(
+            record, proc=None, slot=0, started=0.0,
+            advance_t=0.0, beat_t=0.0,
+        )
+        # Counter advances: progressing, at any in-window time.
+        hb_path.write_text(json.dumps({"cells": 1, "seq": 1}))
+        assert dispatcher._liveness(active, now=5.0) == "progressing"
+        # Counter frozen, seq beating: stalled once the window passes.
+        hb_path.write_text(json.dumps({"cells": 1, "seq": 2}))
+        assert dispatcher._liveness(active, now=9.0) == "progressing"
+        hb_path.write_text(json.dumps({"cells": 1, "seq": 3}))
+        assert dispatcher._liveness(active, now=16.0) == "stalled"
+        # No beats at all past the window: dead.
+        assert dispatcher._liveness(active, now=30.0) == "dead"
+        # A fresh counter advance resets everything.
+        hb_path.write_text(json.dumps({"cells": 2, "seq": 4}))
+        assert dispatcher._liveness(active, now=31.0) == "progressing"
+
+    def test_liveness_reads_are_crash_consistent(self, tmp_path):
+        dispatcher = CampaignDispatcher(
+            tiny_spec(), shards=1, workers=1, work_dir=tmp_path,
+            stall_after=10.0,
+        )
+        tmp_path.mkdir(exist_ok=True)
+        assert dispatcher._read_heartbeat(0) is None  # absent
+        hb = dispatcher._heartbeat_path(0)
+        for garbage in ('{"cells": 3, "se', "[]", '"x"', '{"cells": "n"}'):
+            hb.write_text(garbage)  # torn / wrong shape / wrong types
+            assert dispatcher._read_heartbeat(0) is None
+        hb.write_text(json.dumps({"cells": 3, "seq": 7, "time": 0.0}))
+        assert dispatcher._read_heartbeat(0) == {"cells": 3, "seq": 7}
+
+    def test_attempt_budget_derivation(self, tmp_path):
+        spec = tiny_spec()
+        record = ShardRecord(
+            shard=0, chains=2, expected_cells=6, estimated_cost=4.0,
+        )
+        flat = CampaignDispatcher(
+            spec, shards=1, workers=1, work_dir=tmp_path, shard_timeout=9.0,
+            timeout_factor=2.0, cost_manifest={0: 1.0},
+        )
+        assert flat._attempt_budget(record) == 9.0  # flat wins
+        derived = CampaignDispatcher(
+            spec, shards=1, workers=1, work_dir=tmp_path,
+            timeout_factor=2.0, timeout_floor=5.0, cost_manifest={0: 1.0},
+        )
+        assert derived._attempt_budget(record) == 2.0 * 4.0 + 5.0
+        unbounded = CampaignDispatcher(
+            spec, shards=1, workers=1, work_dir=tmp_path,
+        )
+        assert unbounded._attempt_budget(record) is None
+
+    def test_constructor_validation(self, tmp_path):
+        spec = tiny_spec()
+        for kwargs in (
+            {"stall_after": 0.0},
+            {"heartbeat_interval": 0.0},
+            {"shard_timeout": -1.0},
+            {"timeout_factor": 0.0},
+            {"timeout_floor": -0.1},
+            {"backoff_base": -1.0},
+            {"backoff_max": -1.0},
+            {"split_after": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                CampaignDispatcher(
+                    spec, shards=1, workers=1, work_dir=tmp_path, **kwargs
+                )
+
+    def test_heartbeat_interval_capped_by_stall_window(self, tmp_path):
+        dispatcher = CampaignDispatcher(
+            tiny_spec(), shards=1, workers=1, work_dir=tmp_path,
+            stall_after=2.0, heartbeat_interval=5.0,
+        )
+        assert dispatcher.heartbeat_interval == pytest.approx(0.5)
+        # And the adaptive poll ceiling follows the effective interval.
+        assert dispatcher.poll_max == pytest.approx(0.5)
+
+    def test_owned_heartbeat_and_chains_flags_rejected(self, tmp_path):
+        for bad in (["--heartbeat", "x"], ["--chains", "1"],
+                    ["--heartbeat-interval=2"]):
+            with pytest.raises(ValueError, match="may not set"):
+                CampaignDispatcher(
+                    tiny_spec(), shards=1, workers=1, work_dir=tmp_path,
+                    shard_args=bad,
+                )
+
+    def test_report_summary_shows_attempt_history(self):
+        result = Campaign(tiny_spec()).run(workers=1)
+        shards = [
+            ShardRecord(
+                shard=0, chains=2, expected_cells=6, estimated_cost=1.0,
+                attempts=2, attempt_walls=[1.5, 0.5],
+                attempt_outcomes=["stalled", "completed"],
+                backoff_s=[0.25],
+            ),
+            ShardRecord(
+                shard=3, chains=1, expected_cells=3, estimated_cost=0.5,
+                attempts=1, parent=0, attempt_walls=[0.4],
+                attempt_outcomes=["completed"],
+            ),
+        ]
+        report = DispatchReport(
+            result=result, shards=shards, workers=2, wall_time_s=2.0,
+        )
+        assert report.splits == 1
+        assert report.relaunches == 1
+        text = report.format_summary()
+        assert "1 relaunch(es), 1 split(s)" in text
+        assert "shard 0: stalled 1.50s, completed 0.50s, backoff 0.25s" in text
+        assert "shard 3: completed 0.40s (split from shard 0)" in text
