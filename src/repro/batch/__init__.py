@@ -31,7 +31,13 @@ and streaming auto-merge (``python -m repro campaign-dispatch``) --
 hardened by heartbeat liveness (progressing/stalled/dead), deterministic
 retry backoff, wall-clock budgets, elastic straggler splitting, and the
 :mod:`repro.batch.faults` injection harness that drills every one of
-those recovery paths in tests.
+those recovery paths in tests.  :mod:`repro.batch.transport` moves shard
+artifacts between the dispatcher and per-host work directories
+(:class:`~repro.batch.transport.SharedDirTransport` for a shared
+filesystem, :class:`~repro.batch.transport.CopyBackTransport` for
+copy-in/copy-back with digest verification), and host-level failure
+domains quarantine machines whose shards keep dying so their work is
+rescheduled instead of retried into a black hole.
 
 Cross-run reuse comes from the content-addressed result store:
 :mod:`repro.batch.canonical` hashes analysis inputs (system content,
@@ -61,8 +67,13 @@ from repro.batch.canonical import (
     spec_hash,
     system_hash,
 )
-from repro.batch.store import ResultStore, StoreKey, StoreStats
-from repro.batch.faults import Fault, FaultPlan
+from repro.batch.store import ResultStore, StoreGcStats, StoreKey, StoreStats
+from repro.batch.faults import Fault, FaultPlan, TransportFault
+from repro.batch.transport import (
+    CopyBackTransport,
+    SharedDirTransport,
+    TransportError,
+)
 from repro.batch.campaign import (
     Campaign,
     CampaignResult,
@@ -80,12 +91,15 @@ from repro.batch.campaign import (
     register_generator,
     run_campaign,
     shard_chains,
+    store_reachable_digests,
 )
 from repro.batch.dispatch import (
     CampaignDispatcher,
     DispatchError,
     DispatchInterrupted,
     DispatchReport,
+    HostHealth,
+    HostState,
     LocalBackend,
     SshBackend,
 )
@@ -96,19 +110,26 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CellResult",
+    "CopyBackTransport",
     "DispatchError",
     "DispatchInterrupted",
     "DispatchReport",
     "Fault",
     "FaultPlan",
+    "HostHealth",
+    "HostState",
     "LocalBackend",
     "MethodInfo",
     "MethodOutcome",
     "ResultStore",
+    "SharedDirTransport",
     "SshBackend",
+    "StoreGcStats",
     "StoreKey",
     "StoreStats",
     "StreamingMerger",
+    "TransportError",
+    "TransportFault",
     "analysis_config_hash",
     "available_generators",
     "available_methods",
@@ -130,5 +151,6 @@ __all__ = [
     "run_campaign",
     "shard_chains",
     "spec_hash",
+    "store_reachable_digests",
     "system_hash",
 ]

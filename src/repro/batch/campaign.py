@@ -99,6 +99,7 @@ __all__ = [
     "register_generator",
     "run_campaign",
     "shard_chains",
+    "store_reachable_digests",
 ]
 
 #: Decimal places of the stable grid sweep levels are rounded to.  Floats
@@ -1322,6 +1323,49 @@ def _served_cell(
     return {"order": (chain["index"], step, m_idx), "cell": cell}
 
 
+def store_reachable_digests(spec: CampaignSpec) -> set[str]:
+    """Digests of every store entry a run of *spec* would consult.
+
+    Replays the generation walk of :func:`_run_chain_sweep` -- scaler
+    when the generator has one, fresh generation otherwise -- for every
+    chain and sweep step, and collects the :meth:`StoreKey.digest` of
+    each (system, config, level, method) cell.  This is the reachability
+    set ``store-gc --spec`` keeps: pruning everything else leaves the
+    store exactly warm for that spec.  Generation is cheap relative to
+    analysis (O(tasks) per cell, no fixed points), but the walk still
+    touches every chain, so expect seconds, not milliseconds, on big
+    grids.
+    """
+    cfg_hash = campaign_config_hash(spec)
+    digests: set[str] = set()
+    scaler = (
+        GENERATOR_SWEEP_SCALERS.get(spec.generator)
+        if spec.sweep_axis is not None
+        else None
+    )
+    for chain in spec.chains():
+        point, seed = chain["point"], chain["seed"]
+        base_system: TransactionSystem | None = None
+        base_value: Any = None
+        for step, sweep_value in enumerate(spec.sweep_values()):
+            params = _chain_point_params(spec, point, step)
+            system = None
+            if scaler is not None and base_system is not None:
+                system = scaler(
+                    base_system, spec.sweep_axis, base_value, sweep_value
+                )
+            if system is None:
+                system = GENERATORS[spec.generator](params, seed)
+                base_system, base_value = system, sweep_value
+            sys_hash = system_hash(system)
+            level = _jsonify(sweep_value)
+            for name in spec.methods:
+                digests.add(
+                    StoreKey(sys_hash, cfg_hash, level, name).digest()
+                )
+    return digests
+
+
 def _run_chain_sweep(
     spec: CampaignSpec, chain: dict, store: ResultStore | None = None
 ) -> tuple[list[dict], int]:
@@ -1998,8 +2042,15 @@ class _HeartbeatWriter:
     Writes are write-then-rename so a reader never sees a torn file, but
     deliberately *not* fsynced: a heartbeat is advisory, and losing the
     last beat on power failure costs one relaunch, not correctness.  Any
-    OS error while beating is swallowed for the same reason -- liveness
-    reporting must never kill the run it reports on.
+    error while beating -- ENOSPC, EACCES on the temp file, a vanished
+    parent directory -- is swallowed for the same reason: the beat is
+    skipped and retried at the next interval, and the daemon thread
+    keeps running, because a worker must never *look* dead (or actually
+    die) just because the disk hiccuped.  ``seq`` advances only when a
+    beat actually lands, so a published sequence never skips numbers and
+    a failed write is indistinguishable from no write, which is exactly
+    what it is to the reader.  ``failed_beats`` counts the skips for
+    observability.
 
     The periodic beat runs on a daemon thread, so it keeps beating while
     the main thread is stuck inside a long solve (a *healthy* slow cell
@@ -2014,12 +2065,18 @@ class _HeartbeatWriter:
         self._cells = 0
         self._seq = 0
         self._dropped = False
+        self.failed_beats = 0
         self._stop = threading.Event()
         self._kick = threading.Event()
         self._thread: threading.Thread | None = None
 
     def start(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # An unwritable parent fails every beat too -- each one is
+            # skipped and retried; the campaign itself must keep running.
+            self.failed_beats += 1
         self._write()
         self._thread = threading.Thread(
             target=self._loop, name="heartbeat", daemon=True
@@ -2048,16 +2105,20 @@ class _HeartbeatWriter:
             if self._stop.is_set():
                 return
             self._kick.clear()
-            self._write()
+            try:
+                self._write()
+            except Exception:
+                # _write already absorbs OSError; this is the belt to
+                # that suspender -- nothing may kill the beat thread.
+                self.failed_beats += 1
 
     def _write(self) -> None:
         if self._dropped:
             return
-        self._seq += 1
         payload = json.dumps(
             {
                 "cells": self._cells,
-                "seq": self._seq,
+                "seq": self._seq + 1,
                 "time": time.time(),
                 "pid": os.getpid(),
             }
@@ -2066,8 +2127,20 @@ class _HeartbeatWriter:
         try:
             tmp.write_text(payload)
             os.replace(tmp, self.path)
+        except FileNotFoundError:
+            # The parent vanished (remount, aggressive cleanup): try to
+            # recreate it so a later beat can land, skip this one.
+            self.failed_beats += 1
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                pass
         except OSError:
-            pass
+            self.failed_beats += 1
+        else:
+            # Published beats carry consecutive sequence numbers; a
+            # failed write bumps nothing, exactly like no write at all.
+            self._seq += 1
 
 
 class Campaign:

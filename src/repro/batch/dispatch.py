@@ -70,9 +70,27 @@ Shard subprocesses are plain ``python -m repro campaign --spec ...
 --shard i/n`` invocations, launched through a pluggable *backend*:
 :class:`LocalBackend` (subprocesses on this machine, the tested default)
 or :class:`SshBackend` (a thin command template prefixing ``ssh <host>``
-per worker slot; it assumes a shared filesystem for the work directory
-and is trivially mockable in tests).  The CLI front end is ``python -m
-repro campaign-dispatch``.
+per worker slot; it is trivially mockable in tests).  The CLI front end
+is ``python -m repro campaign-dispatch``.
+
+File movement between the dispatcher and its workers goes through a
+pluggable *transport* (:mod:`repro.batch.transport`):
+:class:`~repro.batch.transport.SharedDirTransport` keeps the shared-
+filesystem behavior (worker paths are dispatcher paths), while
+:class:`~repro.batch.transport.CopyBackTransport` gives every host its
+own work dir -- inputs staged out before each launch, shard results,
+checkpoints and heartbeats pulled back on each poll, every transfer
+timeout-bounded, retried with seeded backoff, digest-verified and landed
+atomically.  On top of the transport sit **host-level failure domains**:
+a :class:`HostHealth` tracker scores each host from its shard outcomes
+(``dead``/``stalled``/``timeout`` attempts and transport failures),
+quarantines a host past ``host_blacklist_after`` consecutive failures --
+its in-flight shards are evicted and rescheduled onto healthy hosts --
+re-admits it on probation after ``host_cooldown`` seconds (one probe
+shard at a time; a probation failure kills the host for the rest of the
+dispatch), and degrades gracefully to fewer slots.  Only when *every*
+host is gone does the dispatch fail, with one clear
+:class:`DispatchError`.
 """
 
 from __future__ import annotations
@@ -98,12 +116,15 @@ from repro.batch.campaign import (
     partition_chains,
 )
 from repro.batch.faults import FAULT_ENV, FaultPlan
+from repro.batch.transport import CopyBackTransport, SharedDirTransport
 
 __all__ = [
     "CampaignDispatcher",
     "DispatchError",
     "DispatchInterrupted",
     "DispatchReport",
+    "HostHealth",
+    "HostState",
     "LocalBackend",
     "ShardRecord",
     "SshBackend",
@@ -149,8 +170,19 @@ class ShardRecord:
     #: Wall seconds of each attempt (parallel to ``attempt_outcomes``).
     attempt_walls: list[float] = field(default_factory=list)
     #: Per-attempt outcome: ``completed``, ``failed`` (exited without a
-    #: complete result), ``stalled``, ``dead``, ``timeout``, ``split``.
+    #: complete result), ``stalled``, ``dead``, ``timeout``, ``split``,
+    #: ``transport`` (a staging or copy-back transfer failed), or
+    #: ``evicted`` (the host was quarantined under a healthy shard --
+    #: requeued without burning a failed attempt).
     attempt_outcomes: list[str] = field(default_factory=list)
+    #: Host each attempt ran on (parallel to ``attempt_outcomes``).
+    attempt_hosts: list[str] = field(default_factory=list)
+    #: Failed transfers (staging, result/checkpoint/heartbeat pulls)
+    #: observed while this shard held a slot.
+    transport_failures: int = 0
+    #: Attempts that *failed* -- evictions and splits are excluded, so a
+    #: shard never exhausts ``max_attempts`` through no fault of its own.
+    failed_attempts: int = 0
     #: Backoff delays inserted before relaunches of this shard.
     backoff_s: list[float] = field(default_factory=list)
     #: Best partial to resume from when this record was born by a split
@@ -170,6 +202,10 @@ class DispatchReport:
     #: Shards completed per worker slot -- the work-stealing evidence
     #: (a slot that drew heavy shards completes fewer of them).
     shards_per_slot: dict[int, int] = field(default_factory=dict)
+    #: Per-host health summary (completed/failures/quarantines/...).
+    hosts: dict[str, dict] = field(default_factory=dict)
+    #: Transport accounting (``Transport.stats()``).
+    transport: dict = field(default_factory=dict)
 
     @property
     def relaunches(self) -> int:
@@ -180,18 +216,47 @@ class DispatchReport:
         """Elastic sub-shards created by straggler splitting."""
         return sum(1 for s in self.shards if s.parent is not None)
 
+    @property
+    def quarantines(self) -> int:
+        """Host quarantine events (including probation deaths)."""
+        return sum(h.get("quarantines", 0) for h in self.hosts.values())
+
+    @property
+    def evictions(self) -> int:
+        """Healthy shard attempts evicted by a host quarantine."""
+        return sum(
+            1
+            for s in self.shards
+            for outcome in s.attempt_outcomes
+            if outcome == "evicted"
+        )
+
+    @property
+    def transport_failures(self) -> int:
+        return sum(s.transport_failures for s in self.shards)
+
     def format_summary(self) -> str:
         lines = [
             f"dispatched {len(self.shards)} shard(s) over {self.workers} "
             f"worker slot(s) in {self.wall_time_s:.2f}s "
             f"({self.relaunches} relaunch(es), {self.splits} split(s))",
         ]
+        # Host annotations only matter (and only change the pinned
+        # single-host summary strings) when the fleet has several hosts.
+        multi_host = len(self.hosts) > 1
         for s in self.shards:
             if not s.attempt_outcomes:
                 continue
             attempts = ", ".join(
                 f"{outcome} {wall:.2f}s"
-                for outcome, wall in zip(s.attempt_outcomes, s.attempt_walls)
+                + (
+                    f" @{s.attempt_hosts[i]}"
+                    if multi_host and i < len(s.attempt_hosts)
+                    else ""
+                )
+                for i, (outcome, wall) in enumerate(
+                    zip(s.attempt_outcomes, s.attempt_walls)
+                )
             )
             line = f"  shard {s.shard}: {attempts}"
             if s.parent is not None:
@@ -203,11 +268,36 @@ class DispatchReport:
             lines.append(
                 f"  slot {slot}: {self.shards_per_slot[slot]} shard(s)"
             )
+        if multi_host or self.quarantines:
+            for host in sorted(self.hosts):
+                h = self.hosts[host]
+                line = (
+                    f"  host {host}: {h.get('completed', 0)} completed, "
+                    f"{h.get('failures', 0)} failure(s)"
+                )
+                if h.get("quarantines"):
+                    line += f", {h['quarantines']} quarantine(s)"
+                if h.get("dead"):
+                    line += " [dead]"
+                lines.append(line)
+        if self.transport.get("kind") == "copyback":
+            t = self.transport
+            lines.append(
+                f"  transport: {t.get('pushes', 0)} push(es), "
+                f"{t.get('pulls', 0)} pull(s), "
+                f"{t.get('retries', 0)} retry(ies), "
+                f"{t.get('failures', 0)} failure(s)"
+            )
         return "\n".join(lines)
 
 
 class LocalBackend:
     """Launch shard commands as subprocesses on this machine."""
+
+    def host_of(self, slot: int) -> str:
+        """Failure-domain label of a slot: all local slots share one."""
+        del slot
+        return "local"
 
     def launch(
         self,
@@ -232,11 +322,15 @@ class SshBackend:
 
     A deliberately thin template: worker slot ``i`` is pinned to
     ``hosts[i % len(hosts)]`` and the shard argv is shell-quoted into one
-    remote command.  It assumes the work directory (spec, shard JSONs,
-    checkpoints) lives on a filesystem shared between the dispatcher and
-    the hosts, and that ``python`` on the remote resolves the ``repro``
-    package -- both standard cluster furniture.  ``ssh_command`` is
-    injectable, which is also what makes the backend mockable:
+    remote command.  It assumes either a shared filesystem for the work
+    directory or a :class:`~repro.batch.transport.CopyBackTransport`
+    whose per-host dirs are reachable from the dispatcher, and that
+    ``python`` on the remote resolves the ``repro`` package -- standard
+    cluster furniture.  The fault-plan variable (:data:`FAULT_ENV`) is
+    forwarded into the remote command with an ``env`` prefix so
+    dispatcher-injected worker faults survive the ssh hop; nothing else
+    of the local environment crosses it.  ``ssh_command`` is injectable,
+    which is also what makes the backend mockable:
     ``SshBackend(["h0"], ssh_command=("sh", "-c",))``-style substitutions
     exercise the template without a network.
     """
@@ -254,6 +348,10 @@ class SshBackend:
         self.ssh_command = tuple(ssh_command)
         self.remote_python = tuple(remote_python)
 
+    def host_of(self, slot: int) -> str:
+        """The host worker slot *slot* is pinned to."""
+        return self.hosts[slot % len(self.hosts)]
+
     def launch(
         self,
         argv: Sequence[str],
@@ -262,11 +360,14 @@ class SshBackend:
         log_path: Path,
         env: dict | None = None,
     ) -> subprocess.Popen:
-        del env  # the remote shell owns its environment
-        host = self.hosts[slot % len(self.hosts)]
+        host = self.host_of(slot)
         # The dispatcher builds argv around the *local* interpreter;
         # rewrite its head for the remote one.
         remote = list(self.remote_python) + list(argv[1:])
+        # The remote shell owns its environment -- except the fault
+        # plan, which must reach the worker for injection drills.
+        if env and env.get(FAULT_ENV):
+            remote = ["env", f"{FAULT_ENV}={env[FAULT_ENV]}"] + remote
         command = list(self.ssh_command) + [host, shlex.join(remote)]
         log = open(log_path, "ab")
         try:
@@ -275,6 +376,153 @@ class SshBackend:
             )
         finally:
             log.close()
+
+
+@dataclass
+class HostState:
+    """Health bookkeeping for one failure domain (host)."""
+
+    host: str
+    #: Failures since the last success (resets on success/quarantine).
+    consecutive_failures: int = 0
+    failures: int = 0
+    transport_failures: int = 0
+    completed: int = 0
+    quarantines: int = 0
+    #: Monotonic time after which a quarantined host may be probed again
+    #: (``None`` = not currently quarantined).
+    quarantined_until: float | None = None
+    #: Re-admitted after a cooldown; the next failure is terminal.
+    probation: bool = False
+    #: Permanently out for the rest of this dispatch.
+    dead: bool = False
+    readmissions: int = 0
+
+
+class HostHealth:
+    """Score hosts from shard outcomes; quarantine the ones that keep dying.
+
+    The unit of suspicion is the *host*, not the shard: a machine whose
+    shards die, stall, time out, or whose transfers fail is the likely
+    culprit, and burning every shard's ``max_attempts`` against it one
+    by one would take the whole campaign down with one bad box.  Past
+    ``blacklist_after`` consecutive failures the host is quarantined for
+    ``cooldown`` seconds (its in-flight shards are evicted and
+    rescheduled by the dispatcher), then re-admitted *on probation*: one
+    probe shard at a time, and a failure while on probation kills the
+    host for the rest of the dispatch.  ``blacklist_after=None``
+    (default) keeps the accounting but never quarantines -- single-host
+    dispatches keep PR 7 behavior exactly.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        *,
+        blacklist_after: int | None = None,
+        cooldown: float = 60.0,
+    ):
+        if not hosts:
+            raise ValueError("HostHealth needs at least one host")
+        if blacklist_after is not None and blacklist_after < 1:
+            raise ValueError("blacklist_after must be >= 1 (or None)")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.blacklist_after = blacklist_after
+        self.cooldown = cooldown
+        self._states = {h: HostState(h) for h in hosts}
+
+    def hosts(self) -> list[str]:
+        return list(self._states)
+
+    def state(self, host: str) -> HostState:
+        return self._states[host]
+
+    def record_success(self, host: str) -> None:
+        st = self._states[host]
+        st.completed += 1
+        st.consecutive_failures = 0
+        st.probation = False
+
+    def record_failure(self, host: str, kind: str, now: float) -> bool:
+        """Score one failure; ``True`` when it newly quarantines *host*.
+
+        ``kind`` is the attempt outcome (``dead``/``stalled``/
+        ``timeout``) or ``"transport"`` for a failed transfer.  Plain
+        worker failures (nonzero exit with a sane host) are *not* routed
+        here -- they indict the shard, not the machine.
+        """
+        st = self._states[host]
+        st.failures += 1
+        if kind == "transport":
+            st.transport_failures += 1
+        st.consecutive_failures += 1
+        if self.blacklist_after is None or st.dead:
+            return False
+        if st.quarantined_until is not None and now < st.quarantined_until:
+            return False  # already serving a quarantine
+        if st.probation:
+            st.probation = False
+            st.quarantined_until = None
+            st.dead = True
+            st.quarantines += 1
+            return True
+        if st.consecutive_failures >= self.blacklist_after:
+            st.quarantined_until = now + self.cooldown
+            st.consecutive_failures = 0
+            st.quarantines += 1
+            return True
+        return False
+
+    def usable(self, host: str, now: float) -> bool:
+        """Whether *host* may take a launch right now."""
+        st = self._states[host]
+        if st.dead:
+            return False
+        return st.quarantined_until is None or now >= st.quarantined_until
+
+    def probationary(self, host: str, now: float) -> bool:
+        """Whether launches on *host* should be throttled to one probe."""
+        st = self._states[host]
+        return st.probation or (
+            st.quarantined_until is not None and now >= st.quarantined_until
+        )
+
+    def on_launch(self, host: str, now: float) -> None:
+        """Note a launch; completes an expired quarantine into probation."""
+        st = self._states[host]
+        if st.quarantined_until is not None and now >= st.quarantined_until:
+            st.quarantined_until = None
+            st.probation = True
+            st.readmissions += 1
+
+    def any_usable(self, now: float) -> bool:
+        return any(self.usable(h, now) for h in self._states)
+
+    def all_dead(self) -> bool:
+        return all(st.dead for st in self._states.values())
+
+    def next_readmission(self) -> float | None:
+        """Earliest time a currently-quarantined host may be probed."""
+        times = [
+            st.quarantined_until
+            for st in self._states.values()
+            if not st.dead and st.quarantined_until is not None
+        ]
+        return min(times) if times else None
+
+    def summary(self) -> dict[str, dict]:
+        return {
+            h: {
+                "completed": st.completed,
+                "failures": st.failures,
+                "transport_failures": st.transport_failures,
+                "quarantines": st.quarantines,
+                "readmissions": st.readmissions,
+                "dead": st.dead,
+            }
+            for h, st in self._states.items()
+        }
 
 
 @dataclass
@@ -389,6 +637,24 @@ class CampaignDispatcher:
         via ``--store``; shards then serve already-solved cells from it
         and write fresh solves back.  Must be shared storage when the
         backend spans hosts.
+    transport:
+        File movement between the dispatcher and its workers:
+        :class:`~repro.batch.transport.SharedDirTransport` (default,
+        zero-copy shared filesystem) or
+        :class:`~repro.batch.transport.CopyBackTransport` (per-host work
+        dirs; inputs staged out per launch, outputs pulled back per
+        poll, every transfer timeout-bounded, retried, digest-verified,
+        atomically landed).  A copy-back transport must know every host
+        the backend pins slots to.
+    host_blacklist_after:
+        Consecutive failures (``dead``/``stalled``/``timeout`` attempts,
+        transport failures) after which a host is quarantined and its
+        shards rescheduled onto healthy hosts.  ``None`` (default)
+        disables host-level failure domains.
+    host_cooldown:
+        Seconds a quarantined host sits out before being re-admitted on
+        probation (one probe shard; a probation failure is terminal for
+        the host).  Only meaningful with ``host_blacklist_after``.
     """
 
     def __init__(
@@ -417,6 +683,9 @@ class CampaignDispatcher:
         inject_kills: dict[int, int] | None = None,
         faults: FaultPlan | None = None,
         store: str | Path | None = None,
+        transport: SharedDirTransport | CopyBackTransport | None = None,
+        host_blacklist_after: int | None = None,
+        host_cooldown: float = 60.0,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -480,6 +749,36 @@ class CampaignDispatcher:
         self.inject_kills = dict(inject_kills or {})
         self.faults = faults
         self.store = Path(store) if store is not None else None
+        self.transport = (
+            transport
+            if transport is not None
+            else SharedDirTransport(self.work_dir)
+        )
+        #: Worker slot -> failure-domain label; backends without a
+        #: ``host_of`` collapse into one ``"local"`` domain.
+        host_of = getattr(self.backend, "host_of", None)
+        self._slot_host = {
+            s: (host_of(s) if callable(host_of) else "local")
+            for s in range(workers)
+        }
+        hosts = list(dict.fromkeys(self._slot_host.values()))
+        transport_hosts = getattr(self.transport, "host_dirs", None)
+        if transport_hosts is not None:
+            missing = [h for h in hosts if h not in transport_hosts]
+            if missing:
+                raise ValueError(
+                    f"transport knows no work dir for host(s) "
+                    f"{missing}; backend slots are pinned to {hosts}"
+                )
+        self.host_health = HostHealth(
+            hosts,
+            blacklist_after=host_blacklist_after,
+            cooldown=host_cooldown,
+        )
+        if self.faults is not None:
+            # Arming transport faults on a transport that performs no
+            # transfers is a harness bug and fails loudly here.
+            self.transport.arm(self.faults.for_transport())
 
     #: Flags every shard command line already carries (or that the
     #: dispatcher may append); a duplicate from ``shard_args`` would make
@@ -563,10 +862,19 @@ class CampaignDispatcher:
             )
         return records
 
-    def _command(self, record: ShardRecord, *, first: bool) -> list[str]:
+    def _command(
+        self, record: ShardRecord, *, first: bool, host: str = "local"
+    ) -> list[str]:
+        # Worker-side paths are transport-addressed: on a shared-dir
+        # transport they are the dispatcher's own paths, on a copy-back
+        # transport they live in the host's work dir (inputs staged out
+        # by ``launch``, outputs pulled back by the poll loop).
+        def wp(local: Path) -> str:
+            return str(self.transport.worker_path(host, local.name))
+
         argv = [
             sys.executable, "-m", "repro", "campaign",
-            "--spec", str(self._spec_path()),
+            "--spec", wp(self._spec_path()),
         ]
         if record.parent is None:
             argv += [
@@ -581,19 +889,19 @@ class CampaignDispatcher:
             ]
         argv += [
             "--workers", "1",
-            "--json", str(self._out_path(record.shard)),
-            "--checkpoint", str(self._checkpoint_path(record.shard)),
+            "--json", wp(self._out_path(record.shard)),
+            "--checkpoint", wp(self._checkpoint_path(record.shard)),
             "--checkpoint-every", str(self.checkpoint_every),
-            "--heartbeat", str(self._heartbeat_path(record.shard)),
+            "--heartbeat", wp(self._heartbeat_path(record.shard)),
             "--heartbeat-interval", f"{self.heartbeat_interval:g}",
         ]
         if self.cost_manifest:
-            argv += ["--cost-manifest", str(self._manifest_path())]
+            argv += ["--cost-manifest", wp(self._manifest_path())]
         if self.store is not None:
             argv += ["--store", str(self.store)]
         resume = self._resume_source(record)
         if resume is not None:
-            argv += ["--resume", str(resume)]
+            argv += ["--resume", wp(resume)]
             record.resumed_attempts += 1
         if first and record.parent is None and record.shard in self.inject_kills:
             argv += ["--max-cells", str(self.inject_kills[record.shard])]
@@ -860,46 +1168,19 @@ class CampaignDispatcher:
                     return pending.pop(i)
             return None
 
-        def launch(record: ShardRecord, slot: int) -> None:
-            record.attempts += 1
-            # A stale heartbeat from a previous attempt must not feed the
-            # classifier: the fresh attempt starts with a clean grace
-            # window measured from its own launch.
-            self._heartbeat_path(record.shard).unlink(missing_ok=True)
-            launch_env = env
-            if self.faults is not None:
-                payload = self.faults.for_worker(
-                    record.shard, record.attempts
-                )
-                if payload is not None:
-                    launch_env = dict(env)
-                    launch_env[FAULT_ENV] = payload
-            proc = self.backend.launch(
-                self._command(record, first=record.attempts == 1),
-                slot=slot,
-                log_path=self._log_path(record.shard),
-                env=launch_env,
-            )
-            now = time.perf_counter()
-            running[slot] = _Running(
-                record, proc, slot, now,
-                budget=self._attempt_budget(record),
-                advance_t=now, beat_t=now,
-            )
-
         def finish_attempt(
-            active: _Running, outcome: str, wall: float
+            record: ShardRecord, outcome: str, wall: float
         ) -> None:
-            active.record.wall_time_s += wall
-            active.record.attempt_walls.append(wall)
-            active.record.attempt_outcomes.append(outcome)
+            record.wall_time_s += wall
+            record.attempt_walls.append(wall)
+            record.attempt_outcomes.append(outcome)
 
-        def fail_attempt(active: _Running, outcome: str, rc) -> None:
-            record = active.record
-            if record.attempts >= self.max_attempts:
+        def fail_attempt(record: ShardRecord, outcome: str, rc) -> None:
+            record.failed_attempts += 1
+            if record.failed_attempts >= self.max_attempts:
                 raise DispatchError(
                     f"shard {self._designator(record)} failed "
-                    f"{record.attempts} attempt(s) (last outcome "
+                    f"{record.failed_attempts} attempt(s) (last outcome "
                     f"{outcome!r}, exit status {rc}); see "
                     f"{self._log_path(record.shard)}"
                     + self._log_excerpt(record.shard)
@@ -911,6 +1192,94 @@ class CampaignDispatcher:
             # Relaunch at the front of the queue: a failed shard is the
             # current long pole by definition.
             pending.insert(0, record.shard)
+
+        def evict_host(host: str, now: float) -> None:
+            """Requeue every in-flight shard of a quarantined host.
+
+            The shards are healthy -- the *host* is the casualty -- so
+            the eviction neither burns a failed attempt nor inserts a
+            backoff: they go straight to the front of the queue for the
+            surviving hosts.
+            """
+            for slot2, act2 in list(running.items()):
+                if self._slot_host[slot2] != host:
+                    continue
+                act2.proc.kill()
+                act2.proc.wait()
+                del running[slot2]
+                finish_attempt(
+                    act2.record, "evicted",
+                    time.perf_counter() - act2.started,
+                )
+                pending.insert(0, act2.record.shard)
+
+        def host_failure(host: str, kind: str, now: float) -> None:
+            if self.host_health.record_failure(host, kind, now):
+                evict_host(host, now)
+
+        def host_ok(slot: int, now: float) -> bool:
+            host = self._slot_host[slot]
+            if not self.host_health.usable(host, now):
+                return False
+            if self.host_health.probationary(host, now) and any(
+                self._slot_host[s2] == host for s2 in running
+            ):
+                return False  # one probe shard at a time on probation
+            return True
+
+        def launch(record: ShardRecord, slot: int) -> bool:
+            host = self._slot_host[slot]
+            started = time.perf_counter()
+            self.host_health.on_launch(host, started)
+            record.attempts += 1
+            record.attempt_hosts.append(host)
+            # Stage the inputs out first (no-op on a shared dir).  A
+            # failed transfer is a failed attempt charged to the host,
+            # not a worker launch doomed to a file-not-found.
+            staged = self.transport.stage_out(host, self._spec_path().name)
+            if staged and self.cost_manifest:
+                staged = self.transport.stage_out(
+                    host, self._manifest_path().name
+                )
+            if staged:
+                resume = self._resume_source(record)
+                if resume is not None:
+                    staged = self.transport.stage_out(host, resume.name)
+            if not staged:
+                record.transport_failures += 1
+                finish_attempt(
+                    record, "transport", time.perf_counter() - started
+                )
+                host_failure(host, "transport", time.perf_counter())
+                fail_attempt(record, "transport", "-")
+                return False
+            # A stale heartbeat from a previous attempt must not feed the
+            # classifier: the fresh attempt starts with a clean grace
+            # window measured from its own launch.
+            self.transport.remove(host, self._heartbeat_path(record.shard).name)
+            launch_env = env
+            if self.faults is not None:
+                payload = self.faults.for_worker(
+                    record.shard, record.attempts
+                )
+                if payload is not None:
+                    launch_env = dict(env)
+                    launch_env[FAULT_ENV] = payload
+            proc = self.backend.launch(
+                self._command(
+                    record, first=record.attempts == 1, host=host
+                ),
+                slot=slot,
+                log_path=self._log_path(record.shard),
+                env=launch_env,
+            )
+            now = time.perf_counter()
+            running[slot] = _Running(
+                record, proc, slot, now,
+                budget=self._attempt_budget(record),
+                advance_t=now, beat_t=now,
+            )
+            return True
 
         def try_split(now: float) -> bool:
             """Split the worst straggler's chains onto idle slots."""
@@ -934,7 +1303,17 @@ class CampaignDispatcher:
             record = active.record
             # Census the straggler's progress *before* killing it; both
             # candidate files are atomic, so a live child cannot tear
-            # them under the read.
+            # them under the read.  On a copy-back transport the freshest
+            # checkpoint lives on the straggler's host -- pull it home
+            # first (a failed pull degrades the census to stale/absent,
+            # which only costs re-run work, never correctness).
+            split_host = self._slot_host[active.slot]
+            for name in (
+                self._out_path(record.shard).name,
+                self._checkpoint_path(record.shard).name,
+            ):
+                if not self.transport.pull(split_host, name):
+                    record.transport_failures += 1
             source = self._resume_source(record)
             partial = (
                 self._load_result(source) if source is not None else None
@@ -951,7 +1330,7 @@ class CampaignDispatcher:
             active.proc.kill()
             active.proc.wait()
             del running[active.slot]
-            finish_attempt(active, "split", now - active.started)
+            finish_attempt(active.record, "split", now - active.started)
             # Re-partition *all* assigned chains by remaining cost
             # (completed chains weigh ~0 and resume wholesale), LPT onto
             # the idle slots plus the one just freed.
@@ -999,18 +1378,36 @@ class CampaignDispatcher:
                     s for s in range(self.workers) if s not in running
                 ]
                 for slot in free:
+                    # Re-check per launch: an earlier launch this
+                    # iteration may have taken a probation host's single
+                    # probe, or a staging failure may have quarantined
+                    # the host outright.
+                    if not host_ok(slot, now):
+                        continue
                     sid = pop_ready(now)
                     if sid is None:
                         break
                     launch(by_shard[sid], slot)
                     events = True
                 if not running:
-                    # Every pending shard is inside a backoff window:
-                    # sleep it out instead of busy-spinning.
+                    if pending and self.host_health.all_dead():
+                        raise DispatchError(
+                            "every host is quarantined ("
+                            + ", ".join(sorted(self.host_health.hosts()))
+                            + f"); {len(pending)} shard(s) cannot be "
+                            "dispatched"
+                        )
+                    # Every pending shard is inside a backoff window (or
+                    # every host inside a quarantine cooldown): sleep it
+                    # out instead of busy-spinning.
                     next_ready = min(
                         (ready_at.get(s, 0.0) for s in pending),
                         default=now,
                     )
+                    if pending and not self.host_health.any_usable(now):
+                        readmit = self.host_health.next_readmission()
+                        if readmit is not None:
+                            next_ready = max(next_ready, readmit)
                     wait = max(0.0, next_ready - time.perf_counter())
                     time.sleep(
                         min(wait, 1.0) if wait > 0 else self.poll_interval
@@ -1019,9 +1416,23 @@ class CampaignDispatcher:
                 time.sleep(poll)
                 now = time.perf_counter()
                 for slot, active in list(running.items()):
+                    if slot not in running:
+                        continue  # evicted by a quarantine this sweep
+                    host = self._slot_host[slot]
+                    record = active.record
                     outcome: str | None = None
                     rc = active.proc.poll()
                     if rc is None:
+                        # Liveness rides the transport too: bring the
+                        # heartbeat home before classifying.
+                        if not self.transport.pull(
+                            host, self._heartbeat_path(record.shard).name
+                        ):
+                            record.transport_failures += 1
+                            host_failure(host, "transport", now)
+                            events = True
+                            if slot not in running:
+                                continue  # the pull's host was quarantined
                         if (
                             active.budget is not None
                             and now - active.started > active.budget
@@ -1040,28 +1451,48 @@ class CampaignDispatcher:
                         rc = active.proc.returncode
                     del running[slot]
                     events = True
-                    record = active.record
+                    # Bring the worker's outputs home before judging the
+                    # attempt (no-op on a shared dir).  A failed result
+                    # pull turns an apparent success into a ``transport``
+                    # attempt; a failed checkpoint pull only costs the
+                    # relaunch a staler resume point.
+                    if not self.transport.pull(
+                        host, self._out_path(record.shard).name
+                    ):
+                        record.transport_failures += 1
+                        if outcome is None:
+                            outcome = "transport"
                     result = (
                         self._shard_complete(record)
                         if outcome is None
                         else None
                     )
                     if result is not None:
-                        finish_attempt(active, "completed", now - active.started)
+                        finish_attempt(
+                            record, "completed", now - active.started
+                        )
                         record.slot = slot
                         record.cells = len(result.cells)
                         merger.add(result)
                         shards_per_slot[slot] = (
                             shards_per_slot.get(slot, 0) + 1
                         )
-                        self._checkpoint_path(record.shard).unlink(
-                            missing_ok=True
+                        self.host_health.record_success(host)
+                        self.transport.remove(
+                            host, self._checkpoint_path(record.shard).name
                         )
                         continue
-                    finish_attempt(
-                        active, outcome or "failed", now - active.started
-                    )
-                    fail_attempt(active, outcome or "failed", rc)
+                    if not self.transport.pull(
+                        host, self._checkpoint_path(record.shard).name
+                    ):
+                        record.transport_failures += 1
+                        if outcome is None:
+                            outcome = "transport"
+                    outcome = outcome or "failed"
+                    finish_attempt(record, outcome, now - active.started)
+                    if outcome in ("dead", "stalled", "timeout", "transport"):
+                        host_failure(host, outcome, now)
+                    fail_attempt(record, outcome, rc)
                 if try_split(time.perf_counter()):
                     events = True
                 # Adaptive poll: quiet iterations back off exponentially
@@ -1112,6 +1543,8 @@ class CampaignDispatcher:
             workers=self.workers,
             wall_time_s=time.perf_counter() - t0,
             shards_per_slot=shards_per_slot,
+            hosts=self.host_health.summary(),
+            transport=self.transport.stats(),
         )
 
     @staticmethod

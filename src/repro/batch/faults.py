@@ -24,17 +24,32 @@ is that harness:
 
 Faults only ever exist where a test put them: no plan in the
 environment means every hook is a no-op.
+
+:class:`TransportFault` entries extend the same plan to the *transfer*
+layer: drop, delay, truncate, or corrupt one copy-back, or blackhole a
+host outright.  They never travel through the environment -- the
+dispatcher arms them directly on its
+:class:`repro.batch.transport.CopyBackTransport`, which consults them on
+every transfer attempt.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import json
 import os
 import signal
 import time
 from dataclasses import dataclass
 
-__all__ = ["FAULT_ENV", "Fault", "FaultPlan", "WorkerFaults"]
+__all__ = [
+    "FAULT_ENV",
+    "Fault",
+    "FaultPlan",
+    "TransportFault",
+    "TRANSPORT_KINDS",
+    "WorkerFaults",
+]
 
 #: Environment variable carrying the JSON-encoded fault list for one
 #: worker attempt.
@@ -48,6 +63,14 @@ KINDS = _CELL_KINDS | {"corrupt_output"}
 #: Payload written in place of the result JSON by ``corrupt_output`` --
 #: deliberately truncated mid-object so every loader sees damage.
 CORRUPT_PAYLOAD = '{"spec": {"grid": {"utilization": [0.1, '
+
+#: Fault kinds applied to individual copy-back transfers (or, for
+#: ``blackhole``, to every later transfer touching one host).
+TRANSPORT_KINDS = frozenset(
+    {"drop", "delay", "truncate", "corrupt", "blackhole"}
+)
+#: Transfer directions a transport fault can be scoped to.
+TRANSPORT_OPS = frozenset({"push", "pull", "any"})
 
 
 @dataclass(frozen=True)
@@ -79,13 +102,91 @@ class Fault:
             raise ValueError("fault attempt is 1-based (or None for all)")
 
 
-class FaultPlan:
-    """A declarative set of faults a dispatcher delivers to its workers."""
+@dataclass(frozen=True)
+class TransportFault:
+    """One injected transfer failure on the copy-back transport.
 
-    def __init__(self, faults: list[Fault] | tuple[Fault, ...] = ()):
-        self.faults = [
-            f if isinstance(f, Fault) else Fault(**f) for f in faults
-        ]
+    ``host``/``op``/``name`` select which transfers the fault watches
+    (``None`` host means any host; ``name`` is an ``fnmatch`` glob on the
+    transferred file name).  Among the matching transfer *attempts* --
+    retries count -- the fault fires on the ``first``-th (1-based) and on
+    the following ``count - 1``; ``count=None`` fires forever once
+    reached.  ``blackhole`` additionally poisons the host: every later
+    transfer touching it fails fast until the end of the dispatch, which
+    is how a test makes a whole machine drop off the network mid-run.
+    """
+
+    kind: str
+    host: str | None = None
+    op: str = "any"
+    name: str = "*"
+    first: int = 1
+    count: int | None = 1
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport fault kind {self.kind!r}; expected "
+                f"one of {sorted(TRANSPORT_KINDS)}"
+            )
+        if self.op not in TRANSPORT_OPS:
+            raise ValueError(
+                f"transport fault op must be one of "
+                f"{sorted(TRANSPORT_OPS)}, got {self.op!r}"
+            )
+        if self.first < 1:
+            raise ValueError("transport fault first is 1-based")
+        if self.count is not None and self.count < 1:
+            raise ValueError(
+                "transport fault count must be >= 1 (or None for forever)"
+            )
+        if self.delay_s < 0:
+            raise ValueError("transport fault delay_s must be >= 0")
+
+    def matches(self, host: str, op: str, name: str) -> bool:
+        """Whether this fault watches the given transfer."""
+        if self.host is not None and self.host != host:
+            return False
+        if self.op != "any" and self.op != op:
+            return False
+        return fnmatch.fnmatch(name, self.name)
+
+
+class FaultPlan:
+    """A declarative set of faults a dispatcher delivers to its workers.
+
+    Accepts a mixed list of :class:`Fault` (worker-side) and
+    :class:`TransportFault` (transfer-side) entries; dicts are coerced by
+    their ``kind``.
+    """
+
+    def __init__(
+        self,
+        faults: list[Fault | TransportFault] | tuple = (),
+    ):
+        self.faults: list[Fault] = []
+        self.transport_faults: list[TransportFault] = []
+        for f in faults:
+            if isinstance(f, dict):
+                f = (
+                    TransportFault(**f)
+                    if f.get("kind") in TRANSPORT_KINDS
+                    else Fault(**f)
+                )
+            if isinstance(f, TransportFault):
+                self.transport_faults.append(f)
+            elif isinstance(f, Fault):
+                self.faults.append(f)
+            else:
+                raise TypeError(
+                    f"FaultPlan entries must be Fault, TransportFault, or "
+                    f"dict, got {type(f).__name__}"
+                )
+
+    def for_transport(self) -> list[TransportFault]:
+        """The transfer-side entries, for ``Transport.arm``."""
+        return list(self.transport_faults)
 
     def for_worker(self, shard: int, attempt: int) -> str | None:
         """JSON for ``FAULT_ENV``, or ``None`` when no fault applies."""

@@ -38,7 +38,7 @@ from typing import Any
 
 from repro.batch.canonical import canonical_json
 
-__all__ = ["ResultStore", "StoreKey", "StoreStats"]
+__all__ = ["ResultStore", "StoreGcStats", "StoreKey", "StoreStats"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,31 @@ class StoreStats:
 
     entries: int
     bytes: int
+
+
+@dataclass(frozen=True)
+class StoreGcStats:
+    """Outcome of one :meth:`ResultStore.gc` sweep."""
+
+    removed: int
+    kept: int
+    bytes_freed: int
+    #: Orphaned ``*.tmp.*`` files swept (crashed writers' leftovers).
+    tmp_removed: int = 0
+
+
+#: Age-histogram bucket upper bounds in seconds (the last is open).
+_AGE_BUCKETS: tuple[tuple[str, float], ...] = (
+    ("<=1h", 3600.0),
+    ("<=1d", 86400.0),
+    ("<=7d", 604800.0),
+    (">7d", float("inf")),
+)
+
+#: Orphaned temp files older than this are swept by ``gc`` regardless of
+#: the pruning criteria: a live writer renames its temp within seconds,
+#: so a day-old one can only be a crashed writer's leftover.
+_TMP_ORPHAN_AGE_S = 86400.0
 
 
 class ResultStore:
@@ -139,14 +164,105 @@ class ResultStore:
         """Walk the store and count entries and payload bytes."""
         entries = 0
         size = 0
-        if self.root.is_dir():
-            for path in self.root.glob("??/*.json"):
+        for _path, stat in self.iter_entries():
+            size += stat.st_size
+            entries += 1
+        return StoreStats(entries=entries, bytes=size)
+
+    def iter_entries(self):
+        """Yield ``(path, stat_result)`` for every readable entry file."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            try:
+                yield path, path.stat()
+            except OSError:
+                continue
+
+    def age_histogram(self, now: float | None = None) -> list[tuple[str, int]]:
+        """Entry counts per age bucket (mtime-based, oldest bucket last)."""
+        import time as _time
+
+        if now is None:
+            now = _time.time()
+        counts = [0] * len(_AGE_BUCKETS)
+        for _path, stat in self.iter_entries():
+            age = max(0.0, now - stat.st_mtime)
+            for i, (_label, bound) in enumerate(_AGE_BUCKETS):
+                if age <= bound:
+                    counts[i] += 1
+                    break
+        return [
+            (label, counts[i])
+            for i, (label, _bound) in enumerate(_AGE_BUCKETS)
+        ]
+
+    def gc(
+        self,
+        *,
+        older_than_s: float | None = None,
+        keep_digests: set[str] | None = None,
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> StoreGcStats:
+        """Prune entries by age and/or reachability.
+
+        An entry is removed only when *every* given criterion condemns
+        it: older than ``older_than_s`` seconds (mtime), and/or its
+        digest absent from ``keep_digests`` (the reachable set of a
+        spec) -- intersection, so combining criteria is always the more
+        conservative sweep.  With neither criterion the sweep removes
+        nothing (refusing to interpret "no criteria" as "everything").
+        Orphaned ``*.tmp.*`` files from crashed writers are swept once
+        they are a day old, independent of the criteria.  ``dry_run``
+        counts without deleting.
+        """
+        import time as _time
+
+        if now is None:
+            now = _time.time()
+        removed = kept = freed = tmp_removed = 0
+        for path, stat in self.iter_entries():
+            condemned = older_than_s is not None or keep_digests is not None
+            if older_than_s is not None and now - stat.st_mtime <= older_than_s:
+                condemned = False
+            if keep_digests is not None and path.stem in keep_digests:
+                condemned = False
+            if not condemned:
+                kept += 1
+                continue
+            removed += 1
+            freed += stat.st_size
+            if not dry_run:
                 try:
-                    size += path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    removed -= 1
+                    freed -= stat.st_size
+                    kept += 1
+        if self.root.is_dir():
+            for tmp in self.root.glob("??/*.json.tmp.*"):
+                try:
+                    if now - tmp.stat().st_mtime <= _TMP_ORPHAN_AGE_S:
+                        continue
+                    if not dry_run:
+                        tmp.unlink()
+                    tmp_removed += 1
                 except OSError:
                     continue
-                entries += 1
-        return StoreStats(entries=entries, bytes=size)
+            if not dry_run:
+                # Fan-out dirs emptied by the sweep are noise; drop them.
+                for fan in self.root.glob("??"):
+                    try:
+                        fan.rmdir()
+                    except OSError:
+                        pass
+        return StoreGcStats(
+            removed=removed,
+            kept=kept,
+            bytes_freed=freed,
+            tmp_removed=tmp_removed,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore({str(self.root)!r})"

@@ -263,8 +263,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_cd.add_argument("--hosts", metavar="ssh:HOST[,HOST...]",
                       help="run shard commands through 'ssh HOST' with "
                       "worker slots pinned round-robin to the hosts "
-                      "(assumes a shared --work-dir filesystem); default "
-                      "runs local subprocesses")
+                      "(shared --work-dir filesystem, or --transport "
+                      "copyback); default runs local subprocesses")
+    p_cd.add_argument("--transport", choices=("shared", "copyback"),
+                      default="shared",
+                      help="file movement to/from workers: 'shared' "
+                      "(default) assumes one filesystem; 'copyback' "
+                      "gives every host its own work dir under "
+                      "WORK_DIR/hosts/HOST -- inputs staged out per "
+                      "launch, results/checkpoints/heartbeats pulled "
+                      "back per poll, every transfer timeout-bounded, "
+                      "retried, digest-verified and atomically landed")
+    p_cd.add_argument("--host-blacklist-after", type=int, default=None,
+                      metavar="N",
+                      help="host-level failure domains: quarantine a "
+                      "host after N consecutive failures (dead/stalled/"
+                      "timeout shards, transport failures) and "
+                      "reschedule its shards onto healthy hosts "
+                      "(default: off)")
+    p_cd.add_argument("--host-cooldown", type=float, default=60.0,
+                      metavar="S",
+                      help="seconds a quarantined host sits out before "
+                      "re-admission on probation -- one probe shard, "
+                      "and a probation failure retires the host for "
+                      "the rest of the dispatch (default 60)")
     p_cd.add_argument("--max-attempts", type=int, default=3,
                       help="launch attempts per shard before giving up "
                       "(default 3)")
@@ -348,6 +370,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the merged acceptance table as CSV")
     p_cm.add_argument("--quiet", action="store_true",
                       help="suppress the summary table")
+
+    p_ss = sub.add_parser(
+        "store-stats",
+        help="entry count / size / age histogram of a result store",
+        description="Walk a content-addressed result store directory "
+        "(as used by analyze/campaign/campaign-dispatch --store) and "
+        "report entry count, payload bytes, and an age histogram.",
+    )
+    p_ss.add_argument("store", metavar="DIR", help="store root directory")
+    p_ss.add_argument("--json", dest="json_out", action="store_true",
+                      help="emit machine-readable JSON instead of a table")
+
+    p_sg = sub.add_parser(
+        "store-gc",
+        help="prune a result store by age and/or spec reachability",
+        description="Remove store entries condemned by EVERY given "
+        "criterion (intersection): older than --older-than, and/or not "
+        "reachable from the campaign spec in --spec.  With no criterion "
+        "nothing is removed.  Orphaned temp files from crashed writers "
+        "are swept once a day old regardless.",
+    )
+    p_sg.add_argument("store", metavar="DIR", help="store root directory")
+    p_sg.add_argument("--older-than", metavar="AGE",
+                      help="prune entries whose mtime is older than AGE: "
+                      "30s, 10m, 4h, 7d, or bare seconds")
+    p_sg.add_argument("--spec", dest="spec_file", metavar="PATH",
+                      help="keep only entries a run of this campaign "
+                      "spec would consult (a spec JSON as written by "
+                      "campaign-dispatch work dirs, or any campaign "
+                      "result JSON -- its spec block is used)")
+    p_sg.add_argument("--dry-run", action="store_true",
+                      help="report what would be removed without deleting")
     return parser
 
 
@@ -815,6 +869,16 @@ def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
         if args.work_dir is not None
         else tempfile.mkdtemp(prefix="repro-dispatch-")
     )
+    transport = None
+    if args.transport == "copyback":
+        from repro.batch.transport import CopyBackTransport
+
+        hosts = backend.hosts if isinstance(backend, SshBackend) else ["local"]
+        transport = CopyBackTransport(
+            work_dir,
+            {h: work_dir / "hosts" / h for h in hosts},
+            seed=spec.seed,
+        )
     dispatcher = CampaignDispatcher(
         spec,
         shards=shards,
@@ -834,6 +898,9 @@ def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
         backoff_max=args.backoff_max,
         split_after=args.split_after,
         store=args.store,
+        transport=transport,
+        host_blacklist_after=args.host_blacklist_after,
+        host_cooldown=args.host_cooldown,
     )
 
     # SIGTERM (systemd stop, cluster preemption, a plain `kill`) takes
@@ -882,6 +949,124 @@ def _cmd_campaign_dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_age(text: str) -> float:
+    """``"30s"/"10m"/"4h"/"7d"`` (or bare seconds) -> seconds."""
+    raw = text.strip().lower()
+    unit = 1.0
+    if raw and raw[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * unit
+    except ValueError:
+        raise ValueError(
+            f"--older-than must be a number with optional s/m/h/d "
+            f"suffix, got {text!r}"
+        ) from None
+    if seconds < 0:
+        raise ValueError("--older-than must be >= 0")
+    return seconds
+
+
+def _open_store(root: str):
+    """A ResultStore for *root*, or ``None`` when NumPy is missing.
+
+    The store backend itself is stdlib-only, but it lives under
+    ``repro.batch`` whose package import pulls in NumPy; a missing NumPy
+    should degrade to a clear error, not a traceback.
+    """
+    try:
+        from repro.batch.store import ResultStore
+    except ImportError as exc:
+        print(f"error: store tooling unavailable ({exc})", file=sys.stderr)
+        return None
+    return ResultStore(root)
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    if not Path(args.store).is_dir():
+        print(f"error: {args.store} is not a directory", file=sys.stderr)
+        return 2
+    stats = store.stats()
+    histogram = store.age_histogram()
+    if args.json_out:
+        json.dump(
+            {
+                "root": str(store.root),
+                "entries": stats.entries,
+                "bytes": stats.bytes,
+                "age_histogram": {label: n for label, n in histogram},
+            },
+            sys.stdout,
+        )
+        print()
+        return 0
+    print(f"result store {store.root}")
+    print(f"  entries: {stats.entries}")
+    print(f"  payload: {stats.bytes} bytes")
+    print("  age histogram:")
+    for label, count in histogram:
+        print(f"    {label:>5}: {count}")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    if not Path(args.store).is_dir():
+        print(f"error: {args.store} is not a directory", file=sys.stderr)
+        return 2
+    if not args.older_than and not args.spec_file:
+        print(
+            "error: store-gc needs --older-than and/or --spec "
+            "(refusing to interpret no criteria as 'prune everything')",
+            file=sys.stderr,
+        )
+        return 2
+    older_than_s = _parse_age(args.older_than) if args.older_than else None
+    keep_digests = None
+    if args.spec_file:
+        from repro.batch import CampaignSpec
+        from repro.batch.campaign import store_reachable_digests
+
+        data = json.loads(Path(args.spec_file).read_text())
+        if isinstance(data, dict) and isinstance(data.get("spec"), dict):
+            data = data["spec"]  # a campaign result JSON: use its spec
+        spec = CampaignSpec.from_dict(data)
+        keep_digests = store_reachable_digests(spec)
+        print(
+            f"spec {args.spec_file}: {len(keep_digests)} reachable "
+            "entr(ies) kept"
+        )
+    result = store.gc(
+        older_than_s=older_than_s,
+        keep_digests=keep_digests,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {result.removed} entr(ies) "
+        f"({result.bytes_freed} bytes), kept {result.kept}"
+        + (
+            f"; swept {result.tmp_removed} orphaned temp file(s)"
+            if result.tmp_removed
+            else ""
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
@@ -893,6 +1078,8 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "campaign-merge": _cmd_campaign_merge,
     "campaign-dispatch": _cmd_campaign_dispatch,
+    "store-stats": _cmd_store_stats,
+    "store-gc": _cmd_store_gc,
 }
 
 

@@ -53,6 +53,7 @@ _NUMPY_TEST_FILES = [
     "test_sim_quantiles.py",
     "test_sim_supply.py",
     "test_sim_validate.py",
+    "test_transport.py",
     "test_verdict_parity.py",
     "test_viz.py",
     "test_warm_start.py",

@@ -793,6 +793,78 @@ class TestHeartbeatAndChains:
                 workers=1, heartbeat=tmp_path / "b.json", heartbeat_interval=0
             )
 
+    def test_heartbeat_survives_transient_write_failures(
+        self, tmp_path, monkeypatch
+    ):
+        """A disk hiccup (ENOSPC, remount) must skip the beat and retry
+        at the next interval -- never kill the beat thread, never
+        publish a gap in the sequence numbers."""
+        import os as _os
+        import time as _time
+
+        from repro.batch import campaign as campaign_mod
+        from repro.batch.campaign import _HeartbeatWriter
+
+        hb = _HeartbeatWriter(tmp_path / "beat.json", 0.02)
+        hb.start()
+        _time.sleep(0.08)  # a few healthy beats land first
+        real_replace = _os.replace
+
+        def flaky(src, dst):
+            raise OSError("disk went away")
+
+        monkeypatch.setattr(campaign_mod.os, "replace", flaky)
+        _time.sleep(0.1)  # every beat in this window fails
+        monkeypatch.setattr(campaign_mod.os, "replace", real_replace)
+        hb.bump(7)  # recovery: progress published immediately
+        _time.sleep(0.08)
+        hb.stop()
+        assert hb.failed_beats >= 1
+        assert hb._thread is not None and not hb._thread.is_alive()
+        beat = json.loads((tmp_path / "beat.json").read_text())
+        assert beat["cells"] == 7
+        # seq counts *published* beats only: failures bump nothing, so
+        # the final file carries exactly the writer's landed-beat count.
+        assert beat["seq"] == hb._seq
+
+    def test_heartbeat_recreates_vanished_parent_dir(self, tmp_path):
+        """An aggressively cleaned work dir is recreated so later beats
+        land again instead of failing forever."""
+        import shutil
+        import time as _time
+
+        from repro.batch.campaign import _HeartbeatWriter
+
+        parent = tmp_path / "wd"
+        hb = _HeartbeatWriter(parent / "beat.json", 0.02)
+        hb.start()
+        _time.sleep(0.06)
+        shutil.rmtree(parent)
+        _time.sleep(0.06)  # first beat after the rmtree fails, recreates
+        hb.bump(3)
+        _time.sleep(0.06)
+        hb.stop()
+        assert hb.failed_beats >= 1
+        beat = json.loads((parent / "beat.json").read_text())
+        assert beat["cells"] == 3
+
+    def test_heartbeat_unwritable_parent_never_raises(self, tmp_path):
+        """A beat path whose parent cannot exist fails every write but
+        must never take the campaign (or the thread) down with it."""
+        import time as _time
+
+        from repro.batch.campaign import _HeartbeatWriter
+
+        blocker = tmp_path / "flat"
+        blocker.write_text("")  # a *file* where the parent dir should be
+        hb = _HeartbeatWriter(blocker / "beat.json", 0.02)
+        hb.start()  # mkdir fails: counted, not raised
+        _time.sleep(0.06)
+        hb.bump(2)
+        hb.stop()
+        assert hb.failed_beats >= 2
+        assert hb._seq == 0  # nothing ever landed
+
     def test_chain_subsets_union_bit_identical(self):
         """--chains is the elastic-split transport: disjoint index subsets
         must union to exactly the full run."""

@@ -369,6 +369,70 @@ class TestSshBackend:
         with pytest.raises(ValueError, match="at least one host"):
             SshBackend([])
 
+    def test_slot_pinning_round_robins_hosts(self):
+        backend = SshBackend(["alpha", "beta", "gamma"])
+        assert [backend.host_of(s) for s in range(6)] == [
+            "alpha", "beta", "gamma", "alpha", "beta", "gamma",
+        ]
+
+    def test_arguments_with_spaces_survive_quoting(self, tmp_path):
+        """The remote command is one shell-quoted string; a work-dir path
+        with spaces must come out of the remote shell as one argument."""
+        backend = SshBackend(["h0"], ssh_command=("echo",))
+        log = tmp_path / "shard.log"
+        spaced = str(tmp_path / "my work dir" / "spec.json")
+        argv = ["python", "-m", "repro", "campaign", "--spec", spaced]
+        proc = backend.launch(argv, slot=0, log_path=log)
+        assert proc.wait() == 0
+        remote = log.read_text().split(" ", 1)[1].strip()
+        import shlex
+
+        assert shlex.split(remote) == [
+            "python3", "-m", "repro", "campaign", "--spec", spaced,
+        ]
+
+    def test_remote_python_override(self, tmp_path):
+        """A venv interpreter (multi-word command) replaces the head."""
+        backend = SshBackend(
+            ["h0"], ssh_command=("echo",),
+            remote_python=("/opt/venv/bin/python", "-u"),
+        )
+        log = tmp_path / "shard.log"
+        proc = backend.launch(
+            ["python", "-m", "repro", "campaign"], slot=0, log_path=log
+        )
+        assert proc.wait() == 0
+        assert "/opt/venv/bin/python -u -m repro campaign" in log.read_text()
+
+    def test_fault_plan_env_crosses_the_ssh_hop(self, tmp_path):
+        """REPRO_FAULT_PLAN must be forwarded into the remote command (as
+        an ``env`` prefix); the rest of the local environment must not."""
+        from repro.batch.faults import FAULT_ENV
+
+        backend = SshBackend(["h0"], ssh_command=("echo",))
+        log = tmp_path / "shard.log"
+        payload = '[{"kind": "kill", "at_cell": 2}]'
+        env = {"PYTHONPATH": "/secret/local/path", FAULT_ENV: payload}
+        proc = backend.launch(
+            ["python", "-m", "repro"], slot=0, log_path=log, env=env
+        )
+        assert proc.wait() == 0
+        remote = log.read_text()
+        import shlex
+
+        assert shlex.split(remote.split(" ", 1)[1])[:2] == [
+            "env", f"{FAULT_ENV}={payload}",
+        ]
+        assert "/secret/local/path" not in remote
+        # No fault plan, no env prefix.
+        log2 = tmp_path / "shard2.log"
+        proc = backend.launch(
+            ["python", "-m", "repro"], slot=0, log_path=log2,
+            env={"PYTHONPATH": "/x"},
+        )
+        assert proc.wait() == 0
+        assert "env" not in shlex.split(log2.read_text())
+
 
 class TestCliDispatch:
     ARGS = [

@@ -31,10 +31,14 @@ from repro.batch import (
     CampaignDispatcher,
     CampaignResult,
     CampaignSpec,
+    CopyBackTransport,
     DispatchError,
     Fault,
     FaultPlan,
+    HostHealth,
     LocalBackend,
+    SharedDirTransport,
+    TransportFault,
 )
 from repro.batch.dispatch import DispatchReport, ShardRecord, _Running
 from repro.batch.faults import FAULT_ENV, WorkerFaults
@@ -331,6 +335,266 @@ class TestGracefulShutdown:
             if spec_path in cmdline:
                 lingering.append((pid, cmdline))
         assert not lingering, lingering
+
+
+class _TwoHostBackend(_RecordingBackend):
+    """Mock a two-machine fleet: slot ``i`` pinned to ``hosts[i % n]``.
+
+    Children still run locally, but on a :class:`CopyBackTransport` they
+    read and write inside *their host's* work dir -- so the dispatcher
+    really does stage inputs out and pull outputs back across a
+    directory boundary, exactly as it would across a network one.
+    """
+
+    def __init__(self, hosts=("alpha", "beta")):
+        super().__init__()
+        self.hosts = list(hosts)
+
+    def host_of(self, slot: int) -> str:
+        return self.hosts[slot % len(self.hosts)]
+
+
+def copyback(tmp_path, hosts=("alpha", "beta"), **kwargs):
+    """A dispatcher work dir plus a copy-back transport over mock hosts."""
+    work_dir = tmp_path / "wd"
+    kwargs.setdefault("backoff_base", 0.0)  # transfer retries sleep-free
+    transport = CopyBackTransport(
+        work_dir, {h: tmp_path / "hosts" / h for h in hosts}, **kwargs
+    )
+    return work_dir, transport
+
+
+@pytest.mark.dist
+@pytest.mark.transport
+class TestCopyBackDispatch:
+    """The ISSUE 9 acceptance bar: a dispatched campaign over a mocked
+    2-host copy-back transport -- with transfer faults injected -- merges
+    bit-identical to the single run, quarantines the dead host,
+    reschedules its shards, and leaves zero children behind."""
+
+    def test_clean_two_host_run_bit_identical(self, tmp_path, single_run):
+        backend = _TwoHostBackend()
+        work_dir, transport = copyback(tmp_path)
+        report = dispatch(
+            tiny_spec(), work_dir, backend=backend, transport=transport,
+        )
+        assert report.result.metrics() == single_run.metrics()
+        assert report.transport["kind"] == "copyback"
+        assert report.transport["pushes"] >= 2  # spec staged to both hosts
+        assert report.transport["pulls"] > 0
+        assert report.transport["failures"] == 0
+        assert set(report.hosts) == {"alpha", "beta"}
+        completed = sum(h["completed"] for h in report.hosts.values())
+        assert completed == len([s for s in report.shards if s.chains > 0])
+        # Worker artifacts live in the host dirs, results land locally.
+        assert list(work_dir.glob("shard*.json"))
+        text = report.format_summary()
+        assert "@alpha" in text or "@beta" in text
+        assert "transport:" in text
+        backend.assert_all_reaped()
+
+    def test_dropped_copy_back_recovers_through_relaunch(
+        self, tmp_path, single_run
+    ):
+        """Every retry of shard 0's result copy-back is dropped once
+        (count=3 outlasts the transport's 2 retries): the attempt is
+        judged ``transport``, the relaunch's pull goes through clean."""
+        backend = _TwoHostBackend()
+        work_dir, transport = copyback(tmp_path)
+        report = dispatch(
+            tiny_spec(), work_dir, backend=backend, transport=transport,
+            faults=FaultPlan([
+                TransportFault(
+                    kind="drop", op="pull", name="shard0000.json", count=3,
+                ),
+            ]),
+        )
+        victim = next(s for s in report.shards if s.shard == 0)
+        assert victim.attempt_outcomes == ["transport", "completed"]
+        assert victim.transport_failures >= 1
+        assert victim.resumed_attempts == 1  # checkpoint still came home
+        assert report.transport["failures"] >= 1
+        assert report.result.metrics() == single_run.metrics()
+        backend.assert_all_reaped()
+
+    def test_blackholed_host_is_quarantined_and_work_rescheduled(
+        self, tmp_path, single_run
+    ):
+        """Host beta drops off the network mid-run (its heartbeat pulls
+        blackhole): after ``host_blacklist_after`` consecutive transport
+        failures beta is quarantined, its in-flight shard evicted and
+        rescheduled onto alpha, and the union is still bit-identical."""
+        backend = _TwoHostBackend()
+        work_dir, transport = copyback(tmp_path)
+        report = dispatch(
+            tiny_spec(), work_dir, backend=backend, transport=transport,
+            faults=FaultPlan([
+                TransportFault(
+                    kind="blackhole", host="beta", op="pull",
+                    name="*.hb.json",
+                ),
+            ]),
+            host_blacklist_after=2, host_cooldown=300.0,
+        )
+        assert report.result.metrics() == single_run.metrics()
+        assert report.transport["blackholed"] == ["beta"]
+        assert report.hosts["beta"]["quarantines"] == 1
+        assert report.quarantines == 1
+        assert report.evictions == 1
+        # The evicted shard was healthy: no failed attempt burned, and
+        # its relaunch landed on the surviving host.
+        victim = next(
+            s for s in report.shards if "evicted" in s.attempt_outcomes
+        )
+        assert victim.attempt_outcomes == ["evicted", "completed"]
+        assert victim.attempt_hosts == ["beta", "alpha"]
+        assert victim.failed_attempts == 0
+        # Everything completed on alpha; beta completed nothing.
+        assert report.hosts["beta"]["completed"] == 0
+        assert report.hosts["alpha"]["completed"] == len(
+            [s for s in report.shards if s.chains > 0]
+        )
+        text = report.format_summary()
+        assert "host beta:" in text and "quarantine" in text
+        backend.assert_all_reaped()
+
+
+@pytest.mark.transport
+class TestHostFailureDomainPolicy:
+    """Deterministic host-health pieces, no subprocesses."""
+
+    def test_every_host_gone_is_one_clear_error(self, tmp_path):
+        """A single host that blackholes and then dies on probation must
+        surface as one DispatchError naming the quarantined fleet --
+        not as per-shard attempt exhaustion."""
+        work_dir, transport = copyback(tmp_path, hosts=("local",))
+        dispatcher = CampaignDispatcher(
+            tiny_spec(), shards=1, workers=1, work_dir=work_dir,
+            transport=transport,
+            faults=FaultPlan([TransportFault(kind="blackhole", op="push")]),
+            host_blacklist_after=1, host_cooldown=0.05, max_attempts=5,
+        )
+        with pytest.raises(DispatchError, match="every host is quarantined"):
+            dispatcher.run()
+        # The staging failures never even launched a child.
+        assert dispatcher.host_health.state("local").dead
+
+    def test_blacklist_disabled_by_default(self):
+        hh = HostHealth(["a"])
+        for _ in range(10):
+            assert hh.record_failure("a", "dead", now=0.0) is False
+        assert hh.usable("a", 0.0)
+        assert hh.state("a").failures == 10
+        assert hh.state("a").quarantines == 0
+
+    def test_quarantine_cooldown_probation_death(self):
+        hh = HostHealth(["a", "b"], blacklist_after=2, cooldown=10.0)
+        assert hh.record_failure("a", "dead", 0.0) is False
+        assert hh.record_failure("a", "stalled", 1.0) is True  # quarantined
+        assert not hh.usable("a", 5.0)
+        assert hh.usable("b", 5.0) and hh.any_usable(5.0)
+        assert hh.next_readmission() == pytest.approx(11.0)
+        # Cooldown over: usable again, but only on probation.
+        assert hh.usable("a", 11.5)
+        assert hh.probationary("a", 11.5)
+        hh.on_launch("a", 11.5)
+        st = hh.state("a")
+        assert st.probation and st.readmissions == 1
+        # A probation failure is terminal for the host.
+        assert hh.record_failure("a", "timeout", 12.0) is True
+        assert st.dead
+        assert not hh.usable("a", 1e9)
+        assert not hh.all_dead()  # b still lives
+        assert hh.next_readmission() is None
+        # Further failures on a dead host change nothing.
+        assert hh.record_failure("a", "dead", 13.0) is False
+
+    def test_success_resets_consecutive_failures_and_probation(self):
+        hh = HostHealth(["a"], blacklist_after=3, cooldown=1.0)
+        hh.record_failure("a", "dead", 0.0)
+        hh.record_failure("a", "dead", 0.0)
+        hh.record_success("a")
+        # The streak restarted: two more failures stay short of three.
+        assert hh.record_failure("a", "dead", 1.0) is False
+        assert hh.record_failure("a", "dead", 1.0) is False
+        assert hh.state("a").completed == 1
+        assert hh.state("a").failures == 4
+
+    def test_summary_separates_transport_failures(self):
+        hh = HostHealth(["a"], blacklist_after=None)
+        hh.record_failure("a", "transport", 0.0)
+        hh.record_failure("a", "dead", 0.0)
+        hh.record_success("a")
+        assert hh.summary()["a"] == {
+            "completed": 1,
+            "failures": 2,
+            "transport_failures": 1,
+            "quarantines": 0,
+            "readmissions": 0,
+            "dead": False,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one host"):
+            HostHealth([])
+        with pytest.raises(ValueError, match="blacklist_after"):
+            HostHealth(["a"], blacklist_after=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            HostHealth(["a"], cooldown=-1.0)
+
+    def test_transport_must_cover_backend_hosts(self, tmp_path):
+        """A copy-back transport that does not know a pinned host is a
+        deployment bug and fails at construction, not mid-dispatch."""
+        work_dir, transport = copyback(tmp_path, hosts=("alpha",))
+        with pytest.raises(ValueError, match="knows no work dir"):
+            CampaignDispatcher(
+                tiny_spec(), shards=2, workers=2, work_dir=work_dir,
+                backend=_TwoHostBackend(), transport=transport,
+            )
+
+    def test_transport_faults_on_shared_dir_rejected(self, tmp_path):
+        """Arming transfer faults on the zero-copy transport would mean
+        they silently never fire; the dispatcher refuses up front."""
+        with pytest.raises(ValueError, match="CopyBackTransport"):
+            CampaignDispatcher(
+                tiny_spec(), shards=1, workers=1, work_dir=tmp_path,
+                transport=SharedDirTransport(tmp_path),
+                faults=FaultPlan([TransportFault(kind="drop")]),
+            )
+
+    def test_multi_host_summary_annotates_hosts(self):
+        result = Campaign(tiny_spec()).run(workers=1)
+        shards = [
+            ShardRecord(
+                shard=0, chains=2, expected_cells=6, estimated_cost=1.0,
+                attempts=2, attempt_walls=[0.8, 0.6],
+                attempt_outcomes=["evicted", "completed"],
+                attempt_hosts=["beta", "alpha"],
+            ),
+        ]
+        report = DispatchReport(
+            result=result, shards=shards, workers=2, wall_time_s=2.0,
+            hosts={
+                "alpha": {"completed": 1, "failures": 0, "quarantines": 0},
+                "beta": {
+                    "completed": 0, "failures": 3,
+                    "quarantines": 1, "dead": True,
+                },
+            },
+            transport={
+                "kind": "copyback", "pushes": 4, "pulls": 9,
+                "retries": 2, "failures": 3,
+            },
+        )
+        assert report.quarantines == 1
+        assert report.evictions == 1
+        text = report.format_summary()
+        assert "shard 0: evicted 0.80s @beta, completed 0.60s @alpha" in text
+        assert "host alpha: 1 completed, 0 failure(s)" in text
+        assert "host beta: 0 completed, 3 failure(s), 1 quarantine(s) "\
+            "[dead]" in text
+        assert "transport: 4 push(es), 9 pull(s), 2 retry(ies), "\
+            "3 failure(s)" in text
 
 
 class TestFaultPlan:

@@ -25,6 +25,7 @@ from repro.batch import (
     canonical_json,
     content_hash,
     spec_hash,
+    store_reachable_digests,
     system_hash,
 )
 from repro.model.system import TransactionSystem
@@ -401,3 +402,194 @@ class TestSaveJsonDurability:
         assert "fsync" in events
         assert events.index("fsync") < events.index("replace")
         assert json.loads(path.read_text(encoding="utf-8"))["cells"]
+
+
+class TestStoreLifecycle:
+    """store-stats / store-gc backend: histograms and criteria-gated GC."""
+
+    def key(self, n=0) -> StoreKey:
+        return StoreKey(f"sys{n}", "cfg", 0.3, "gauss_seidel")
+
+    def fill(self, tmp_path, ages_s, now=1_000_000.0):
+        """A store with one entry per requested age (mtime back-dated)."""
+        import os
+
+        store = ResultStore(tmp_path / "store")
+        for n, age in enumerate(ages_s):
+            store.put(self.key(n), {"n": n})
+            path = store._path(self.key(n))
+            os.utime(path, (now - age, now - age))
+        return store, now
+
+    def test_age_histogram_buckets(self, tmp_path):
+        store, now = self.fill(
+            tmp_path, [60.0, 7200.0, 90_000.0, 800_000.0, 900_000.0]
+        )
+        assert store.age_histogram(now=now) == [
+            ("<=1h", 1), ("<=1d", 1), ("<=7d", 1), (">7d", 2),
+        ]
+
+    def test_gc_without_criteria_removes_nothing(self, tmp_path):
+        store, now = self.fill(tmp_path, [10.0, 1e6])
+        swept = store.gc(now=now)
+        assert swept.removed == 0 and swept.kept == 2
+        assert store.stats().entries == 2
+
+    def test_gc_by_age(self, tmp_path):
+        store, now = self.fill(tmp_path, [10.0, 5_000.0, 90_000.0])
+        dry = store.gc(older_than_s=3600.0, dry_run=True, now=now)
+        assert dry.removed == 2 and dry.kept == 1
+        assert store.stats().entries == 3  # dry run deleted nothing
+        swept = store.gc(older_than_s=3600.0, now=now)
+        assert swept.removed == 2 and swept.kept == 1
+        assert swept.bytes_freed > 0
+        assert store.stats().entries == 1
+        assert store.get(self.key(0)) == {"n": 0}  # the young one survived
+
+    def test_gc_by_reachability(self, tmp_path):
+        store, now = self.fill(tmp_path, [10.0, 10.0, 10.0])
+        keep = {store._path(self.key(n)).stem for n in (0, 2)}
+        swept = store.gc(keep_digests=keep, now=now)
+        assert swept.removed == 1 and swept.kept == 2
+        assert store.get(self.key(1)) is None
+
+    def test_gc_criteria_intersect(self, tmp_path):
+        """Both criteria must condemn an entry: old-but-reachable and
+        young-but-unreachable each survive."""
+        store, now = self.fill(tmp_path, [90_000.0, 90_000.0, 10.0])
+        keep = {store._path(self.key(0)).stem}  # 0: old but reachable
+        swept = store.gc(older_than_s=3600.0, keep_digests=keep, now=now)
+        assert swept.removed == 1  # only 1: old AND unreachable
+        assert store.get(self.key(0)) is not None
+        assert store.get(self.key(1)) is None
+        assert store.get(self.key(2)) is not None  # young, kept by age
+
+    def test_gc_sweeps_day_old_tmp_orphans(self, tmp_path):
+        import os
+
+        store, now = self.fill(tmp_path, [10.0])
+        fan = store._path(self.key(0)).parent
+        stale = fan / "deadbeef.json.tmp.1234"
+        fresh = fan / "deadbeef.json.tmp.5678"
+        for tmp, age in ((stale, 100_000.0), (fresh, 10.0)):
+            tmp.write_text("torn")
+            os.utime(tmp, (now - age, now - age))
+        swept = store.gc(older_than_s=1e9, now=now)  # condemns no entry
+        assert swept.removed == 0
+        assert swept.tmp_removed == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_gc_prunes_emptied_fanout_dirs(self, tmp_path):
+        store, now = self.fill(tmp_path, [90_000.0])
+        fan = store._path(self.key(0)).parent
+        swept = store.gc(older_than_s=3600.0, now=now)
+        assert swept.removed == 1
+        assert not fan.exists()
+
+    def test_reachable_digests_cover_exactly_a_runs_entries(self, tmp_path):
+        """store_reachable_digests must predict the precise key set a
+        campaign run consults -- a reachability GC right after a run
+        removes nothing of that run and everything foreign."""
+        spec = small_spec()
+        store = ResultStore(tmp_path / "store")
+        Campaign(spec).run(workers=1, store=store)
+        reachable = store_reachable_digests(spec)
+        on_disk = {p.stem for p, _ in store.iter_entries()}
+        assert on_disk == reachable
+        # Plant a foreign entry: only it is condemned.
+        store.put(StoreKey("alien", "cfg", 0.1, "m"), {"x": 1})
+        swept = store.gc(keep_digests=reachable)
+        assert swept.removed == 1
+        assert {p.stem for p, _ in store.iter_entries()} == reachable
+        # And the warm rerun still serves everything from the store.
+        warm = Campaign(spec).run(workers=1, store=store)
+        assert warm.store_hits == spec.n_analyses()
+        assert warm.store_misses == 0
+
+
+class TestStoreCli:
+    def seeded_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(StoreKey("s0", "c", 0.3, "m"), {"x": 1})
+        store.put(StoreKey("s1", "c", 0.6, "m"), {"x": 2})
+        return store
+
+    def test_store_stats_table_and_json(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        store = self.seeded_store(tmp_path)
+        assert cli_main(["store-stats", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "age histogram" in out
+        assert cli_main(["store-stats", str(store.root), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["bytes"] > 0
+        assert set(payload["age_histogram"]) == {
+            "<=1h", "<=1d", "<=7d", ">7d",
+        }
+
+    def test_store_stats_rejects_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["store-stats", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_store_gc_requires_a_criterion(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        store = self.seeded_store(tmp_path)
+        assert cli_main(["store-gc", str(store.root)]) == 2
+        assert "prune everything" in capsys.readouterr().err
+        assert store.stats().entries == 2
+
+    def test_store_gc_rejects_garbage_age(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        store = self.seeded_store(tmp_path)
+        rc = cli_main(["store-gc", str(store.root), "--older-than", "soon"])
+        assert rc == 2
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_store_gc_by_age_with_dry_run(self, tmp_path, capsys):
+        import os
+        import time
+
+        from repro.cli import main as cli_main
+
+        store = self.seeded_store(tmp_path)
+        old = store._path(StoreKey("s0", "c", 0.3, "m"))
+        back = time.time() - 8 * 86400
+        os.utime(old, (back, back))
+        rc = cli_main(
+            ["store-gc", str(store.root), "--older-than", "7d", "--dry-run"]
+        )
+        assert rc == 0
+        assert "would remove 1 entr(ies)" in capsys.readouterr().out
+        assert store.stats().entries == 2
+        rc = cli_main(["store-gc", str(store.root), "--older-than", "7d"])
+        assert rc == 0
+        assert "removed 1 entr(ies)" in capsys.readouterr().out
+        assert store.stats().entries == 1
+
+    def test_store_gc_by_spec_accepts_result_json(self, tmp_path, capsys):
+        """--spec takes a bare spec JSON or a whole campaign result JSON
+        (its spec block is used), matching what dispatch work dirs and
+        --json outputs actually contain."""
+        from repro.cli import main as cli_main
+
+        spec = small_spec()
+        store = ResultStore(tmp_path / "store")
+        result = Campaign(spec).run(workers=1, store=store)
+        store.put(StoreKey("alien", "cfg", 0.1, "m"), {"x": 1})
+        result_json = tmp_path / "result.json"
+        result.save_json(result_json)
+        rc = cli_main(
+            ["store-gc", str(store.root), "--spec", str(result_json)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reachable" in out
+        assert "removed 1 entr(ies)" in out
+        assert store.stats().entries == spec.n_analyses()
