@@ -2224,6 +2224,7 @@ class Campaign:
         chain_indices: Sequence[int] | None = None,
         heartbeat: str | Path | None = None,
         heartbeat_interval: float = 1.0,
+        executor: ProcessPoolExecutor | None = None,
     ) -> CampaignResult:
         """Execute the campaign and return a :class:`CampaignResult`.
 
@@ -2312,6 +2313,16 @@ class Campaign:
             from *dead* without trusting the child's exit status.
         heartbeat_interval:
             Maximum seconds between heartbeat writes (must be > 0).
+        executor:
+            An externally owned :class:`~concurrent.futures.\
+ProcessPoolExecutor` to run chain chunks on instead of creating (and
+            shutting down) a private pool.  The executor *outlives* the
+            call -- this is the analysis service's persistent-pool seam:
+            worker processes keep their driver caches (compiled-W
+            closures, phase memos) warm across campaigns.  ``workers``
+            then only shapes chunking and should match the executor's
+            worker count; results are identical either way.  Ignored on
+            the inline path (``workers == 1`` or a single chain).
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -2541,7 +2552,12 @@ class Campaign:
                     )
                     for i, chunk in enumerate(chunks)
                 ]
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = (
+                    executor
+                    if executor is not None
+                    else ProcessPoolExecutor(max_workers=workers)
+                )
+                futures: list = []
                 try:
                     # Explicit submit/result (in submission order, same as
                     # pool.map) so an exhausted max_cells budget can cancel
@@ -2573,7 +2589,15 @@ class Campaign:
                         if not consume(cells):
                             break
                 finally:
-                    pool.shutdown(wait=True, cancel_futures=True)
+                    if executor is None:
+                        pool.shutdown(wait=True, cancel_futures=True)
+                    else:
+                        # A borrowed executor must survive the call;
+                        # cancel what never started so an early exit
+                        # (max_cells) does not leave queued chunks
+                        # burning pool slots behind our back.
+                        for future in futures:
+                            future.cancel()
         finally:
             if arena is not None:
                 arena.destroy()

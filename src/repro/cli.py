@@ -16,6 +16,7 @@ Operates on JSON system files (see :mod:`repro.io.spec` for the schema):
    $ python -m repro campaign-merge shard0.json shard1.json --json all.json
    $ python -m repro campaign-dispatch ... --workers 4 --shards 16 \\
          --partition lpt --json all.json   # unattended sharded deployment
+   $ python -m repro serve --port 8000 --store store/  # analysis service
 
 Exit status: 0 when the system is schedulable (or the command succeeded),
 1 when unschedulable / bounds violated, 2 on usage errors.
@@ -402,6 +403,51 @@ def build_parser() -> argparse.ArgumentParser:
                       "result JSON -- its spec block is used)")
     p_sg.add_argument("--dry-run", action="store_true",
                       help="report what would be removed without deleting")
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the analysis service (persistent worker pool)",
+        description="Long-running HTTP service in front of the engine: "
+        "POST /analyze (sync single-system analysis), POST /campaigns "
+        "(spec JSON -> async job on a persistent process pool, or the "
+        "dispatcher for large sweeps), GET /campaigns/{id}[/result], "
+        "GET /healthz, GET /stats.  The pool outlives requests so driver "
+        "caches amortize across calls; --store makes the content-"
+        "addressed result store the response cache.",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8000)
+    p_sv.add_argument("--store", metavar="DIR",
+                      help="content-addressed result store shared by "
+                      "/analyze and campaign jobs (and any CLI run "
+                      "pointing --store at the same DIR)")
+    p_sv.add_argument("--pool-workers", type=int, default=2,
+                      help="persistent process-pool size for campaign "
+                      "jobs; 1 runs campaigns inline (default 2)")
+    p_sv.add_argument("--job-runners", type=int, default=1,
+                      help="concurrent campaign jobs (default 1)")
+    p_sv.add_argument("--max-queue", type=int, default=8,
+                      help="bounded job-queue length; overflow answers "
+                      "429 + Retry-After (default 8)")
+    p_sv.add_argument("--max-cells", type=int, default=20000,
+                      help="per-request ceiling on planned analyses "
+                      "(cells x methods); larger specs answer 413 "
+                      "(default 20000)")
+    p_sv.add_argument("--retry-after", type=float, default=2.0,
+                      metavar="S",
+                      help="seconds advertised in the 429 Retry-After "
+                      "header (default 2)")
+    p_sv.add_argument("--dispatch-workers", type=int, default=2,
+                      help="subprocess slots for backend=dispatch jobs "
+                      "(default 2)")
+    p_sv.add_argument("--dispatch-shards", type=int, default=None,
+                      help="shard count for backend=dispatch jobs "
+                      "(default: 4x dispatch workers)")
+    p_sv.add_argument("--http", dest="http_impl",
+                      choices=("auto", "uvicorn", "stdlib"),
+                      default="auto",
+                      help="HTTP layer: uvicorn when installed, else the "
+                      "bundled stdlib bridge (default auto)")
     return parser
 
 
@@ -1067,6 +1113,34 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # The serve subsystem sits on repro.batch (NumPy) and optionally
+    # uvicorn; both degrade to clear errors, not tracebacks.
+    try:
+        from repro.serve import ServeConfig, create_app
+        from repro.serve.server import serve_forever
+    except ImportError as exc:
+        print(
+            f"error: the analysis service is unavailable ({exc}); "
+            "it needs NumPy (the campaign engine runs on it)",
+            file=sys.stderr,
+        )
+        return 2
+    app = create_app(ServeConfig(
+        store=args.store,
+        pool_workers=args.pool_workers,
+        job_runners=args.job_runners,
+        max_queue=args.max_queue,
+        max_cells_per_job=args.max_cells,
+        retry_after_s=args.retry_after,
+        dispatch_workers=args.dispatch_workers,
+        dispatch_shards=args.dispatch_shards,
+    ))
+    return serve_forever(
+        app, host=args.host, port=args.port, http_impl=args.http_impl
+    )
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
@@ -1080,6 +1154,7 @@ _COMMANDS = {
     "campaign-dispatch": _cmd_campaign_dispatch,
     "store-stats": _cmd_store_stats,
     "store-gc": _cmd_store_gc,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,0 +1,51 @@
+"""Analysis-as-a-service: the long-running server in front of the engine.
+
+``python -m repro serve`` keeps one process (and one persistent worker
+pool) alive across requests, so everything a cold CLI invocation pays
+for on every run -- compiled-W closures, projection memos, phase-cache
+state, warm-start jitters, the content-addressed result store's page
+cache -- amortizes across calls:
+
+* ``POST /analyze`` -- synchronous single-system analysis (exact or
+  verdict mode), optionally served from the result store;
+* ``POST /campaigns`` -- a campaign spec JSON becomes an async job
+  handle, executed on the persistent in-process pool (or handed to
+  :class:`~repro.batch.dispatch.CampaignDispatcher` for large sweeps);
+* ``GET /campaigns/{id}`` / ``GET /campaigns/{id}/result`` -- job
+  status/accounting and the canonical merged result;
+* ``GET /healthz`` / ``GET /stats`` -- liveness, store hit/miss totals,
+  pool occupancy, uptime.
+
+The HTTP surface is a plain ASGI application (:func:`create_app`), so it
+runs under any ASGI server.  Nothing here *requires* one: the bundled
+:mod:`repro.serve.server` bridge serves the app on the stdlib
+``http.server`` when ``uvicorn`` is not installed (the import is guarded
+exactly like NumPy's), and :class:`repro.serve.testclient.TestClient`
+drives the app in-process for tests without any server at all.
+
+Admission control keeps the service degradable instead of crashable: a
+bounded job queue answers overflow with ``429`` + ``Retry-After`` while
+in-flight jobs keep running, and a per-request cell-count ceiling bounds
+the largest job a single POST can submit.
+"""
+
+from repro.serve.app import ReproServeApp, ServeConfig, create_app
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.pool import WorkerPool
+from repro.serve.schemas import (
+    ValidationError,
+    canonical_result_json,
+    canonical_result_payload,
+)
+
+__all__ = [
+    "Job",
+    "JobRegistry",
+    "ReproServeApp",
+    "ServeConfig",
+    "ValidationError",
+    "WorkerPool",
+    "canonical_result_json",
+    "canonical_result_payload",
+    "create_app",
+]

@@ -1,0 +1,181 @@
+"""The campaign job registry: async handles for ``POST /campaigns``.
+
+A :class:`Job` is the server-side record of one submitted campaign; the
+:class:`JobRegistry` owns the id space and the lifecycle
+``queued -> running -> done | failed``.  All mutation goes through the
+registry under one lock -- handlers only ever read consistent snapshots
+(:meth:`Job.status_payload`), and the runner threads in
+:mod:`repro.serve.pool` only ever mark transitions.
+
+Job ids are deterministic (``job-000001``, ...): the service has no
+randomness of its own, which keeps API-level tests exact.  Finished jobs
+are retained up to a bounded count so the registry cannot grow without
+limit under sustained traffic; evicted ids answer ``404`` like unknown
+ones (documented in the README -- poll promptly or raise the retention).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.batch.campaign import CampaignResult
+
+__all__ = ["Job", "JobRegistry"]
+
+#: Lifecycle states, in order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything the API reports about it."""
+
+    id: str
+    spec_dict: dict
+    backend: str
+    n_analyses: int
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: CampaignResult | None = None
+    #: Canonical result bytes, frozen at completion -- every
+    #: ``GET /campaigns/{id}/result`` returns exactly these.
+    result_bytes: bytes | None = None
+    store_hits: int = 0
+    store_misses: int = 0
+
+    def status_payload(self) -> dict[str, Any]:
+        """The ``GET /campaigns/{id}`` body."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "backend": self.backend,
+            "n_analyses": self.n_analyses,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "links": {
+                "status": f"/campaigns/{self.id}",
+                "result": f"/campaigns/{self.id}/result",
+            },
+        }
+        if self.state in (DONE, FAILED) and self.started_at is not None:
+            payload["wall_s"] = (self.finished_at or 0.0) - self.started_at
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.result is not None:
+            payload["store"] = {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+            }
+            payload["cells"] = len(self.result.cells)
+        return payload
+
+
+class JobRegistry:
+    """Thread-safe job table with bounded finished-job retention."""
+
+    def __init__(self, *, max_finished: int = 256):
+        if max_finished < 1:
+            raise ValueError("max_finished must be >= 1")
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._finished_order: list[str] = []
+        self._seq = 0
+        self._max_finished = max_finished
+        # Store totals survive job eviction: /stats reports service-
+        # lifetime hits/misses, not just what the retained jobs remember.
+        self._total_store_hits = 0
+        self._total_store_misses = 0
+        self._total_done = 0
+        self._total_failed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create(self, spec_dict: dict, backend: str, n_analyses: int) -> Job:
+        with self._lock:
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq:06d}",
+                spec_dict=spec_dict,
+                backend=backend,
+                n_analyses=n_analyses,
+            )
+            self._jobs[job.id] = job
+            return job
+
+    def discard(self, job_id: str) -> None:
+        """Forget a job that never made it past admission control."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = RUNNING
+            job.started_at = time.time()
+
+    def mark_done(
+        self, job_id: str, result: CampaignResult, result_bytes: bytes
+    ) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = DONE
+            job.finished_at = time.time()
+            job.result = result
+            job.result_bytes = result_bytes
+            job.store_hits = result.store_hits
+            job.store_misses = result.store_misses
+            self._total_store_hits += result.store_hits
+            self._total_store_misses += result.store_misses
+            self._total_done += 1
+            self._retire(job_id)
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = FAILED
+            job.finished_at = time.time()
+            job.error = error
+            self._total_failed += 1
+            self._retire(job_id)
+
+    def _retire(self, job_id: str) -> None:
+        """Record completion order; evict beyond the retention bound."""
+        self._finished_order.append(job_id)
+        while len(self._finished_order) > self._max_finished:
+            evicted = self._finished_order.pop(0)
+            self._jobs.pop(evicted, None)
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_payload(self) -> list[dict[str, Any]]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.id)
+            return [job.status_payload() for job in jobs]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            live = list(self._jobs.values())
+            return {
+                "queued": sum(j.state == QUEUED for j in live),
+                "running": sum(j.state == RUNNING for j in live),
+                "done": self._total_done,
+                "failed": self._total_failed,
+            }
+
+    def store_totals(self) -> tuple[int, int]:
+        with self._lock:
+            return self._total_store_hits, self._total_store_misses

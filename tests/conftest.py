@@ -45,6 +45,7 @@ _NUMPY_TEST_FILES = [
     "test_platform_periodic_server.py",
     "test_properties_deep.py",
     "test_result_store.py",
+    "test_serve.py",
     "test_sim_engine.py",
     "test_sim_engine_edge.py",
     "test_sim_execution_and_gantt.py",
